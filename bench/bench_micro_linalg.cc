@@ -1,0 +1,75 @@
+// Microbenchmarks for the linear-algebra substrate (google-benchmark).
+// These are engineering benchmarks, not paper experiments: they track the
+// kernels that dominate strategy-selection time.
+#include <benchmark/benchmark.h>
+
+#include "dpmm/dpmm.h"
+
+namespace dpmm {
+namespace {
+
+linalg::Matrix RandomMatrix(std::size_t r, std::size_t c, Rng* rng) {
+  linalg::Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng->Gaussian();
+  }
+  return m;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  Rng rng(1);
+  linalg::Matrix a = RandomMatrix(n, n, &rng);
+  linalg::Matrix b = RandomMatrix(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_Gram(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  Rng rng(2);
+  linalg::Matrix a = RandomMatrix(2 * n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::Gram(a));
+  }
+}
+BENCHMARK(BM_Gram)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_Cholesky(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  Rng rng(3);
+  linalg::Matrix a = RandomMatrix(2 * n, n, &rng);
+  linalg::Matrix spd = linalg::Gram(a);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::Cholesky::Factor(spd).ValueOrDie());
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_SymmetricEigen(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  linalg::Matrix g = gram::AllRange1D(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::SymmetricEigen(g).ValueOrDie());
+  }
+}
+BENCHMARK(BM_SymmetricEigen)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_KronEigenMarginals(benchmark::State& state) {
+  // Analytic eigendecomposition of a 2048-cell marginal workload.
+  Domain dom({16, 16, 8});
+  MarginalsWorkload w = MarginalsWorkload::AllKWay(dom, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.AnalyticEigen());
+  }
+}
+BENCHMARK(BM_KronEigenMarginals)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dpmm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Microbenchmarks for the Program-1 dual solver and the end-to-end
+// eigen-design step (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "dpmm/dpmm.h"
+
+namespace dpmm {
+namespace {
+
+void BM_SolveWeightingRanges(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  AllRangeWorkload w(Domain::OneDim(n));
+  auto eig = w.FactorizedEigen();
+  std::vector<std::size_t> kept;
+  optimize::WeightingProblem p = optimize::MakeEigenProblem(eig, 1e-10, &kept);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize::SolveWeighting(p).ValueOrDie());
+  }
+  state.SetLabel("iters<=" + std::to_string(optimize::SolverOptions().max_iterations));
+}
+BENCHMARK(BM_SolveWeightingRanges)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EigenDesignMarginals(benchmark::State& state) {
+  // Full Program 2 on a marginal workload (analytic eigen + weighting +
+  // completion), the hot path of Fig. 3(c).
+  Domain dom({16, 16, 8});
+  MarginalsWorkload w = MarginalsWorkload::AllKWay(dom, 2);
+  auto eig = w.AnalyticEigen();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize::EigenDesignFromEigen(eig).ValueOrDie());
+  }
+}
+BENCHMARK(BM_EigenDesignMarginals)->Unit(benchmark::kMillisecond);
+
+void BM_BarrierReference(benchmark::State& state) {
+  const std::size_t nv = state.range(0);
+  Rng rng(nv);
+  optimize::WeightingProblem p;
+  p.exponent = 1;
+  p.c.resize(nv);
+  for (auto& v : p.c) v = 0.5 + rng.UniformDouble();
+  p.constraints = linalg::Matrix(2 * nv, nv);
+  for (std::size_t j = 0; j < 2 * nv; ++j) {
+    for (std::size_t i = 0; i < nv; ++i) {
+      p.constraints(j, i) = rng.UniformDouble();
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize::SolveWeightingBarrier(p).ValueOrDie());
+  }
+}
+BENCHMARK(BM_BarrierReference)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dpmm
+
+BENCHMARK_MAIN();

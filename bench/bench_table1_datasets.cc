@@ -1,0 +1,34 @@
+// Table 1: the size and dimensions of the evaluation datasets. Ours are
+// deterministic synthetic stand-ins with matching shape and scale (see
+// DESIGN.md, "Substitutions").
+#include "bench_common.h"
+
+using namespace dpmm;
+
+int main(int, char**) {
+  bench::Banner("Table 1: dataset shapes", "Table 1");
+
+  DataVector census = data::GenCensusLike();
+  DataVector adult = data::GenAdultLike();
+
+  TablePrinter table({"dataset", "dimension", "# tuples", "paper"});
+  table.AddRow({"US-Census-like", census.domain.ToString(),
+                std::to_string(static_cast<long long>(census.Total())),
+                "8x16x16, 15M"});
+  table.AddRow({"Adult-like", adult.domain.ToString(),
+                std::to_string(static_cast<long long>(adult.Total())),
+                "8x8x16x2, 33K"});
+  table.Print();
+
+  std::printf("\nPer-attribute margins (to document the synthetic shapes):\n");
+  for (const DataVector* dv : {&census, &adult}) {
+    std::printf("%s:\n", dv->domain.ToString().c_str());
+    for (std::size_t a = 0; a < dv->domain.num_attributes(); ++a) {
+      auto marg = dv->Marginal(a);
+      std::printf("  %-12s:", dv->domain.attribute_name(a).c_str());
+      for (double v : marg) std::printf(" %.3f", v / dv->Total());
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

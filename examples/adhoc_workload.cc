@@ -1,0 +1,83 @@
+// Ad hoc workloads (Sec. 5.1 "Alternative Workloads"): the adaptive
+// mechanism shines when the workload fits none of the fixed constructions.
+// Three analysts share one privacy budget on a 1D domain of 256 cells:
+//   - analyst A wants the empirical CDF (prefix sums),
+//   - analyst B wants 100 random ranges around their region of interest,
+//   - analyst C wants 50 arbitrary predicate counts.
+// The combined workload is designed jointly; we also demonstrate Prop. 5 by
+// permuting the cell order, which cripples wavelet/hierarchical but leaves
+// the eigen-design unchanged.
+//
+// Build & run:  ./adhoc_workload
+#include <cstdio>
+#include <memory>
+
+#include "dpmm/dpmm.h"
+
+using namespace dpmm;
+
+int main() {
+  const std::size_t n = 256;
+  Domain dom({n});
+  Rng rng(11);
+
+  auto cdf = std::make_shared<PrefixWorkload>(n);
+  auto ranges = std::make_shared<ExplicitWorkload>(
+      builders::RandomRangeWorkload(dom, 100, &rng));
+  auto predicates = std::make_shared<ExplicitWorkload>(
+      builders::RandomPredicateWorkload(dom, 50, &rng));
+  StackedWorkload combined({cdf, ranges, predicates}, "three-analysts");
+  std::printf("Combined workload: %zu queries over %zu cells\n",
+              combined.num_queries(), n);
+
+  ErrorOptions opts;
+  opts.privacy = {0.5, 1e-4};
+  const linalg::Matrix gram = combined.Gram();
+  const double bound = SvdErrorLowerBound(gram, combined.num_queries(), opts);
+
+  auto design = optimize::EigenDesign(gram).ValueOrDie();
+
+  TablePrinter table({"strategy", "workload error", "vs bound"});
+  auto add = [&](const std::string& name, double err) {
+    table.AddRow({name, TablePrinter::Num(err, 3),
+                  TablePrinter::Num(err / bound, 3) + "x"});
+  };
+  add("EigenDesign",
+      StrategyError(gram, combined.num_queries(), design.strategy, opts));
+  add("Wavelet",
+      StrategyError(gram, combined.num_queries(), WaveletStrategy(dom), opts));
+  add("Hierarchical", StrategyError(gram, combined.num_queries(),
+                                    HierarchicalStrategy(dom), opts));
+  add("Identity", StrategyError(gram, combined.num_queries(),
+                                IdentityStrategy(n), opts));
+  add("LowerBound", bound);
+  std::printf("\nJoint design on the combined workload:\n");
+  table.Print();
+
+  // Prop. 5: permute the cell conditions (e.g. the attribute is categorical
+  // with no natural order). Fixed strategies degrade; eigen-design does not.
+  auto base = std::make_shared<StackedWorkload>(combined);
+  PermutedWorkload permuted(base, rng.Permutation(n));
+  const linalg::Matrix pgram = permuted.Gram();
+  auto pdesign = optimize::EigenDesign(pgram).ValueOrDie();
+
+  TablePrinter ptable({"strategy", "error (permuted cells)", "vs bound"});
+  const double pbound =
+      SvdErrorLowerBound(pgram, permuted.num_queries(), opts);
+  auto padd = [&](const std::string& name, double err) {
+    ptable.AddRow({name, TablePrinter::Num(err, 3),
+                   TablePrinter::Num(err / pbound, 3) + "x"});
+  };
+  padd("EigenDesign", StrategyError(pgram, permuted.num_queries(),
+                                    pdesign.strategy, opts));
+  padd("Wavelet", StrategyError(pgram, permuted.num_queries(),
+                                WaveletStrategy(dom), opts));
+  padd("Hierarchical", StrategyError(pgram, permuted.num_queries(),
+                                     HierarchicalStrategy(dom), opts));
+  std::printf("\nSame workload, permuted cell conditions (Prop. 5):\n");
+  ptable.Print();
+  std::printf(
+      "\nThe eigen-design error is invariant under the permutation; the\n"
+      "locality-based strategies are not.\n");
+  return 0;
+}

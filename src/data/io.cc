@@ -1,0 +1,63 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dpmm {
+namespace data {
+
+Status SaveCsv(const DataVector& dv, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "# domain:";
+  for (std::size_t a = 0; a < dv.domain.num_attributes(); ++a) {
+    out << (a ? "," : " ") << dv.domain.size(a);
+  }
+  out << "\n";
+  out.precision(17);
+  for (std::size_t i = 0; i < dv.counts.size(); ++i) {
+    out << i << "," << dv.counts[i] << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<DataVector> LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line)) return Status::IoError("empty file: " + path);
+  const std::string prefix = "# domain:";
+  if (line.rfind(prefix, 0) != 0) {
+    return Status::IoError("missing domain header in " + path);
+  }
+  std::vector<std::size_t> sizes;
+  {
+    std::stringstream ss(line.substr(prefix.size()));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (tok.empty()) continue;
+      sizes.push_back(static_cast<std::size_t>(std::stoull(tok)));
+    }
+  }
+  if (sizes.empty()) return Status::IoError("bad domain header in " + path);
+  Domain domain(sizes);
+  linalg::Vector counts(domain.NumCells(), 0.0);
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) {
+      return Status::IoError("malformed row: " + line);
+    }
+    const std::size_t cell = std::stoull(line.substr(0, comma));
+    if (cell >= counts.size()) {
+      return Status::IoError("cell index out of range: " + line);
+    }
+    counts[cell] = std::stod(line.substr(comma + 1));
+  }
+  return DataVector(std::move(domain), std::move(counts));
+}
+
+}  // namespace data
+}  // namespace dpmm

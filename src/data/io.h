@@ -1,0 +1,23 @@
+// CSV persistence for data vectors, so users can run the mechanism over
+// their own histograms (cell_index,count rows with a domain header).
+#ifndef DPMM_DATA_IO_H_
+#define DPMM_DATA_IO_H_
+
+#include <string>
+
+#include "data/data_vector.h"
+#include "util/status.h"
+
+namespace dpmm {
+namespace data {
+
+/// Writes "# domain: d1,d2,..." followed by one "cell,count" row per cell.
+Status SaveCsv(const DataVector& dv, const std::string& path);
+
+/// Reads a file written by SaveCsv.
+Result<DataVector> LoadCsv(const std::string& path);
+
+}  // namespace data
+}  // namespace dpmm
+
+#endif  // DPMM_DATA_IO_H_

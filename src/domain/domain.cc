@@ -1,0 +1,93 @@
+#include "domain/domain.h"
+
+#include <functional>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dpmm {
+
+Domain::Domain(std::vector<std::size_t> sizes,
+               std::vector<std::string> attribute_names)
+    : sizes_(std::move(sizes)), names_(std::move(attribute_names)) {
+  DPMM_CHECK_GT(sizes_.size(), 0u);
+  num_cells_ = 1;
+  for (std::size_t s : sizes_) {
+    DPMM_CHECK_GT(s, 0u);
+    num_cells_ *= s;
+  }
+  if (names_.empty()) {
+    for (std::size_t i = 0; i < sizes_.size(); ++i) {
+      names_.push_back("A" + std::to_string(i + 1));
+    }
+  }
+  DPMM_CHECK_EQ(names_.size(), sizes_.size());
+}
+
+Domain Domain::OneDim(std::size_t n) { return Domain({n}); }
+
+std::size_t Domain::CellIndex(const std::vector<std::size_t>& multi) const {
+  DPMM_CHECK_EQ(multi.size(), sizes_.size());
+  std::size_t idx = 0;
+  for (std::size_t a = 0; a < sizes_.size(); ++a) {
+    DPMM_CHECK_LT(multi[a], sizes_[a]);
+    idx = idx * sizes_[a] + multi[a];
+  }
+  return idx;
+}
+
+std::vector<std::size_t> Domain::MultiIndex(std::size_t cell) const {
+  DPMM_CHECK_LT(cell, num_cells_);
+  std::vector<std::size_t> multi(sizes_.size());
+  for (std::size_t a = sizes_.size(); a > 0; --a) {
+    multi[a - 1] = cell % sizes_[a - 1];
+    cell /= sizes_[a - 1];
+  }
+  return multi;
+}
+
+std::string Domain::ToString() const {
+  std::ostringstream oss;
+  oss << "[";
+  for (std::size_t i = 0; i < sizes_.size(); ++i) {
+    oss << (i ? " x " : "") << sizes_[i];
+  }
+  oss << "]";
+  return oss.str();
+}
+
+std::vector<AttrSet> AllSubsetsOfSize(std::size_t k, std::size_t way) {
+  std::vector<AttrSet> out;
+  DPMM_CHECK_LE(way, k);
+  AttrSet cur;
+  // Iterative combinations via bitmask would cap k at 64; recursion is
+  // clearer and k is tiny in practice.
+  std::function<void(std::size_t)> rec = [&](std::size_t start) {
+    if (cur.size() == way) {
+      out.push_back(cur);
+      return;
+    }
+    for (std::size_t i = start; i < k; ++i) {
+      cur.push_back(i);
+      rec(i + 1);
+      cur.pop_back();
+    }
+  };
+  rec(0);
+  return out;
+}
+
+std::vector<AttrSet> AllSubsets(std::size_t k) {
+  DPMM_CHECK_LT(k, 20u);
+  std::vector<AttrSet> out;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << k); ++mask) {
+    AttrSet s;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (mask & (std::size_t{1} << i)) s.push_back(i);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace dpmm

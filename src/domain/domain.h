@@ -1,0 +1,65 @@
+// Multi-dimensional cell domains (Sec. 2.1 of the paper). A Domain fixes the
+// ordered list of cell conditions: the cross product of per-attribute
+// buckets, linearized in row-major order. The length of the data vector x is
+// Domain::NumCells().
+#ifndef DPMM_DOMAIN_DOMAIN_H_
+#define DPMM_DOMAIN_DOMAIN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dpmm {
+
+/// The cross-product domain of k attributes with the given bucket counts.
+/// Example: Domain({8, 16, 16}) is the paper's US-Census domain (age x
+/// occupation x income), with 2048 cells.
+class Domain {
+ public:
+  Domain() = default;
+  explicit Domain(std::vector<std::size_t> sizes,
+                  std::vector<std::string> attribute_names = {});
+
+  /// One-dimensional domain of n cells.
+  static Domain OneDim(std::size_t n);
+
+  std::size_t num_attributes() const { return sizes_.size(); }
+  std::size_t size(std::size_t attr) const { return sizes_[attr]; }
+  const std::vector<std::size_t>& sizes() const { return sizes_; }
+  const std::string& attribute_name(std::size_t attr) const {
+    return names_[attr];
+  }
+
+  /// Total number of cells (product of attribute sizes).
+  std::size_t NumCells() const { return num_cells_; }
+
+  /// Linear index of a multi-index (row-major, attribute 0 slowest).
+  std::size_t CellIndex(const std::vector<std::size_t>& multi) const;
+
+  /// Inverse of CellIndex.
+  std::vector<std::size_t> MultiIndex(std::size_t cell) const;
+
+  /// Human-readable descriptor, e.g. "[8 x 16 x 16]".
+  std::string ToString() const;
+
+  bool operator==(const Domain& other) const { return sizes_ == other.sizes_; }
+
+ private:
+  std::vector<std::size_t> sizes_;
+  std::vector<std::string> names_;
+  std::size_t num_cells_ = 0;
+};
+
+/// A subset of attribute indices, identifying a marginal (e.g. {0,2} is the
+/// 2-way marginal over attributes 0 and 2). Kept sorted and duplicate-free.
+using AttrSet = std::vector<std::size_t>;
+
+/// All subsets of {0..k-1} of exactly size `way` (the k-way marginals).
+std::vector<AttrSet> AllSubsetsOfSize(std::size_t k, std::size_t way);
+
+/// All 2^k subsets of {0..k-1} (the full data cube).
+std::vector<AttrSet> AllSubsets(std::size_t k);
+
+}  // namespace dpmm
+
+#endif  // DPMM_DOMAIN_DOMAIN_H_

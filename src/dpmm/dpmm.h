@@ -1,0 +1,66 @@
+// Umbrella header for the dpmm library — an implementation of the adaptive
+// (eps, delta)-differentially-private query answering mechanism of Li &
+// Miklau (VLDB 2012), with the matrix mechanism, the Eigen-Design strategy
+// selection algorithm, the competing strategies of the paper's evaluation,
+// and the supporting linear algebra.
+//
+// Quickstart:
+//
+//   using namespace dpmm;
+//   auto w = ExplicitWorkload::FromMatrix(builders::Fig1Matrix(), "Fig1");
+//   auto design = optimize::EigenDesignForWorkload(w).ValueOrDie();
+//   ErrorOptions opts;                       // eps = 0.5, delta = 1e-4
+//   double err = StrategyError(w, design.strategy, opts);
+//   auto mech = MatrixMechanism::Prepare(design.strategy, opts.privacy)
+//                   .ValueOrDie();
+//   Rng rng(42);
+//   linalg::Vector answers = mech.Run(w, x, &rng);   // private answers
+#ifndef DPMM_DPMM_H_
+#define DPMM_DPMM_H_
+
+#include "data/data_vector.h"
+#include "data/generators.h"
+#include "data/io.h"
+#include "domain/cell_condition.h"
+#include "domain/domain.h"
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/kronecker.h"
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+#include "linalg/qr.h"
+#include "linalg/sparse.h"
+#include "linalg/svd.h"
+#include "mechanism/bounds.h"
+#include "mechanism/error.h"
+#include "mechanism/matrix_mechanism.h"
+#include "mechanism/noise.h"
+#include "mechanism/privacy.h"
+#include "optimize/dual_solver.h"
+#include "optimize/eigen_design.h"
+#include "optimize/eigen_separation.h"
+#include "optimize/l1_design.h"
+#include "optimize/principal_vectors.h"
+#include "optimize/reference_solver.h"
+#include "optimize/weighting_problem.h"
+#include "query/predicate.h"
+#include "query/workload_builder.h"
+#include "release/release.h"
+#include "strategy/datacube.h"
+#include "strategy/fourier.h"
+#include "strategy/hierarchical.h"
+#include "strategy/io.h"
+#include "strategy/strategy.h"
+#include "strategy/wavelet.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+#include "workload/builders.h"
+#include "workload/gram.h"
+#include "workload/marginal_workloads.h"
+#include "workload/range_workloads.h"
+#include "workload/workload.h"
+
+#endif  // DPMM_DPMM_H_

@@ -1,0 +1,96 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "util/threading.h"
+
+namespace dpmm {
+namespace linalg {
+
+Result<Cholesky> Cholesky::Factor(const Matrix& spd) {
+  return FactorWithJitter(spd, 0.0);
+}
+
+Result<Cholesky> Cholesky::FactorWithJitter(const Matrix& spd, double jitter) {
+  DPMM_CHECK_EQ(spd.rows(), spd.cols());
+  const std::size_t n = spd.rows();
+  Matrix l = spd;
+  if (jitter > 0) {
+    for (std::size_t i = 0; i < n; ++i) l(i, i) += jitter;
+  }
+  // Right-looking factorization; the trailing update is the hot loop and is
+  // parallelized for the n >= 1024 systems arising in the experiments.
+  for (std::size_t k = 0; k < n; ++k) {
+    double d = l(k, k);
+    if (d <= 0.0 || !std::isfinite(d)) {
+      return Status::NumericalError("matrix not positive definite at pivot " +
+                                    std::to_string(k));
+    }
+    d = std::sqrt(d);
+    l(k, k) = d;
+    const double inv_d = 1.0 / d;
+    for (std::size_t i = k + 1; i < n; ++i) l(i, k) *= inv_d;
+    ParallelFor(k + 1, n, 256, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const double lik = l(i, k);
+        if (lik == 0.0) continue;
+        double* li = l.RowPtr(i);
+        for (std::size_t j = k + 1; j <= i; ++j) li[j] -= lik * l(j, k);
+      }
+    });
+  }
+  // Zero the strictly upper triangle so lower() is clean.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) l(i, j) = 0.0;
+  }
+  return Cholesky(std::move(l));
+}
+
+Vector Cholesky::Solve(const Vector& b) const {
+  const std::size_t n = l_.rows();
+  DPMM_CHECK_EQ(b.size(), n);
+  Vector y(b);
+  // Forward substitution L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* li = l_.RowPtr(i);
+    double s = y[i];
+    for (std::size_t j = 0; j < i; ++j) s -= li[j] * y[j];
+    y[i] = s / li[i];
+  }
+  // Back substitution L^T x = y.
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double s = y[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= l_(j, i) * y[j];
+    y[i] = s / l_(i, i);
+  }
+  return y;
+}
+
+Matrix Cholesky::Solve(const Matrix& b) const {
+  const std::size_t n = l_.rows();
+  DPMM_CHECK_EQ(b.rows(), n);
+  Matrix x(n, b.cols());
+  ParallelFor(0, b.cols(), 8, [&](std::size_t lo, std::size_t hi) {
+    Vector col(n);
+    for (std::size_t j = lo; j < hi; ++j) {
+      for (std::size_t i = 0; i < n; ++i) col[i] = b(i, j);
+      Vector sol = Solve(col);
+      for (std::size_t i = 0; i < n; ++i) x(i, j) = sol[i];
+    }
+  });
+  return x;
+}
+
+Matrix Cholesky::Inverse() const {
+  return Solve(Matrix::Identity(l_.rows()));
+}
+
+double Cholesky::LogDet() const {
+  double s = 0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+}  // namespace linalg
+}  // namespace dpmm

@@ -1,0 +1,76 @@
+#include "linalg/kronecker.h"
+
+#include "util/threading.h"
+
+namespace dpmm {
+namespace linalg {
+
+Matrix Kron(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows() * b.rows(), a.cols() * b.cols());
+  ParallelFor(0, a.rows(), 8, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t ia = lo; ia < hi; ++ia) {
+      for (std::size_t ib = 0; ib < b.rows(); ++ib) {
+        double* orow = out.RowPtr(ia * b.rows() + ib);
+        const double* brow = b.RowPtr(ib);
+        const double* arow = a.RowPtr(ia);
+        for (std::size_t ja = 0; ja < a.cols(); ++ja) {
+          const double av = arow[ja];
+          if (av == 0.0) continue;
+          double* dst = orow + ja * b.cols();
+          for (std::size_t jb = 0; jb < b.cols(); ++jb) dst[jb] += av * brow[jb];
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Matrix KronList(const std::vector<Matrix>& factors) {
+  DPMM_CHECK_GT(factors.size(), 0u);
+  Matrix out = factors[0];
+  for (std::size_t i = 1; i < factors.size(); ++i) out = Kron(out, factors[i]);
+  return out;
+}
+
+Vector KronMatVec(const std::vector<Matrix>& factors, const Vector& x) {
+  DPMM_CHECK_GT(factors.size(), 0u);
+  std::size_t expected = 1;
+  for (const auto& f : factors) expected *= f.cols();
+  DPMM_CHECK_EQ(x.size(), expected);
+
+  Vector cur = x;
+  std::vector<std::size_t> dims(factors.size());
+  for (std::size_t i = 0; i < factors.size(); ++i) dims[i] = factors[i].cols();
+
+  for (std::size_t axis = 0; axis < factors.size(); ++axis) {
+    const Matrix& f = factors[axis];
+    const std::size_t c = f.cols();
+    const std::size_t r = f.rows();
+    std::size_t outer = 1;
+    for (std::size_t i = 0; i < axis; ++i) outer *= dims[i];
+    std::size_t stride = 1;
+    for (std::size_t i = axis + 1; i < dims.size(); ++i) stride *= dims[i];
+
+    Vector next(outer * r * stride, 0.0);
+    for (std::size_t o = 0; o < outer; ++o) {
+      const double* in_block = cur.data() + o * c * stride;
+      double* out_block = next.data() + o * r * stride;
+      for (std::size_t ri = 0; ri < r; ++ri) {
+        const double* frow = f.RowPtr(ri);
+        double* dst = out_block + ri * stride;
+        for (std::size_t ci = 0; ci < c; ++ci) {
+          const double fv = frow[ci];
+          if (fv == 0.0) continue;
+          const double* src = in_block + ci * stride;
+          for (std::size_t s = 0; s < stride; ++s) dst[s] += fv * src[s];
+        }
+      }
+    }
+    dims[axis] = r;
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+}  // namespace linalg
+}  // namespace dpmm

@@ -1,0 +1,31 @@
+// Kronecker products. Multi-dimensional workloads, strategies and Gram
+// matrices in the paper are all Kronecker combinations of one-dimensional
+// building blocks (multi-dim all-range = kron of 1D all-range, marginal
+// Gram = sum of krons of I and J, wavelet/hierarchical strategies = krons of
+// per-dimension transforms).
+#ifndef DPMM_LINALG_KRONECKER_H_
+#define DPMM_LINALG_KRONECKER_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dpmm {
+namespace linalg {
+
+/// Kronecker product A (x) B.
+Matrix Kron(const Matrix& a, const Matrix& b);
+
+/// Kronecker product of a list of factors, left to right:
+/// factors[0] (x) factors[1] (x) ... Requires a non-empty list.
+Matrix KronList(const std::vector<Matrix>& factors);
+
+/// y = (A_1 (x) ... (x) A_k) x without materializing the product, using the
+/// vec-trick (each factor applied along its own axis). Sizes must satisfy
+/// x.size() == prod(cols(A_i)).
+Vector KronMatVec(const std::vector<Matrix>& factors, const Vector& x);
+
+}  // namespace linalg
+}  // namespace dpmm
+
+#endif  // DPMM_LINALG_KRONECKER_H_

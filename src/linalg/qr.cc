@@ -1,0 +1,118 @@
+#include "linalg/qr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/blas.h"
+#include "linalg/svd.h"
+
+namespace dpmm {
+namespace linalg {
+
+Result<Qr> Qr::Factor(const Matrix& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (m < n) {
+    return Status::InvalidArgument("QR requires rows >= cols");
+  }
+  Matrix qr = a;
+  Vector beta(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k below row k.
+    double norm = 0;
+    for (std::size_t i = k; i < m; ++i) norm += qr(i, k) * qr(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      beta[k] = 0.0;  // zero column; R_kk = 0 marks rank deficiency
+      continue;
+    }
+    const double alpha = (qr(k, k) >= 0) ? -norm : norm;
+    const double vkk = qr(k, k) - alpha;
+    qr(k, k) = vkk;
+    // beta = 2 / ||v||^2 with v = (v_kk, a_{k+1,k}, ..., a_{m-1,k}).
+    double vnorm2 = vkk * vkk;
+    for (std::size_t i = k + 1; i < m; ++i) vnorm2 += qr(i, k) * qr(i, k);
+    beta[k] = (vnorm2 == 0.0) ? 0.0 : 2.0 / vnorm2;
+    // Apply H = I - beta v v^T to trailing columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = 0;
+      for (std::size_t i = k; i < m; ++i) s += qr(i, k) * qr(i, j);
+      s *= beta[k];
+      for (std::size_t i = k; i < m; ++i) qr(i, j) -= s * qr(i, k);
+    }
+    // Pack the factorization: rescale v so v_k = 1 (tail stored below the
+    // diagonal, head implicit), fold the rescaling into beta, and store
+    // R_kk = alpha on the diagonal.
+    if (vkk != 0.0) {
+      for (std::size_t i = k + 1; i < m; ++i) qr(i, k) /= vkk;
+      beta[k] = beta[k] * vkk * vkk;
+    }
+    qr(k, k) = alpha;
+  }
+  return Qr(std::move(qr), std::move(beta));
+}
+
+Vector Qr::SolveLeastSquares(const Vector& b) const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  DPMM_CHECK_EQ(b.size(), m);
+  Vector y = b;
+  // Apply Q^T = H_{n-1} ... H_0 with v = (1, qr(k+1,k), ...).
+  for (std::size_t k = 0; k < n; ++k) {
+    if (beta_[k] == 0.0) continue;
+    double s = y[k];
+    for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * y[i];
+    s *= beta_[k];
+    y[k] -= s;
+    for (std::size_t i = k + 1; i < m; ++i) y[i] -= s * qr_(i, k);
+  }
+  // Back-substitute R x = y[0..n).
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double s = y[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= qr_(i, j) * x[j];
+    const double rii = qr_(i, i);
+    x[i] = (rii == 0.0) ? 0.0 : s / rii;  // minimal effort on rank deficiency
+  }
+  return x;
+}
+
+Matrix Qr::R() const {
+  const std::size_t n = qr_.cols();
+  Matrix r(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) r(i, j) = qr_(i, j);
+  }
+  return r;
+}
+
+std::size_t Qr::Rank(double rel_tol) const {
+  const std::size_t n = qr_.cols();
+  double mx = 0;
+  for (std::size_t i = 0; i < n; ++i) mx = std::max(mx, std::fabs(qr_(i, i)));
+  if (mx == 0.0) return 0;
+  std::size_t rank = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::fabs(qr_(i, i)) > rel_tol * mx) ++rank;
+  }
+  return rank;
+}
+
+double RowSpaceResidual(const Matrix& w, const Matrix& a) {
+  // Residual of min_X ||X A - W||_F computed via the pseudo-inverse:
+  // X = W A^+, residual = ||W A^+ A - W||_F.
+  Matrix apinv = PseudoInverse(a);
+  Matrix proj = MatMul(MatMul(w, apinv), a);
+  double s = 0;
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    for (std::size_t j = 0; j < w.cols(); ++j) {
+      const double d = proj(i, j) - w(i, j);
+      s += d * d;
+    }
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace linalg
+}  // namespace dpmm

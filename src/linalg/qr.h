@@ -1,0 +1,41 @@
+// Householder QR for least-squares solves (used by tests to cross-validate
+// the mechanism's normal-equations inference, and by representation checks
+// that a workload lies in the row space of a strategy).
+#ifndef DPMM_LINALG_QR_H_
+#define DPMM_LINALG_QR_H_
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace dpmm {
+namespace linalg {
+
+/// Householder QR of an m x n matrix with m >= n.
+class Qr {
+ public:
+  static Result<Qr> Factor(const Matrix& a);
+
+  /// Least-squares solution argmin ||A x - b||_2.
+  Vector SolveLeastSquares(const Vector& b) const;
+
+  /// Upper-triangular factor R (n x n).
+  Matrix R() const;
+
+  /// Numerical rank of A, judged from |R_ii| against tol * max|R_ii|.
+  std::size_t Rank(double rel_tol = 1e-10) const;
+
+ private:
+  explicit Qr(Matrix qr, Vector beta) : qr_(std::move(qr)), beta_(std::move(beta)) {}
+
+  Matrix qr_;    // Householder vectors below the diagonal, R on and above
+  Vector beta_;  // Householder scalars
+};
+
+/// Frobenius-norm residual of the least-squares fit of each row of `w` in the
+/// row space of `a` — zero iff W is exactly representable as X * A.
+double RowSpaceResidual(const Matrix& w, const Matrix& a);
+
+}  // namespace linalg
+}  // namespace dpmm
+
+#endif  // DPMM_LINALG_QR_H_

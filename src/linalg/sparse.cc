@@ -1,0 +1,73 @@
+#include "linalg/sparse.h"
+
+#include <cmath>
+
+#include "util/threading.h"
+
+namespace dpmm {
+namespace linalg {
+
+SparseMatrix SparseMatrix::FromDense(const Matrix& dense, double tolerance) {
+  std::vector<std::size_t> row_ptr(dense.rows() + 1, 0);
+  std::vector<std::size_t> col_idx;
+  std::vector<double> values;
+  for (std::size_t i = 0; i < dense.rows(); ++i) {
+    const double* row = dense.RowPtr(i);
+    for (std::size_t j = 0; j < dense.cols(); ++j) {
+      if (std::fabs(row[j]) > tolerance) {
+        col_idx.push_back(j);
+        values.push_back(row[j]);
+      }
+    }
+    row_ptr[i + 1] = values.size();
+  }
+  return SparseMatrix(dense.rows(), dense.cols(), std::move(row_ptr),
+                      std::move(col_idx), std::move(values));
+}
+
+double SparseMatrix::Density() const {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  return static_cast<double>(nnz()) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+Vector SparseMatrix::MatVec(const Vector& x) const {
+  DPMM_CHECK_EQ(x.size(), cols_);
+  Vector y(rows_, 0.0);
+  ParallelFor(0, rows_, 4096, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      double s = 0;
+      for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+        s += values_[k] * x[col_idx_[k]];
+      }
+      y[i] = s;
+    }
+  });
+  return y;
+}
+
+Vector SparseMatrix::MatTVec(const Vector& x) const {
+  DPMM_CHECK_EQ(x.size(), rows_);
+  Vector y(cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      y[col_idx_[k]] += xi * values_[k];
+    }
+  }
+  return y;
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      out(i, col_idx_[k]) = values_[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace linalg
+}  // namespace dpmm

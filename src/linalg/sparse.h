@@ -1,0 +1,59 @@
+// Compressed sparse row matrices. Strategy matrices in this library are
+// often very sparse — hierarchical/wavelet strategies have O(log n) nonzero
+// entries per column and DataCube marginals exactly one per row — so the
+// mechanism's per-release products A x and A^T y benefit from a CSR fast
+// path (the dense eigen-design strategies keep the dense path).
+#ifndef DPMM_LINALG_SPARSE_H_
+#define DPMM_LINALG_SPARSE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dpmm {
+namespace linalg {
+
+/// Immutable CSR matrix.
+class SparseMatrix {
+ public:
+  /// Converts from dense, keeping entries with |v| > tolerance.
+  static SparseMatrix FromDense(const Matrix& dense, double tolerance = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  /// Fraction of entries that are nonzero.
+  double Density() const;
+
+  /// y = A x.
+  Vector MatVec(const Vector& x) const;
+
+  /// y = A^T x.
+  Vector MatTVec(const Vector& x) const;
+
+  /// Back to dense (for tests).
+  Matrix ToDense() const;
+
+ private:
+  SparseMatrix(std::size_t rows, std::size_t cols,
+               std::vector<std::size_t> row_ptr,
+               std::vector<std::size_t> col_idx, std::vector<double> values)
+      : rows_(rows),
+        cols_(cols),
+        row_ptr_(std::move(row_ptr)),
+        col_idx_(std::move(col_idx)),
+        values_(std::move(values)) {}
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::size_t> row_ptr_;  // size rows + 1
+  std::vector<std::size_t> col_idx_;  // size nnz
+  std::vector<double> values_;        // size nnz
+};
+
+}  // namespace linalg
+}  // namespace dpmm
+
+#endif  // DPMM_LINALG_SPARSE_H_

@@ -1,0 +1,30 @@
+#include "mechanism/bounds.h"
+
+#include <cmath>
+
+#include "linalg/eigen_sym.h"
+
+namespace dpmm {
+
+double SvdBoundValue(const linalg::Vector& gram_eigenvalues) {
+  double s = 0;
+  for (double ev : gram_eigenvalues) s += std::sqrt(std::max(0.0, ev));
+  return s * s / static_cast<double>(gram_eigenvalues.size());
+}
+
+double SvdErrorLowerBound(const linalg::Vector& gram_eigenvalues,
+                          std::size_t num_queries, const ErrorOptions& opts) {
+  double bound2 = PFactor(opts) * SvdBoundValue(gram_eigenvalues);
+  if (opts.convention == ErrorConvention::kPerQuery) {
+    bound2 /= static_cast<double>(num_queries);
+  }
+  return std::sqrt(bound2);
+}
+
+double SvdErrorLowerBound(const linalg::Matrix& workload_gram,
+                          std::size_t num_queries, const ErrorOptions& opts) {
+  auto eig = linalg::SymmetricEigen(workload_gram).ValueOrDie();
+  return SvdErrorLowerBound(eig.values, num_queries, opts);
+}
+
+}  // namespace dpmm

@@ -1,0 +1,27 @@
+// The singular value bound (Thm. 2, from Li & Miklau [15]): for any strategy
+// A, Error_A(W) >= sqrt(P(eps,delta) * svdb(W)) with
+// svdb(W) = (sum_i sqrt(sigma_i))^2 / n, sigma_i the eigenvalues of W^T W.
+// Used throughout the evaluation as the "Lower Bound" series.
+#ifndef DPMM_MECHANISM_BOUNDS_H_
+#define DPMM_MECHANISM_BOUNDS_H_
+
+#include "linalg/matrix.h"
+#include "mechanism/error.h"
+
+namespace dpmm {
+
+/// svdb(W) from the eigenvalues of W^T W (negative rounding noise clipped).
+double SvdBoundValue(const linalg::Vector& gram_eigenvalues);
+
+/// The error lower bound under the given convention: any strategy's
+/// workload error is at least this.
+double SvdErrorLowerBound(const linalg::Vector& gram_eigenvalues,
+                          std::size_t num_queries, const ErrorOptions& opts);
+
+/// Convenience overload computing the spectrum of the Gram matrix.
+double SvdErrorLowerBound(const linalg::Matrix& workload_gram,
+                          std::size_t num_queries, const ErrorOptions& opts);
+
+}  // namespace dpmm
+
+#endif  // DPMM_MECHANISM_BOUNDS_H_

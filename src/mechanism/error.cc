@@ -1,0 +1,88 @@
+#include "mechanism/error.h"
+
+#include <cmath>
+
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+#include "linalg/eigen_sym.h"
+
+namespace dpmm {
+
+using linalg::Matrix;
+
+double PFactor(const ErrorOptions& opts) {
+  const double eps = opts.privacy.epsilon;
+  const double delta = opts.privacy.delta;
+  DPMM_CHECK_GT(eps, 0.0);
+  DPMM_CHECK_GT(delta, 0.0);
+  if (opts.convention == ErrorConvention::kLegacyExample4) {
+    return std::log2(2.0 / delta) / (eps * eps);
+  }
+  return 2.0 * std::log(2.0 / delta) / (eps * eps);
+}
+
+double TraceTerm(const Matrix& workload_gram, const Strategy& a) {
+  DPMM_CHECK_EQ(workload_gram.rows(), a.num_cells());
+  Matrix ata = a.Gram();
+  // Try a Cholesky solve first (full-rank strategies); fall back to the
+  // spectral pseudo-inverse when the strategy is rank deficient.
+  auto chol = linalg::Cholesky::FactorWithJitter(
+      ata, 1e-12 * (1.0 + ata.Trace() / ata.rows()));
+  if (chol.ok()) {
+    Matrix x = chol.ValueOrDie().Solve(workload_gram);
+    return x.Trace();
+  }
+  auto eig = linalg::SymmetricEigen(ata).ValueOrDie();
+  double max_ev = 0;
+  for (double v : eig.values) max_ev = std::max(max_ev, v);
+  const double cut = 1e-12 * max_ev;
+  // trace(G (A^T A)^+) = sum_i (v_i^T G v_i) / ev_i over nonzero ev.
+  double tr = 0;
+  const std::size_t n = ata.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    if (eig.values[j] <= cut) continue;
+    const linalg::Vector vj = eig.vectors.Col(j);
+    tr += linalg::Dot(vj, linalg::MatVec(workload_gram, vj)) / eig.values[j];
+  }
+  return tr;
+}
+
+double StrategyError(const Matrix& workload_gram, std::size_t num_queries,
+                     const Strategy& a, const ErrorOptions& opts) {
+  const double sens = a.L2Sensitivity();
+  const double tr = TraceTerm(workload_gram, a);
+  double err2 = PFactor(opts) * sens * sens * tr;
+  if (opts.convention == ErrorConvention::kPerQuery) {
+    err2 /= static_cast<double>(num_queries);
+  }
+  return std::sqrt(err2);
+}
+
+double StrategyError(const Workload& w, const Strategy& a,
+                     const ErrorOptions& opts) {
+  return StrategyError(w.Gram(), w.num_queries(), a, opts);
+}
+
+double GaussianBaselineError(const Workload& w, const ErrorOptions& opts) {
+  // Independent noise with variance P * ||W||_2^2 on each of the m queries.
+  const double sens = w.L2Sensitivity();
+  const double m = static_cast<double>(w.num_queries());
+  double err2 = PFactor(opts) * sens * sens * m;
+  if (opts.convention == ErrorConvention::kPerQuery) err2 /= m;
+  return std::sqrt(err2);
+}
+
+double LaplaceStrategyError(const Matrix& workload_gram,
+                            std::size_t num_queries, const Strategy& a,
+                            double epsilon, ErrorConvention convention) {
+  const double sens = a.L1Sensitivity();
+  const double tr = TraceTerm(workload_gram, a);
+  const double p = 2.0 / (epsilon * epsilon);  // Laplace variance 2 b^2
+  double err2 = p * sens * sens * tr;
+  if (convention == ErrorConvention::kPerQuery) {
+    err2 /= static_cast<double>(num_queries);
+  }
+  return std::sqrt(err2);
+}
+
+}  // namespace dpmm

@@ -1,0 +1,75 @@
+#include "mechanism/matrix_mechanism.h"
+
+#include <cmath>
+
+#include "linalg/blas.h"
+
+namespace dpmm {
+
+using linalg::Vector;
+
+Result<MatrixMechanism> MatrixMechanism::Prepare(Strategy strategy,
+                                                 PrivacyParams privacy,
+                                                 NoiseKind noise) {
+  const double sigma =
+      noise == NoiseKind::kGaussian
+          ? GaussianNoiseScale(privacy, strategy.L2Sensitivity())
+          : LaplaceNoiseScale(privacy.epsilon, strategy.L1Sensitivity());
+  linalg::Matrix ata = strategy.Gram();
+  auto chol = linalg::Cholesky::Factor(ata);
+  if (chol.ok()) {
+    return MatrixMechanism(std::move(strategy), privacy, noise,
+                           std::move(chol).ValueOrDie(), linalg::Matrix(),
+                           sigma);
+  }
+  // Rank-deficient strategy: minimum-norm least squares through A^+. Valid
+  // for workloads inside the strategy's row space.
+  linalg::Matrix pinv = linalg::PseudoInverse(strategy.matrix());
+  return MatrixMechanism(std::move(strategy), privacy, noise, std::nullopt,
+                         std::move(pinv), sigma);
+}
+
+Vector MatrixMechanism::InferX(const Vector& x, Rng* rng) const {
+  // Noisy strategy answers y = A x + noise^p, then the least squares
+  // estimate x_hat = A^+ y. Sparse strategies use the CSR fast path.
+  Vector y = sparse_.has_value() ? sparse_->MatVec(x)
+                                 : linalg::MatVec(strategy_.matrix(), x);
+  if (noise_ == NoiseKind::kGaussian) {
+    for (auto& v : y) v += rng->Gaussian(sigma_);
+  } else {
+    for (auto& v : y) v += rng->Laplace(sigma_);
+  }
+  if (chol_.has_value()) {
+    Vector aty = sparse_.has_value() ? sparse_->MatTVec(y)
+                                     : linalg::MatTVec(strategy_.matrix(), y);
+    return chol_->Solve(aty);
+  }
+  return linalg::MatVec(pinv_, y);
+}
+
+Vector MatrixMechanism::Run(const Workload& workload, const Vector& x,
+                            Rng* rng) const {
+  return workload.Answer(InferX(x, rng));
+}
+
+double MeanRelativeError(const Workload& workload, const MatrixMechanism& mech,
+                         const DataVector& data,
+                         const RelativeErrorOptions& opts) {
+  DPMM_CHECK_EQ(workload.num_cells(), data.size());
+  const Vector truth = workload.Answer(data.counts);
+  Rng rng(opts.seed);
+  double sum = 0;
+  for (std::size_t t = 0; t < opts.trials; ++t) {
+    const Vector est = mech.Run(workload, data.counts, &rng);
+    DPMM_CHECK_EQ(est.size(), truth.size());
+    double trial = 0;
+    for (std::size_t q = 0; q < truth.size(); ++q) {
+      trial += std::fabs(est[q] - truth[q]) /
+               std::max(std::fabs(truth[q]), opts.floor);
+    }
+    sum += trial / static_cast<double>(truth.size());
+  }
+  return sum / static_cast<double>(opts.trials);
+}
+
+}  // namespace dpmm

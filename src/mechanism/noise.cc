@@ -1,0 +1,25 @@
+#include "mechanism/noise.h"
+
+#include "linalg/blas.h"
+
+namespace dpmm {
+
+linalg::Vector GaussianMechanism(const linalg::Matrix& queries,
+                                 const linalg::Vector& x,
+                                 const PrivacyParams& privacy, Rng* rng) {
+  const double sigma = GaussianNoiseScale(privacy, queries.MaxColNorm());
+  linalg::Vector answers = linalg::MatVec(queries, x);
+  for (auto& a : answers) a += rng->Gaussian(sigma);
+  return answers;
+}
+
+linalg::Vector LaplaceMechanism(const linalg::Matrix& queries,
+                                const linalg::Vector& x, double epsilon,
+                                Rng* rng) {
+  const double b = LaplaceNoiseScale(epsilon, queries.MaxColAbsSum());
+  linalg::Vector answers = linalg::MatVec(queries, x);
+  for (auto& a : answers) a += rng->Laplace(b);
+  return answers;
+}
+
+}  // namespace dpmm

@@ -1,0 +1,27 @@
+// The base noise-addition mechanisms: Gaussian (Prop. 2) and Laplace,
+// applied to an explicit query matrix. These are the primitives the matrix
+// mechanism composes with least-squares inference.
+#ifndef DPMM_MECHANISM_NOISE_H_
+#define DPMM_MECHANISM_NOISE_H_
+
+#include "linalg/matrix.h"
+#include "mechanism/privacy.h"
+#include "util/rng.h"
+
+namespace dpmm {
+
+/// G(W, x) = W x + Normal(sigma)^m with sigma calibrated to ||W||_2
+/// (Prop. 2). Satisfies (eps, delta)-differential privacy.
+linalg::Vector GaussianMechanism(const linalg::Matrix& queries,
+                                 const linalg::Vector& x,
+                                 const PrivacyParams& privacy, Rng* rng);
+
+/// L(W, x) = W x + Laplace(b)^m with b calibrated to ||W||_1. Satisfies
+/// eps-differential privacy.
+linalg::Vector LaplaceMechanism(const linalg::Matrix& queries,
+                                const linalg::Vector& x, double epsilon,
+                                Rng* rng);
+
+}  // namespace dpmm
+
+#endif  // DPMM_MECHANISM_NOISE_H_

@@ -1,0 +1,21 @@
+#include "mechanism/privacy.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dpmm {
+
+double GaussianNoiseScale(const PrivacyParams& p, double l2_sensitivity) {
+  DPMM_CHECK_GT(p.epsilon, 0.0);
+  DPMM_CHECK_GT(p.delta, 0.0);
+  DPMM_CHECK_LT(p.delta, 1.0);
+  return l2_sensitivity * std::sqrt(2.0 * std::log(2.0 / p.delta)) / p.epsilon;
+}
+
+double LaplaceNoiseScale(double epsilon, double l1_sensitivity) {
+  DPMM_CHECK_GT(epsilon, 0.0);
+  return l1_sensitivity / epsilon;
+}
+
+}  // namespace dpmm

@@ -1,0 +1,210 @@
+#include "optimize/dual_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/blas.h"
+
+namespace dpmm {
+namespace optimize {
+
+namespace {
+
+// s = G^T mu, computed against a pre-transposed constraint matrix so the
+// inner loop is a row-major (threaded) matvec.
+void ConstraintAdjoint(const linalg::Matrix& gt, const linalg::Vector& mu,
+                       linalg::Vector* s) {
+  *s = linalg::MatVec(gt, mu);
+}
+
+// Inner minimizer x_i(mu) = (q c_i / s_i)^{1/(q+1)} (0 when c_i = 0).
+void InnerX(const linalg::Vector& c, const linalg::Vector& s, int q,
+            linalg::Vector* x) {
+  const double inv_qp1 = 1.0 / (q + 1.0);
+  x->resize(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (c[i] <= 0.0) {
+      (*x)[i] = 0.0;
+      continue;
+    }
+    const double si = std::max(s[i], 1e-300);
+    (*x)[i] = std::pow(q * c[i] / si, inv_qp1);
+  }
+}
+
+// Dual value g(mu) = sum_i (q+1) (c_i s_i^q / q^q)^{1/(q+1)} - sum_j mu_j.
+double DualValue(const linalg::Vector& c, const linalg::Vector& s,
+                 const linalg::Vector& mu, int q) {
+  const double inv_qp1 = 1.0 / (q + 1.0);
+  const double qq = std::pow(static_cast<double>(q), q);
+  double val = 0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (c[i] <= 0.0) continue;
+    const double si = std::max(s[i], 0.0);
+    val += (q + 1.0) * std::pow(c[i] * std::pow(si, q) / qq, inv_qp1);
+  }
+  for (double m : mu) val -= m;
+  return val;
+}
+
+// Rescales x to the feasible boundary (max constraint = 1) and evaluates the
+// primal objective there. Returns false when x gives no feasible direction.
+bool FeasiblePrimal(const WeightingProblem& p, const linalg::Vector& x,
+                    const linalg::Vector& gx, linalg::Vector* x_feas,
+                    double* objective) {
+  const std::size_t nv = p.num_vars();
+  double alpha = 0;
+  for (double v : gx) alpha = std::max(alpha, v);
+  if (alpha <= 0.0) return false;
+  x_feas->resize(nv);
+  double obj = 0;
+  bool any_positive = false;
+  for (std::size_t i = 0; i < nv; ++i) {
+    (*x_feas)[i] = x[i] / alpha;
+    if (p.c[i] > 0.0) {
+      if ((*x_feas)[i] <= 0.0) return false;  // positive weight needed
+      obj += p.c[i] / std::pow((*x_feas)[i], p.exponent);
+      any_positive = true;
+    }
+  }
+  if (!any_positive) obj = 0;
+  *objective = obj;
+  return true;
+}
+
+}  // namespace
+
+Result<WeightingSolution> SolveWeighting(const WeightingProblem& problem,
+                                         const SolverOptions& options) {
+  const std::size_t nv = problem.num_vars();
+  const std::size_t nc = problem.num_constraints();
+  DPMM_CHECK_GT(nv, 0u);
+  DPMM_CHECK_GT(nc, 0u);
+  DPMM_CHECK_EQ(problem.constraints.cols(), nv);
+  const int q = problem.exponent;
+  DPMM_CHECK(q == 1 || q == 2);
+
+  // Normalize the objective scale: c' = c / c_max. The optimizer x is
+  // unchanged; objective and dual bound scale linearly back.
+  double c_max = 0;
+  for (double v : problem.c) c_max = std::max(c_max, v);
+  if (c_max == 0.0) {
+    // Degenerate: nothing to optimize; any feasible x works.
+    WeightingSolution sol;
+    sol.x.assign(nv, 0.0);
+    double row_max = 0;
+    for (std::size_t j = 0; j < nc; ++j) {
+      double v = 0;
+      for (std::size_t i = 0; i < nv; ++i) v += problem.constraints(j, i);
+      row_max = std::max(row_max, v);
+    }
+    if (row_max > 0) sol.x.assign(nv, 1.0 / row_max);
+    return sol;
+  }
+  WeightingProblem p = problem;
+  for (auto& v : p.c) v /= c_max;
+  const linalg::Matrix gt = p.constraints.Transposed();
+
+  linalg::Vector mu(nc, 1.0);
+  linalg::Vector s, x, grad(nc), mu_trial(nc), s_trial, gx(nc);
+  ConstraintAdjoint(gt, mu, &s);
+  double dual = DualValue(p.c, s, mu, q);
+  double best_dual = dual;
+
+  WeightingSolution best;
+  best.objective = std::numeric_limits<double>::infinity();
+
+  double step = options.initial_step;
+  // Stall detection: every 100 iterations, extrapolate the dual's recent
+  // progress over the remaining budget; if even that optimistic projection
+  // cannot close half the current gap, stop — the iterations would be
+  // wasted (a relative gap of g inflates error by at most sqrt(1+g)).
+  double dual_checkpoint = dual;
+  int stalled_windows = 0;
+  int it = 0;
+  for (; it < options.max_iterations; ++it) {
+    if (it > 0 && it % 100 == 0) {
+      const double denom = std::max(1.0, std::fabs(best.objective));
+      const double progress = (dual - dual_checkpoint) / denom;
+      const double gap_now = (best.objective - dual) / denom;
+      const double projected =
+          progress * static_cast<double>(options.max_iterations - it) / 100.0;
+      // One slow window can be an artifact of the step schedule; require
+      // two in a row before declaring the remaining budget hopeless.
+      stalled_windows = (projected < 0.2 * gap_now) ? stalled_windows + 1 : 0;
+      if (stalled_windows >= 2) break;
+      dual_checkpoint = dual;
+    }
+    InnerX(p.c, s, q, &x);
+    gx = linalg::MatVec(p.constraints, x);
+    for (std::size_t j = 0; j < nc; ++j) grad[j] = gx[j] - 1.0;
+
+    // Primal candidate from the current dual point.
+    linalg::Vector x_feas;
+    double obj;
+    if (FeasiblePrimal(p, x, gx, &x_feas, &obj) && obj < best.objective) {
+      best.objective = obj;
+      best.x = std::move(x_feas);
+    }
+
+    best_dual = std::max(best_dual, dual);
+    const double gap = (best.objective - best_dual) /
+                       std::max(1.0, std::fabs(best.objective));
+    if (gap < options.relative_gap_tol) break;
+
+    // Move 1: multiplicative (Sinkhorn-like) updates mu_j *= (Gx)_j^eta —
+    // self-scaling and fast far from the optimum; smaller exponents act as
+    // damping for the final digits. Fall back to projected gradient with
+    // backtracking when no multiplicative step ascends.
+    bool accepted = false;
+    for (double eta : {0.5, 0.25, 0.1}) {
+      for (std::size_t j = 0; j < nc; ++j) {
+        mu_trial[j] = mu[j] * std::pow(std::max(gx[j], 1e-300), eta);
+      }
+      ConstraintAdjoint(gt, mu_trial, &s_trial);
+      const double trial = DualValue(p.c, s_trial, mu_trial, q);
+      if (trial > dual) {
+        mu.swap(mu_trial);
+        s.swap(s_trial);
+        dual = trial;
+        accepted = true;
+        break;
+      }
+    }
+    if (!accepted) {
+      bool ascended = false;
+      for (int bt = 0; bt < 50; ++bt) {
+        for (std::size_t j = 0; j < nc; ++j) {
+          mu_trial[j] = std::max(0.0, mu[j] + step * grad[j]);
+        }
+        ConstraintAdjoint(gt, mu_trial, &s_trial);
+        const double trial = DualValue(p.c, s_trial, mu_trial, q);
+        if (trial > dual) {
+          mu.swap(mu_trial);
+          s.swap(s_trial);
+          dual = trial;
+          step *= 1.3;
+          ascended = true;
+          break;
+        }
+        step *= 0.5;
+      }
+      if (!ascended) break;  // numerically converged
+    }
+  }
+
+  if (!std::isfinite(best.objective)) {
+    return Status::NotConverged("no feasible primal point constructed");
+  }
+  best_dual = std::max(best_dual, dual);
+  best.objective *= c_max;
+  best.dual_bound = best_dual * c_max;
+  best.relative_gap = (best.objective - best.dual_bound) /
+                      std::max(1.0, std::fabs(best.objective));
+  best.iterations = it;
+  return best;
+}
+
+}  // namespace optimize
+}  // namespace dpmm

@@ -1,0 +1,129 @@
+#include "optimize/eigen_design.h"
+
+#include <cmath>
+
+#include "linalg/eigen_sym.h"
+
+namespace dpmm {
+namespace optimize {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Strategy AssembleWeightedStrategy(const Matrix& eigenvectors,
+                                  const std::vector<std::size_t>& kept,
+                                  const Vector& weights, bool complete_columns,
+                                  std::string name) {
+  DPMM_CHECK_EQ(kept.size(), weights.size());
+  const std::size_t n = eigenvectors.rows();
+  const std::size_t r = kept.size();
+
+  // A' = diag(lambda) * Q_kept (rows are weighted eigen-queries).
+  Matrix a(r, n);
+  for (std::size_t i = 0; i < r; ++i) {
+    const double lam = weights[i];
+    double* row = a.RowPtr(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      row[j] = lam * eigenvectors(j, kept[i]);
+    }
+  }
+  if (!complete_columns) return Strategy(std::move(a), std::move(name));
+
+  // Steps 4-5: bring every column up to the maximum column norm by
+  // appending scaled unit rows. Sensitivity is unchanged; the extra queries
+  // only add information.
+  Vector col2(n, 0.0);
+  for (std::size_t i = 0; i < r; ++i) {
+    const double* row = a.RowPtr(i);
+    for (std::size_t j = 0; j < n; ++j) col2[j] += row[j] * row[j];
+  }
+  double max2 = 0;
+  for (double v : col2) max2 = std::max(max2, v);
+  std::vector<std::pair<std::size_t, double>> completions;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double deficit = max2 - col2[j];
+    if (deficit > 1e-12 * std::max(1.0, max2)) {
+      completions.push_back({j, std::sqrt(deficit)});
+    }
+  }
+  if (completions.empty()) return Strategy(std::move(a), std::move(name));
+  Matrix d(completions.size(), n);
+  for (std::size_t k = 0; k < completions.size(); ++k) {
+    d(k, completions[k].first) = completions[k].second;
+  }
+  return Strategy(a.VStack(d), std::move(name));
+}
+
+Strategy SqrtEigenvalueStrategy(const linalg::SymmetricEigenResult& eigen,
+                                double rank_rel_tol, bool complete_columns) {
+  double max_ev = 0;
+  for (double v : eigen.values) max_ev = std::max(max_ev, v);
+  DPMM_CHECK_GT(max_ev, 0.0);
+  std::vector<std::size_t> kept;
+  Vector weights;
+  for (std::size_t i = 0; i < eigen.values.size(); ++i) {
+    if (eigen.values[i] > rank_rel_tol * max_ev) {
+      kept.push_back(i);
+      weights.push_back(std::pow(eigen.values[i], 0.25));  // lambda = sigma^(1/4)
+    }
+  }
+  // Normalize to unit sensitivity for comparability.
+  Strategy raw = AssembleWeightedStrategy(eigen.vectors, kept, weights,
+                                          complete_columns, "SqrtEigenvalue");
+  linalg::Matrix a = raw.matrix();
+  const double sens = a.MaxColNorm();
+  DPMM_CHECK_GT(sens, 0.0);
+  a.Scale(1.0 / sens);
+  return Strategy(std::move(a), "SqrtEigenvalue");
+}
+
+Result<EigenDesignResult> EigenDesignFromEigen(
+    const linalg::SymmetricEigenResult& eigen,
+    const EigenDesignOptions& options) {
+  std::vector<std::size_t> kept;
+  WeightingProblem problem =
+      MakeEigenProblem(eigen, options.rank_rel_tol, &kept);
+  auto solved = SolveWeighting(problem, options.solver);
+  if (!solved.ok()) return solved.status();
+  const WeightingSolution& sol = solved.ValueOrDie();
+
+  EigenDesignResult out;
+  out.eigenvalues = eigen.values;
+  out.kept = kept;
+  out.rank = kept.size();
+  out.predicted_objective = sol.objective;
+  out.duality_gap = sol.relative_gap;
+  out.solver_iterations = sol.iterations;
+  out.weights.resize(kept.size());
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    out.weights[i] = std::sqrt(std::max(0.0, sol.x[i]));
+  }
+  out.strategy =
+      AssembleWeightedStrategy(eigen.vectors, kept, out.weights,
+                               options.complete_columns, "EigenDesign");
+  return out;
+}
+
+Result<EigenDesignResult> EigenDesign(const Matrix& workload_gram,
+                                      const EigenDesignOptions& options) {
+  auto eig = linalg::SymmetricEigen(workload_gram);
+  if (!eig.ok()) return eig.status();
+  return EigenDesignFromEigen(eig.ValueOrDie(), options);
+}
+
+Result<EigenDesignResult> EigenDesignForWorkload(
+    const Workload& workload, const EigenDesignOptions& options) {
+  // Low-rank shortcut (Sec. 4.1): for explicit workloads with many fewer
+  // queries than cells, the nonzero spectrum of W^T W comes from the small
+  // m x m side — O(m^2 n) instead of the O(n^3) dense eigensolve.
+  const linalg::Matrix* w = workload.matrix();
+  if (w != nullptr && w->rows() * 2 < w->cols()) {
+    auto eig = linalg::LowRankGramEigen(*w, options.rank_rel_tol);
+    if (!eig.ok()) return eig.status();
+    return EigenDesignFromEigen(eig.ValueOrDie(), options);
+  }
+  return EigenDesign(workload.Gram(), options);
+}
+
+}  // namespace optimize
+}  // namespace dpmm

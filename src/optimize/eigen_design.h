@@ -1,0 +1,81 @@
+// The Eigen-Design algorithm (Program 2, Sec. 3.3) — the paper's primary
+// contribution. Steps:
+//   1. eigendecompose W^T W = Q^T D Q (the eigen-queries, Def. 6);
+//   2. solve the optimal query-weighting problem (Program 1) with the
+//      eigen-queries as the design set and c_i = sigma_i;
+//   3. form A' = diag(lambda) Q;
+//   4/5. complete deficient columns with scaled unit rows, which raises no
+//      sensitivity but adds information (Steps 4-5 of Program 2).
+// Zero eigenvalues are dropped (Sec. 4.1 rank reduction); the completion
+// rows restore full rank so the mechanism's least-squares step is unique.
+#ifndef DPMM_OPTIMIZE_EIGEN_DESIGN_H_
+#define DPMM_OPTIMIZE_EIGEN_DESIGN_H_
+
+#include "linalg/eigen_sym.h"
+#include "optimize/dual_solver.h"
+#include "strategy/strategy.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace dpmm {
+namespace optimize {
+
+struct EigenDesignOptions {
+  /// Eigenvalues below rank_rel_tol * max are treated as zero.
+  double rank_rel_tol = 1e-10;
+  SolverOptions solver;
+  /// Steps 4-5 (column completion). Disabled only in ablation benches.
+  bool complete_columns = true;
+};
+
+struct EigenDesignResult {
+  Strategy strategy;                 // A, sensitivity normalized to 1
+  linalg::Vector weights;            // lambda_i for the kept eigen-queries
+  std::vector<std::size_t> kept;     // indices into the eigendecomposition
+  /// Spectrum of W^T W (ascending); truncated to the nonzero part when the
+  /// low-rank path was taken.
+  linalg::Vector eigenvalues;
+  /// Predicted trace term sum c_i/u_i at sensitivity 1 (before completion):
+  /// total-convention error = sqrt(P * predicted_objective).
+  double predicted_objective = 0;
+  double duality_gap = 0;
+  int solver_iterations = 0;
+  std::size_t rank = 0;
+};
+
+/// Runs Program 2 given a precomputed eigendecomposition of W^T W (use this
+/// with MarginalsWorkload::AnalyticEigen, or to share one decomposition
+/// across several designs).
+Result<EigenDesignResult> EigenDesignFromEigen(
+    const linalg::SymmetricEigenResult& eigen,
+    const EigenDesignOptions& options = {});
+
+/// Runs Program 2 on a workload Gram matrix (numeric eigendecomposition).
+Result<EigenDesignResult> EigenDesign(const linalg::Matrix& workload_gram,
+                                      const EigenDesignOptions& options = {});
+
+/// Convenience: eigen-design for a workload (absolute error objective).
+/// Explicit workloads with m queries over n cells and m << n take the
+/// Sec. 4.1 low-rank path: the nonzero spectrum of W^T W is computed from
+/// the m x m side in O(m^2 n) instead of a dense O(n^3) eigensolve.
+Result<EigenDesignResult> EigenDesignForWorkload(
+    const Workload& workload, const EigenDesignOptions& options = {});
+
+/// Builds the strategy diag(weights) * basis_rows(kept) with optional column
+/// completion — shared by the eigen-design and the Sec. 4 optimizations.
+Strategy AssembleWeightedStrategy(const linalg::Matrix& eigenvectors,
+                                  const std::vector<std::size_t>& kept,
+                                  const linalg::Vector& weights,
+                                  bool complete_columns, std::string name);
+
+/// The strategy A_l of Thm. 2: eigen-queries weighted by sqrt(sigma_i). It
+/// underlies the singular value bound, is the dual solver's starting point,
+/// and serves as the ablation baseline for the optimal weighting step.
+Strategy SqrtEigenvalueStrategy(const linalg::SymmetricEigenResult& eigen,
+                                double rank_rel_tol = 1e-10,
+                                bool complete_columns = true);
+
+}  // namespace optimize
+}  // namespace dpmm
+
+#endif  // DPMM_OPTIMIZE_EIGEN_DESIGN_H_

@@ -1,0 +1,58 @@
+#include "optimize/l1_design.h"
+
+#include <cmath>
+
+#include "optimize/weighting_problem.h"
+
+namespace dpmm {
+namespace optimize {
+
+namespace {
+
+Result<L1DesignResult> AssembleL1(const linalg::Matrix& basis,
+                                  Result<WeightingSolution> solved);
+
+}  // namespace
+
+Result<L1DesignResult> L1WeightedDesign(const linalg::Matrix& workload_gram,
+                                        const linalg::Matrix& basis,
+                                        const SolverOptions& options) {
+  return AssembleL1(basis,
+                    SolveWeighting(MakeL1Problem(workload_gram, basis), options));
+}
+
+Result<L1DesignResult> L1WeightedDesignOrthonormal(
+    const linalg::Matrix& workload_gram, const linalg::Matrix& basis,
+    const SolverOptions& options) {
+  return AssembleL1(
+      basis, SolveWeighting(MakeL1ProblemOrthonormalRows(workload_gram, basis),
+                            options));
+}
+
+namespace {
+
+Result<L1DesignResult> AssembleL1(const linalg::Matrix& basis,
+                                  Result<WeightingSolution> solved) {
+  if (!solved.ok()) return solved.status();
+  const WeightingSolution& sol = solved.ValueOrDie();
+
+  const std::size_t r = basis.rows();
+  const std::size_t n = basis.cols();
+  linalg::Matrix a(r, n);
+  for (std::size_t i = 0; i < r; ++i) {
+    const double lam = std::max(0.0, sol.x[i]);
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = lam * basis(i, j);
+  }
+
+  L1DesignResult out;
+  out.weights = sol.x;
+  out.predicted_objective = sol.objective;
+  out.duality_gap = sol.relative_gap;
+  out.strategy = Strategy(std::move(a), "L1WeightedDesign");
+  return out;
+}
+
+}  // namespace
+
+}  // namespace optimize
+}  // namespace dpmm

@@ -1,0 +1,43 @@
+// The eps-differential-privacy variant (Sec. 3.5): optimal query weighting
+// of an arbitrary design basis under L1 sensitivity. Unlike the (eps,delta)
+// case, ||A||_1 is not determined by A^T A, so the weighting is performed
+// directly on lambda with constraints sum_i lambda_i |B_ij| <= 1 — still
+// convex (exponent-2 weighting problem). As the paper notes, there is no
+// universally good design basis here; this module is used to improve a
+// given basis (wavelet, Fourier, eigen) as in the Sec. 3.5 measurements.
+#ifndef DPMM_OPTIMIZE_L1_DESIGN_H_
+#define DPMM_OPTIMIZE_L1_DESIGN_H_
+
+#include "optimize/dual_solver.h"
+#include "strategy/strategy.h"
+#include "util/status.h"
+
+namespace dpmm {
+namespace optimize {
+
+struct L1DesignResult {
+  Strategy strategy;                // diag(lambda) * basis, ||A||_1 = 1
+  linalg::Vector weights;           // lambda
+  /// trace term sum c_i / lambda_i^2 at ||A||_1 = 1; the eps-DP workload
+  /// error is sqrt(2/eps^2 * objective) under the total convention.
+  double predicted_objective = 0;
+  double duality_gap = 0;
+};
+
+/// Weights the rows of an invertible design basis to minimize eps-DP
+/// workload error for the workload with the given Gram matrix.
+Result<L1DesignResult> L1WeightedDesign(const linalg::Matrix& workload_gram,
+                                        const linalg::Matrix& basis,
+                                        const SolverOptions& options = {});
+
+/// As L1WeightedDesign, for a basis with orthonormal rows that need not be
+/// square (e.g. the restricted Fourier strategy). The workload must lie in
+/// the basis row space.
+Result<L1DesignResult> L1WeightedDesignOrthonormal(
+    const linalg::Matrix& workload_gram, const linalg::Matrix& basis,
+    const SolverOptions& options = {});
+
+}  // namespace optimize
+}  // namespace dpmm
+
+#endif  // DPMM_OPTIMIZE_L1_DESIGN_H_

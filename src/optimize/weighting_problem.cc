@@ -1,0 +1,130 @@
+#include "optimize/weighting_problem.h"
+
+#include <cmath>
+
+#include "linalg/lu.h"
+
+namespace dpmm {
+namespace optimize {
+
+using linalg::Matrix;
+
+namespace {
+
+// c_i = (B^{-T} G_W B^{-1})_{ii} = squared L2 norm of column i of W B^{-1}
+// (Thm. 1 with Q = B). Computed via two triangular solves with the LU of B.
+linalg::Vector ObjectiveCoefficients(const Matrix& workload_gram,
+                                     const Matrix& basis) {
+  DPMM_CHECK_EQ(basis.rows(), basis.cols());
+  DPMM_CHECK_EQ(basis.cols(), workload_gram.rows());
+  auto lu = linalg::Lu::Factor(basis.Transposed());
+  DPMM_CHECK_MSG(lu.ok(), "design basis must be invertible");
+  // Y = B^{-T} G_W  (solve B^T Y = G_W).
+  Matrix y = lu.ValueOrDie().Solve(workload_gram);
+  // M = Y B^{-1};  M^T = B^{-T} Y^T, and we only need diag(M).
+  Matrix mt = lu.ValueOrDie().Solve(y.Transposed());
+  linalg::Vector c(basis.rows());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    c[i] = std::max(0.0, mt(i, i));  // clip rounding noise; c is PSD-diagonal
+  }
+  return c;
+}
+
+}  // namespace
+
+WeightingProblem MakeL2Problem(const Matrix& workload_gram,
+                               const Matrix& basis) {
+  WeightingProblem p;
+  p.exponent = 1;
+  p.c = ObjectiveCoefficients(workload_gram, basis);
+  const std::size_t n_cells = basis.cols();
+  const std::size_t n_vars = basis.rows();
+  p.constraints = Matrix(n_cells, n_vars);
+  for (std::size_t j = 0; j < n_cells; ++j) {
+    for (std::size_t i = 0; i < n_vars; ++i) {
+      const double b = basis(i, j);
+      p.constraints(j, i) = b * b;
+    }
+  }
+  return p;
+}
+
+WeightingProblem MakeEigenProblem(const linalg::SymmetricEigenResult& eigen,
+                                  double rank_rel_tol,
+                                  std::vector<std::size_t>* kept_indices) {
+  // Note: `eigen` may be a truncated decomposition (e.g. LowRankGramEigen),
+  // in which case values.size() < vectors.rows(); one constraint per cell.
+  const std::size_t num_values = eigen.values.size();
+  const std::size_t num_cells = eigen.vectors.rows();
+  double max_ev = 0;
+  for (double v : eigen.values) max_ev = std::max(max_ev, v);
+  DPMM_CHECK_GT(max_ev, 0.0);
+  std::vector<std::size_t> kept;
+  for (std::size_t i = 0; i < num_values; ++i) {
+    if (eigen.values[i] > rank_rel_tol * max_ev) kept.push_back(i);
+  }
+  DPMM_CHECK_GT(kept.size(), 0u);
+
+  WeightingProblem p;
+  p.exponent = 1;
+  p.c.resize(kept.size());
+  p.constraints = linalg::Matrix(num_cells, kept.size());
+  for (std::size_t v = 0; v < kept.size(); ++v) {
+    p.c[v] = eigen.values[kept[v]];
+    for (std::size_t j = 0; j < num_cells; ++j) {
+      const double q = eigen.vectors(j, kept[v]);
+      p.constraints(j, v) = q * q;
+    }
+  }
+  if (kept_indices != nullptr) *kept_indices = std::move(kept);
+  return p;
+}
+
+WeightingProblem MakeL1ProblemOrthonormalRows(const Matrix& workload_gram,
+                                              const Matrix& basis) {
+  DPMM_CHECK_EQ(basis.cols(), workload_gram.rows());
+  WeightingProblem p;
+  p.exponent = 2;
+  const std::size_t n_vars = basis.rows();
+  const std::size_t n_cells = basis.cols();
+  p.c.resize(n_vars);
+  for (std::size_t i = 0; i < n_vars; ++i) {
+    // c_i = b_i^T G b_i (orthonormal rows make (A^T A)^+ = B^T diag^-1 B).
+    double s = 0;
+    const double* bi = basis.RowPtr(i);
+    for (std::size_t r = 0; r < n_cells; ++r) {
+      if (bi[r] == 0.0) continue;
+      const double* gr = workload_gram.RowPtr(r);
+      double inner = 0;
+      for (std::size_t c2 = 0; c2 < n_cells; ++c2) inner += gr[c2] * bi[c2];
+      s += bi[r] * inner;
+    }
+    p.c[i] = std::max(0.0, s);
+  }
+  p.constraints = Matrix(n_cells, n_vars);
+  for (std::size_t j = 0; j < n_cells; ++j) {
+    for (std::size_t i = 0; i < n_vars; ++i) {
+      p.constraints(j, i) = std::fabs(basis(i, j));
+    }
+  }
+  return p;
+}
+
+WeightingProblem MakeL1Problem(const Matrix& workload_gram,
+                               const Matrix& basis) {
+  WeightingProblem p;
+  p.exponent = 2;
+  p.c = ObjectiveCoefficients(workload_gram, basis);
+  const std::size_t n_cells = basis.cols();
+  const std::size_t n_vars = basis.rows();
+  p.constraints = Matrix(n_cells, n_vars);
+  for (std::size_t j = 0; j < n_cells; ++j) {
+    for (std::size_t i = 0; i < n_vars; ++i) {
+      p.constraints(j, i) = std::fabs(basis(i, j));
+    }
+  }
+  return p;
+}
+
+}  // namespace optimize
+}  // namespace dpmm

@@ -1,0 +1,72 @@
+// The optimal query-weighting problem (Program 1, Sec. 3.1). For a design
+// basis B (rows = design queries) and strategy A = diag(lambda) B, the
+// workload error factors as
+//
+//   Error^2  proportional to  (max_j sum_i u_i B_ij^2) * (sum_i c_i / u_i)
+//
+// with u_i = lambda_i^2 and c_i = ||column i of W B^+||_2^2 (Thm. 1). After
+// normalizing the sensitivity to 1 this is exactly
+//
+//   minimize   sum_i c_i / u_i
+//   subject to (B o B)^T u <= 1,  u >= 0          (o = Hadamard product)
+//
+// — a smooth convex program over a polytope with a nonnegative constraint
+// matrix, which this module represents and solves (dual_solver.h). The
+// paper's SDP formulation (with dsdp) is equivalent; the structured solver
+// is what makes O(n^4) strategy selection practical here.
+//
+// The same representation covers the eps-DP variant of Sec. 3.5, where the
+// variable is lambda itself, the objective sum_i c_i / lambda_i^2 and the
+// constraints sum_i lambda_i |B_ij| <= 1 — select with exponent q = 2.
+#ifndef DPMM_OPTIMIZE_WEIGHTING_PROBLEM_H_
+#define DPMM_OPTIMIZE_WEIGHTING_PROBLEM_H_
+
+#include "linalg/eigen_sym.h"
+#include "linalg/matrix.h"
+
+namespace dpmm {
+namespace optimize {
+
+/// Instance of the weighting problem:
+///   minimize sum_i c[i] / x_i^q  subject to  constraints * x <= 1, x >= 0,
+/// with entrywise-nonnegative `constraints` (num_constraints x num_vars).
+struct WeightingProblem {
+  linalg::Vector c;             // objective coefficients, c_i >= 0
+  linalg::Matrix constraints;   // nonnegative constraint matrix
+  int exponent = 1;             // q: 1 for L2 weighting, 2 for L1 weighting
+
+  std::size_t num_vars() const { return c.size(); }
+  std::size_t num_constraints() const { return constraints.rows(); }
+};
+
+/// Program 1 for an arbitrary invertible design basis (rows of `basis` are
+/// the design queries): c_i = (B^{-T} G_W B^{-1})_ii, constraint row per
+/// cell j with entries B_ij^2.
+WeightingProblem MakeL2Problem(const linalg::Matrix& workload_gram,
+                               const linalg::Matrix& basis);
+
+/// Program 1 for the eigen-design (Def. 6): the basis is the orthogonal
+/// eigenbasis of W^T W, so c = eigenvalues directly. Eigenvalues at or
+/// below rank_rel_tol * max are excluded (Sec. 4.1 rank reduction);
+/// `kept_indices` receives the surviving column indices of eigen.vectors.
+WeightingProblem MakeEigenProblem(const linalg::SymmetricEigenResult& eigen,
+                                  double rank_rel_tol,
+                                  std::vector<std::size_t>* kept_indices);
+
+/// The eps-DP (L1) weighting problem of Sec. 3.5 for an invertible basis:
+/// same c_i, constraint entries |B_ij|, exponent 2.
+WeightingProblem MakeL1Problem(const linalg::Matrix& workload_gram,
+                               const linalg::Matrix& basis);
+
+/// L1 weighting for a design basis with orthonormal rows that need not be
+/// square (e.g. the restricted Fourier strategy of Barak et al., which
+/// keeps only the basis vectors a marginal workload needs). Requires the
+/// workload's row space to lie inside the basis row space; then
+/// c_i = b_i^T G_W b_i and the same exponent-2 program applies.
+WeightingProblem MakeL1ProblemOrthonormalRows(
+    const linalg::Matrix& workload_gram, const linalg::Matrix& basis);
+
+}  // namespace optimize
+}  // namespace dpmm
+
+#endif  // DPMM_OPTIMIZE_WEIGHTING_PROBLEM_H_

@@ -1,0 +1,217 @@
+#include "query/predicate.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace dpmm {
+namespace query {
+
+bool Condition::Matches(std::size_t bucket) const {
+  switch (op) {
+    case Op::kEq: return bucket == value;
+    case Op::kNe: return bucket != value;
+    case Op::kLt: return bucket < value;
+    case Op::kLe: return bucket <= value;
+    case Op::kGt: return bucket > value;
+    case Op::kGe: return bucket >= value;
+    case Op::kBetween: return bucket >= value && bucket <= value2;
+  }
+  return false;
+}
+
+bool Predicate::Matches(const std::vector<std::size_t>& multi) const {
+  for (const auto& c : conjuncts_) {
+    DPMM_CHECK_LT(c.attr, multi.size());
+    if (!c.Matches(multi[c.attr])) return false;
+  }
+  return true;
+}
+
+linalg::Vector Predicate::ToRow(const Domain& domain) const {
+  linalg::Vector row(domain.NumCells(), 0.0);
+  for (std::size_t cell = 0; cell < row.size(); ++cell) {
+    if (Matches(domain.MultiIndex(cell))) row[cell] = 1.0;
+  }
+  return row;
+}
+
+std::size_t Predicate::Support(const Domain& domain) const {
+  std::size_t count = 0;
+  for (std::size_t cell = 0; cell < domain.NumCells(); ++cell) {
+    if (Matches(domain.MultiIndex(cell))) ++count;
+  }
+  return count;
+}
+
+std::string Predicate::ToString(const Domain& domain) const {
+  if (conjuncts_.empty()) return "*";
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < conjuncts_.size(); ++i) {
+    const Condition& c = conjuncts_[i];
+    if (i) oss << " AND ";
+    oss << domain.attribute_name(c.attr);
+    switch (c.op) {
+      case Condition::Op::kEq: oss << " = " << c.value; break;
+      case Condition::Op::kNe: oss << " != " << c.value; break;
+      case Condition::Op::kLt: oss << " < " << c.value; break;
+      case Condition::Op::kLe: oss << " <= " << c.value; break;
+      case Condition::Op::kGt: oss << " > " << c.value; break;
+      case Condition::Op::kGe: oss << " >= " << c.value; break;
+      case Condition::Op::kBetween:
+        oss << " IN [" << c.value << ", " << c.value2 << "]";
+        break;
+    }
+  }
+  return oss.str();
+}
+
+namespace {
+
+// Simple tokenizer: identifiers, integers, operators and brackets.
+struct Tokenizer {
+  explicit Tokenizer(const std::string& text) : s(text) {}
+
+  // Returns the next token, empty string at end.
+  std::string Next() {
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+    }
+    if (pos >= s.size()) return "";
+    const char c = s[pos];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '*') {
+      std::size_t start = pos;
+      if (c == '*') {
+        ++pos;
+        return "*";
+      }
+      while (pos < s.size() &&
+             (std::isalnum(static_cast<unsigned char>(s[pos])) ||
+              s[pos] == '_')) {
+        ++pos;
+      }
+      return s.substr(start, pos - start);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos;
+      while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) {
+        ++pos;
+      }
+      return s.substr(start, pos - start);
+    }
+    // Operators and punctuation (two-char first).
+    if (pos + 1 < s.size()) {
+      const std::string two = s.substr(pos, 2);
+      if (two == "==" || two == "!=" || two == "<=" || two == ">=") {
+        pos += 2;
+        return two;
+      }
+    }
+    ++pos;
+    return std::string(1, c);
+  }
+
+  const std::string& s;
+  std::size_t pos = 0;
+};
+
+std::string Upper(std::string v) {
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return v;
+}
+
+Status ParseError(const std::string& what) {
+  return Status::InvalidArgument("predicate parse error: " + what);
+}
+
+}  // namespace
+
+Result<Predicate> ParsePredicate(const std::string& text,
+                                 const Domain& domain) {
+  Tokenizer tok(text);
+  std::vector<Condition> conjuncts;
+  std::string t = tok.Next();
+  if (t.empty() || t == "*") {
+    const std::string rest = tok.Next();
+    if (!rest.empty()) return ParseError("unexpected token after '*'");
+    return Predicate();  // total query
+  }
+  for (;;) {
+    // t holds an attribute name.
+    std::size_t attr = domain.num_attributes();
+    for (std::size_t a = 0; a < domain.num_attributes(); ++a) {
+      if (domain.attribute_name(a) == t) {
+        attr = a;
+        break;
+      }
+    }
+    if (attr == domain.num_attributes()) {
+      return ParseError("unknown attribute '" + t + "'");
+    }
+    Condition cond;
+    cond.attr = attr;
+
+    const std::string op = tok.Next();
+    const std::string op_upper = Upper(op);
+    if (op_upper == "IN") {
+      if (tok.Next() != "[") return ParseError("expected '[' after IN");
+      const std::string lo = tok.Next();
+      if (lo.empty() || !std::isdigit(static_cast<unsigned char>(lo[0]))) {
+        return ParseError("expected integer lower bound");
+      }
+      if (tok.Next() != ",") return ParseError("expected ',' in IN range");
+      const std::string hi = tok.Next();
+      if (hi.empty() || !std::isdigit(static_cast<unsigned char>(hi[0]))) {
+        return ParseError("expected integer upper bound");
+      }
+      if (tok.Next() != "]") return ParseError("expected ']' closing IN range");
+      cond.op = Condition::Op::kBetween;
+      cond.value = std::stoull(lo);
+      cond.value2 = std::stoull(hi);
+      if (cond.value > cond.value2) {
+        return ParseError("empty IN range");
+      }
+    } else {
+      if (op == "=" || op == "==") {
+        cond.op = Condition::Op::kEq;
+      } else if (op == "!=") {
+        cond.op = Condition::Op::kNe;
+      } else if (op == "<") {
+        cond.op = Condition::Op::kLt;
+      } else if (op == "<=") {
+        cond.op = Condition::Op::kLe;
+      } else if (op == ">") {
+        cond.op = Condition::Op::kGt;
+      } else if (op == ">=") {
+        cond.op = Condition::Op::kGe;
+      } else {
+        return ParseError("unknown operator '" + op + "'");
+      }
+      const std::string val = tok.Next();
+      if (val.empty() || !std::isdigit(static_cast<unsigned char>(val[0]))) {
+        return ParseError("expected integer value after operator");
+      }
+      cond.value = std::stoull(val);
+    }
+    // Equality against an out-of-range bucket selects nothing; flag it as a
+    // likely mistake (range operators may legitimately clip).
+    if (cond.op == Condition::Op::kEq && cond.value >= domain.size(attr)) {
+      return ParseError("bucket " + std::to_string(cond.value) +
+                        " out of range for attribute '" + t + "'");
+    }
+    conjuncts.push_back(cond);
+
+    const std::string next = tok.Next();
+    if (next.empty()) break;
+    if (Upper(next) != "AND") {
+      return ParseError("expected AND, got '" + next + "'");
+    }
+    t = tok.Next();
+    if (t.empty()) return ParseError("dangling AND");
+  }
+  return Predicate(std::move(conjuncts));
+}
+
+}  // namespace query
+}  // namespace dpmm

@@ -1,0 +1,81 @@
+#include "release/release.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/blas.h"
+#include "linalg/svd.h"
+
+namespace dpmm {
+namespace release {
+
+linalg::Vector NonNegativeIntegral(const linalg::Vector& x_hat) {
+  const std::size_t n = x_hat.size();
+  linalg::Vector clipped(n);
+  double total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    clipped[i] = std::max(0.0, x_hat[i]);
+    total += clipped[i];
+  }
+  const double target = std::floor(total + 0.5);
+
+  // Largest-remainder rounding: floor everything, then distribute the
+  // missing units to the cells with the largest fractional parts.
+  linalg::Vector out(n);
+  double floored_total = 0;
+  std::vector<std::pair<double, std::size_t>> fractions(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::floor(clipped[i]);
+    floored_total += out[i];
+    fractions[i] = {clipped[i] - out[i], i};
+  }
+  auto missing = static_cast<long long>(target - floored_total);
+  std::sort(fractions.begin(), fractions.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (long long k = 0; k < missing && k < static_cast<long long>(n); ++k) {
+    out[fractions[static_cast<std::size_t>(k)].second] += 1.0;
+  }
+  return out;
+}
+
+DataVector SyntheticData(const Domain& domain, const linalg::Vector& x_hat) {
+  return DataVector(domain, NonNegativeIntegral(x_hat));
+}
+
+std::vector<PrivacyParams> SplitBudget(const PrivacyParams& total,
+                                       const std::vector<double>& weights) {
+  DPMM_CHECK_GT(weights.size(), 0u);
+  double sum = 0;
+  for (double w : weights) {
+    DPMM_CHECK_GT(w, 0.0);
+    sum += w;
+  }
+  std::vector<PrivacyParams> parts;
+  parts.reserve(weights.size());
+  for (double w : weights) {
+    parts.push_back({total.epsilon * w / sum, total.delta * w / sum});
+  }
+  return parts;
+}
+
+linalg::Vector QueryErrorProfile(const ExplicitWorkload& workload,
+                                 const Strategy& strategy,
+                                 const PrivacyParams& privacy) {
+  const linalg::Matrix& w = *workload.matrix();
+  DPMM_CHECK_EQ(w.cols(), strategy.num_cells());
+  const double sigma = GaussianNoiseScale(privacy, strategy.L2Sensitivity());
+  // Var(q) = sigma^2 * w_q (A^T A)^+ w_q^T. Computed through the
+  // pseudo-inverse so rank-deficient strategies are handled uniformly.
+  linalg::Matrix gram_pinv = linalg::PseudoInverse(strategy.Gram());
+  linalg::Vector out(w.rows());
+  for (std::size_t q = 0; q < w.rows(); ++q) {
+    const linalg::Vector wq = w.Row(q);
+    const linalg::Vector gw = linalg::MatVec(gram_pinv, wq);
+    out[q] = sigma * std::sqrt(std::max(0.0, linalg::Dot(wq, gw)));
+  }
+  return out;
+}
+
+}  // namespace release
+}  // namespace dpmm

@@ -1,0 +1,47 @@
+// Post-processing and budgeting utilities around the mechanism:
+//  * synthetic-data release — the paper notes (Sec. 1) that the mechanism's
+//    output "can often be treated as a synthetic data set"; this module
+//    turns the least-squares estimate x_hat into nonnegative integral
+//    counts (post-processing, so privacy is unaffected);
+//  * sequential composition — splitting one (eps, delta) budget across
+//    several batch releases;
+//  * per-query error profiles — the analytic standard deviation of each
+//    individual workload query under a strategy (Def. 5 query error).
+#ifndef DPMM_RELEASE_RELEASE_H_
+#define DPMM_RELEASE_RELEASE_H_
+
+#include <vector>
+
+#include "data/data_vector.h"
+#include "mechanism/privacy.h"
+#include "strategy/strategy.h"
+#include "workload/workload.h"
+
+namespace dpmm {
+namespace release {
+
+/// Projects an estimate x_hat to nonnegative integral counts: negatives are
+/// clipped to zero, then largest-remainder rounding preserves the (rounded,
+/// clipped) total. Pure post-processing of private output.
+linalg::Vector NonNegativeIntegral(const linalg::Vector& x_hat);
+
+/// A synthetic DataVector from a private estimate over `domain`.
+DataVector SyntheticData(const Domain& domain, const linalg::Vector& x_hat);
+
+/// Splits a privacy budget across k releases proportionally to `weights`
+/// (basic sequential composition: the eps and delta of the parts sum to the
+/// whole). Weights must be positive.
+std::vector<PrivacyParams> SplitBudget(const PrivacyParams& total,
+                                       const std::vector<double>& weights);
+
+/// Standard deviation of each query of an explicit workload under the
+/// matrix mechanism with the given strategy:
+/// sd_q = sigma * || w_q A^+ ||_2 (Def. 5 / Prop. 4 per-query error).
+linalg::Vector QueryErrorProfile(const ExplicitWorkload& workload,
+                                 const Strategy& strategy,
+                                 const PrivacyParams& privacy);
+
+}  // namespace release
+}  // namespace dpmm
+
+#endif  // DPMM_RELEASE_RELEASE_H_

@@ -1,0 +1,113 @@
+#include "strategy/datacube.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "workload/builders.h"
+
+namespace dpmm {
+
+namespace {
+
+bool Covers(const AttrSet& s, const AttrSet& t) {
+  return std::includes(s.begin(), s.end(), t.begin(), t.end());
+}
+
+// BMAX objective of a candidate selection: every strategy marginal has unit
+// column norm, so ||A||_2^2 = |selection|; a workload marginal T answered
+// from its cheapest covering S has per-query variance proportional to
+// |selection| * cover_cost(T, S). Returns infinity if some T is uncovered.
+double BmaxObjective(const Domain& domain,
+                     const std::vector<AttrSet>& workload_sets,
+                     const std::vector<AttrSet>& selection) {
+  if (selection.empty()) return std::numeric_limits<double>::infinity();
+  double worst = 0;
+  for (const auto& t : workload_sets) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& s : selection) {
+      const double c = MarginalCoverCost(domain, t, s);
+      best = std::min(best, c);
+    }
+    worst = std::max(worst, best);
+  }
+  return worst * static_cast<double>(selection.size());
+}
+
+}  // namespace
+
+double MarginalCoverCost(const Domain& domain, const AttrSet& t,
+                         const AttrSet& s) {
+  if (!Covers(s, t)) return std::numeric_limits<double>::infinity();
+  double cost = 1;
+  for (std::size_t a : s) {
+    if (std::find(t.begin(), t.end(), a) == t.end()) {
+      cost *= static_cast<double>(domain.size(a));
+    }
+  }
+  return cost;
+}
+
+DataCubeResult DataCubeStrategy(const Domain& domain,
+                                const std::vector<AttrSet>& workload_sets) {
+  const std::size_t k = domain.num_attributes();
+  const std::vector<AttrSet> candidates = AllSubsets(k);
+  const std::size_t nc = candidates.size();
+
+  std::vector<AttrSet> best_sel;
+  double best_obj = std::numeric_limits<double>::infinity();
+
+  if (nc <= 16) {
+    // Exhaustive search over all subsets of candidates: exactly optimal for
+    // the BMAX criterion.
+    for (std::size_t mask = 1; mask < (std::size_t{1} << nc); ++mask) {
+      std::vector<AttrSet> sel;
+      for (std::size_t i = 0; i < nc; ++i) {
+        if (mask & (std::size_t{1} << i)) sel.push_back(candidates[i]);
+      }
+      const double obj = BmaxObjective(domain, workload_sets, sel);
+      if (obj < best_obj) {
+        best_obj = obj;
+        best_sel = std::move(sel);
+      }
+    }
+  } else {
+    // Greedy: start from the workload's own marginals, then try single
+    // add/remove moves until no improvement (adaptation of Ding et al.'s
+    // approximation; exact search is infeasible here).
+    std::vector<AttrSet> sel = workload_sets;
+    std::sort(sel.begin(), sel.end());
+    sel.erase(std::unique(sel.begin(), sel.end()), sel.end());
+    double obj = BmaxObjective(domain, workload_sets, sel);
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (const auto& cand : candidates) {
+        std::vector<AttrSet> trial = sel;
+        auto it = std::find(trial.begin(), trial.end(), cand);
+        if (it != trial.end()) {
+          trial.erase(it);
+        } else {
+          trial.push_back(cand);
+        }
+        const double t_obj = BmaxObjective(domain, workload_sets, trial);
+        if (t_obj < obj) {
+          obj = t_obj;
+          sel = std::move(trial);
+          improved = true;
+        }
+      }
+    }
+    best_sel = sel;
+    best_obj = obj;
+  }
+
+  // Materialize the chosen marginals as the strategy matrix.
+  linalg::Matrix a;
+  for (const auto& s : best_sel) {
+    a = a.VStack(builders::MarginalMatrix(domain, s));
+  }
+  return DataCubeResult{Strategy(std::move(a), "DataCube"), best_sel, best_obj};
+}
+
+}  // namespace dpmm

@@ -1,0 +1,36 @@
+// The DataCube / BMAX strategy of Ding et al. [7]: choose a subset of
+// candidate marginals to answer privately so that the maximum error over the
+// workload marginals (each answered by aggregating the cheapest covering
+// strategy marginal) is minimized, with sensitivity measured under L2 for
+// the (eps, delta) adaptation used in the paper's experiments. For the
+// experiment domains (<= 4 attributes, <= 16 candidate marginals) the search
+// is exhaustive and hence exactly optimal for the BMAX criterion; larger
+// attribute counts fall back to a greedy heuristic.
+#ifndef DPMM_STRATEGY_DATACUBE_H_
+#define DPMM_STRATEGY_DATACUBE_H_
+
+#include "domain/domain.h"
+#include "strategy/strategy.h"
+
+namespace dpmm {
+
+struct DataCubeResult {
+  Strategy strategy;               // stacked chosen marginal matrices
+  std::vector<AttrSet> chosen;     // the selected strategy marginals
+  double bmax_objective;           // max per-query variance factor achieved
+};
+
+/// Selects strategy marginals for a workload of marginals over
+/// `workload_sets`. Candidates default to all 2^k marginals.
+DataCubeResult DataCubeStrategy(const Domain& domain,
+                                const std::vector<AttrSet>& workload_sets);
+
+/// Cost of answering marginal T from covering marginal S (>= T):
+/// the number of cells of S aggregated per cell of T, i.e.
+/// prod_{a in S \ T} d_a; infinity when S does not cover T.
+double MarginalCoverCost(const Domain& domain, const AttrSet& t,
+                         const AttrSet& s);
+
+}  // namespace dpmm
+
+#endif  // DPMM_STRATEGY_DATACUBE_H_

@@ -1,0 +1,106 @@
+#include "strategy/fourier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <set>
+
+#include "linalg/kronecker.h"
+
+namespace dpmm {
+
+using linalg::Matrix;
+
+Matrix DctBasis(std::size_t d) {
+  Matrix b(d, d);
+  const double n = static_cast<double>(d);
+  for (std::size_t r = 0; r < d; ++r) {
+    const double scale = (r == 0) ? std::sqrt(1.0 / n) : std::sqrt(2.0 / n);
+    for (std::size_t i = 0; i < d; ++i) {
+      b(r, i) = scale * std::cos(M_PI * (2.0 * i + 1.0) * r / (2.0 * n));
+    }
+  }
+  return b;
+}
+
+Strategy FourierStrategy(const Domain& domain,
+                         const std::vector<AttrSet>& marginal_sets) {
+  const std::size_t k = domain.num_attributes();
+  // Support sets needed: every subset of a workload marginal (downward
+  // closure) — a marginal over T is reconstructed from all basis vectors
+  // with support inside T.
+  std::set<std::vector<bool>> supports;
+  for (const auto& set : marginal_sets) {
+    // Enumerate subsets of `set`.
+    const std::size_t sz = set.size();
+    for (std::size_t mask = 0; mask < (std::size_t{1} << sz); ++mask) {
+      std::vector<bool> sup(k, false);
+      for (std::size_t b = 0; b < sz; ++b) {
+        if (mask & (std::size_t{1} << b)) sup[set[b]] = true;
+      }
+      supports.insert(std::move(sup));
+    }
+  }
+
+  std::vector<Matrix> bases;
+  bases.reserve(k);
+  for (std::size_t a = 0; a < k; ++a) bases.push_back(DctBasis(domain.size(a)));
+
+  // Count rows: for support S, prod_{a in S} (d_a - 1) vectors (nonzero
+  // frequency per supported attribute, frequency 0 elsewhere).
+  std::size_t rows = 0;
+  for (const auto& sup : supports) {
+    std::size_t r = 1;
+    for (std::size_t a = 0; a < k; ++a) {
+      if (sup[a]) r *= domain.size(a) - 1;
+    }
+    rows += r;
+  }
+
+  Matrix strat(rows, domain.NumCells());
+  std::size_t row = 0;
+  std::vector<std::size_t> freq(k, 0);
+  linalg::Vector kron_row;
+  std::function<void(const std::vector<bool>&, std::size_t)> emit =
+      [&](const std::vector<bool>& sup, std::size_t axis) {
+        if (axis == k) {
+          // Row = kron of per-dim basis rows at the chosen frequencies.
+          kron_row.assign(domain.NumCells(), 1.0);
+          // Build via repeated expansion in row-major order.
+          std::size_t block = domain.NumCells();
+          for (std::size_t a = 0; a < k; ++a) {
+            const std::size_t d = domain.size(a);
+            block /= d;
+            const Matrix& basis = bases[a];
+            // Multiply each cell by basis(freq[a], coordinate along a).
+            for (std::size_t cell = 0; cell < domain.NumCells(); ++cell) {
+              const std::size_t coord = (cell / block) % d;
+              kron_row[cell] *= basis(freq[a], coord);
+            }
+          }
+          strat.SetRow(row++, kron_row);
+          return;
+        }
+        if (!sup[axis]) {
+          freq[axis] = 0;
+          emit(sup, axis + 1);
+        } else {
+          for (std::size_t f = 1; f < domain.size(axis); ++f) {
+            freq[axis] = f;
+            emit(sup, axis + 1);
+          }
+        }
+      };
+  for (const auto& sup : supports) emit(sup, 0);
+  DPMM_CHECK_EQ(row, rows);
+  return Strategy(std::move(strat), "Fourier");
+}
+
+Matrix FullFourierBasis(const Domain& domain) {
+  std::vector<Matrix> bases;
+  bases.reserve(domain.num_attributes());
+  for (std::size_t d : domain.sizes()) bases.push_back(DctBasis(d));
+  return linalg::KronList(bases);
+}
+
+}  // namespace dpmm

@@ -1,0 +1,29 @@
+// The Fourier strategy of Barak et al. [4] for marginal workloads, in a
+// real orthonormal form: per attribute we use the DCT-II basis (whose first
+// vector is uniform), and the strategy consists of the Kronecker basis
+// vectors whose support set is contained in some workload marginal. As in
+// Sec. 5 of the paper, basis vectors unnecessary for the workload are
+// dropped to reduce sensitivity. (Barak's original construction is over
+// binary attributes, where this specializes to the Fourier characters.)
+#ifndef DPMM_STRATEGY_FOURIER_H_
+#define DPMM_STRATEGY_FOURIER_H_
+
+#include "domain/domain.h"
+#include "strategy/strategy.h"
+
+namespace dpmm {
+
+/// Orthonormal DCT-II basis of size d; row 0 is the uniform vector.
+linalg::Matrix DctBasis(std::size_t d);
+
+/// Fourier strategy answering the marginals over the given attribute sets.
+Strategy FourierStrategy(const Domain& domain,
+                         const std::vector<AttrSet>& marginal_sets);
+
+/// The full Fourier basis over the domain (n x n orthonormal) — used as an
+/// alternative design set in Fig. 5 and Sec. 3.5.
+linalg::Matrix FullFourierBasis(const Domain& domain);
+
+}  // namespace dpmm
+
+#endif  // DPMM_STRATEGY_FOURIER_H_

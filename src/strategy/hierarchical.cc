@@ -1,0 +1,51 @@
+#include "strategy/hierarchical.h"
+
+#include "linalg/kronecker.h"
+
+namespace dpmm {
+
+using linalg::Matrix;
+
+Matrix HierarchicalMatrix1D(std::size_t d, std::size_t branching) {
+  DPMM_CHECK_GT(d, 0u);
+  DPMM_CHECK_GE(branching, 2u);
+  // Level-order traversal of the k-ary interval tree.
+  std::vector<std::pair<std::size_t, std::size_t>> nodes;  // [lo, hi)
+  std::vector<std::pair<std::size_t, std::size_t>> frontier{{0, d}};
+  while (!frontier.empty()) {
+    std::vector<std::pair<std::size_t, std::size_t>> next;
+    for (auto [lo, hi] : frontier) {
+      nodes.push_back({lo, hi});
+      const std::size_t len = hi - lo;
+      if (len < 2) continue;
+      // Split into `branching` nearly equal children.
+      const std::size_t parts = std::min(branching, len);
+      std::size_t start = lo;
+      for (std::size_t p = 0; p < parts; ++p) {
+        const std::size_t sz = len / parts + (p < len % parts ? 1 : 0);
+        next.push_back({start, start + sz});
+        start += sz;
+      }
+      DPMM_CHECK_EQ(start, hi);
+    }
+    frontier = std::move(next);
+  }
+  Matrix h(nodes.size(), d);
+  for (std::size_t r = 0; r < nodes.size(); ++r) {
+    for (std::size_t j = nodes[r].first; j < nodes[r].second; ++j) {
+      h(r, j) = 1.0;
+    }
+  }
+  return h;
+}
+
+Strategy HierarchicalStrategy(const Domain& domain, std::size_t branching) {
+  std::vector<Matrix> factors;
+  factors.reserve(domain.num_attributes());
+  for (std::size_t d : domain.sizes()) {
+    factors.push_back(HierarchicalMatrix1D(d, branching));
+  }
+  return Strategy(linalg::KronList(factors), "Hierarchical");
+}
+
+}  // namespace dpmm

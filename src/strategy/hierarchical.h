@@ -1,0 +1,23 @@
+// The hierarchical strategy of Hay et al. [13]: a binary tree of counting
+// queries — the total, recursively halved down to the individual cells.
+// Multi-dimensional domains use the Kronecker product of per-dimension
+// hierarchies (the adaptation "analogous to Wavelet" described in Sec. 5).
+#ifndef DPMM_STRATEGY_HIERARCHICAL_H_
+#define DPMM_STRATEGY_HIERARCHICAL_H_
+
+#include "domain/domain.h"
+#include "strategy/strategy.h"
+
+namespace dpmm {
+
+/// One-dimensional hierarchical matrix on d cells with the given branching
+/// factor (default binary, as evaluated in the paper). Rows are the tree
+/// nodes in level order: total first, leaves last.
+linalg::Matrix HierarchicalMatrix1D(std::size_t d, std::size_t branching = 2);
+
+/// Hierarchical strategy for a multi-dimensional domain.
+Strategy HierarchicalStrategy(const Domain& domain, std::size_t branching = 2);
+
+}  // namespace dpmm
+
+#endif  // DPMM_STRATEGY_HIERARCHICAL_H_

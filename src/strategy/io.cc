@@ -1,0 +1,55 @@
+#include "strategy/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace dpmm {
+namespace strategy_io {
+
+Status SaveStrategy(const Strategy& strategy, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  const linalg::Matrix& a = strategy.matrix();
+  out << "# dpmm-strategy " << (strategy.name().empty() ? "-" : strategy.name())
+      << " " << a.rows() << " " << a.cols() << "\n";
+  out.precision(17);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      out << (j ? " " : "") << a(i, j);
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Strategy> LoadStrategy(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line)) return Status::IoError("empty file: " + path);
+  std::istringstream header(line);
+  std::string hash, magic, name;
+  std::size_t rows = 0, cols = 0;
+  header >> hash >> magic >> name >> rows >> cols;
+  if (hash != "#" || magic != "dpmm-strategy" || rows == 0 || cols == 0) {
+    return Status::IoError("not a dpmm strategy file: " + path);
+  }
+  linalg::Matrix a(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::IoError("truncated strategy file: " + path);
+    }
+    std::istringstream row(line);
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (!(row >> a(i, j))) {
+        return Status::IoError("malformed row " + std::to_string(i) + " in " +
+                               path);
+      }
+    }
+  }
+  return Strategy(std::move(a), name == "-" ? "" : name);
+}
+
+}  // namespace strategy_io
+}  // namespace dpmm

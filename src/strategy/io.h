@@ -1,0 +1,29 @@
+// Strategy persistence. Strategy selection is the expensive step and is
+// database-independent (Sec. 1: "it only needs to be performed once for any
+// workload, and need not be recomputed to re-run the mechanism on a new
+// database instance") — so designed strategies are worth saving and
+// shipping alongside the data pipeline.
+//
+// Format: a text header "# dpmm-strategy <name> rows cols" followed by one
+// whitespace-separated row per line.
+#ifndef DPMM_STRATEGY_IO_H_
+#define DPMM_STRATEGY_IO_H_
+
+#include <string>
+
+#include "strategy/strategy.h"
+#include "util/status.h"
+
+namespace dpmm {
+namespace strategy_io {
+
+/// Writes the strategy matrix with full double precision.
+Status SaveStrategy(const Strategy& strategy, const std::string& path);
+
+/// Reads a file written by SaveStrategy.
+Result<Strategy> LoadStrategy(const std::string& path);
+
+}  // namespace strategy_io
+}  // namespace dpmm
+
+#endif  // DPMM_STRATEGY_IO_H_

@@ -1,0 +1,13 @@
+#include "strategy/strategy.h"
+
+#include "linalg/blas.h"
+
+namespace dpmm {
+
+linalg::Matrix Strategy::Gram() const { return linalg::Gram(a_); }
+
+Strategy IdentityStrategy(std::size_t n) {
+  return Strategy(linalg::Matrix::Identity(n), "Identity");
+}
+
+}  // namespace dpmm

@@ -1,0 +1,45 @@
+// Strategy matrices (Sec. 2.3): the set of queries actually submitted to the
+// Gaussian mechanism, from which workload answers are derived by least
+// squares. A Strategy is an explicit p x n matrix plus a display name;
+// higher-level code precomputes factorizations as needed.
+#ifndef DPMM_STRATEGY_STRATEGY_H_
+#define DPMM_STRATEGY_STRATEGY_H_
+
+#include <string>
+
+#include "linalg/matrix.h"
+
+namespace dpmm {
+
+/// An explicit strategy matrix with a display name.
+class Strategy {
+ public:
+  Strategy() = default;
+  Strategy(linalg::Matrix a, std::string name)
+      : a_(std::move(a)), name_(std::move(name)) {}
+
+  const linalg::Matrix& matrix() const { return a_; }
+  const std::string& name() const { return name_; }
+  std::size_t num_queries() const { return a_.rows(); }
+  std::size_t num_cells() const { return a_.cols(); }
+
+  /// L2 sensitivity ||A||_2 (max column norm, Prop. 1).
+  double L2Sensitivity() const { return a_.MaxColNorm(); }
+
+  /// L1 sensitivity ||A||_1 (max column absolute sum).
+  double L1Sensitivity() const { return a_.MaxColAbsSum(); }
+
+  /// Gram matrix A^T A.
+  linalg::Matrix Gram() const;
+
+ private:
+  linalg::Matrix a_;
+  std::string name_;
+};
+
+/// The identity strategy (noisy cell counts).
+Strategy IdentityStrategy(std::size_t n);
+
+}  // namespace dpmm
+
+#endif  // DPMM_STRATEGY_STRATEGY_H_

@@ -1,0 +1,45 @@
+#include "strategy/wavelet.h"
+
+#include <functional>
+
+#include "linalg/kronecker.h"
+
+namespace dpmm {
+
+using linalg::Matrix;
+
+Matrix HaarMatrix1D(std::size_t d) {
+  DPMM_CHECK_GT(d, 0u);
+  std::vector<std::pair<std::size_t, std::size_t>> detail_ranges;  // [lo, hi)
+  // Level-order traversal so rows go coarse -> fine, matching Fig. 2.
+  std::vector<std::pair<std::size_t, std::size_t>> frontier{{0, d}};
+  while (!frontier.empty()) {
+    std::vector<std::pair<std::size_t, std::size_t>> next;
+    for (auto [lo, hi] : frontier) {
+      if (hi - lo < 2) continue;
+      detail_ranges.push_back({lo, hi});
+      const std::size_t mid = lo + (hi - lo) / 2;
+      next.push_back({lo, mid});
+      next.push_back({mid, hi});
+    }
+    frontier = std::move(next);
+  }
+  Matrix w(1 + detail_ranges.size(), d);
+  for (std::size_t j = 0; j < d; ++j) w(0, j) = 1.0;  // total query
+  for (std::size_t r = 0; r < detail_ranges.size(); ++r) {
+    const auto [lo, hi] = detail_ranges[r];
+    const std::size_t mid = lo + (hi - lo) / 2;
+    for (std::size_t j = lo; j < mid; ++j) w(r + 1, j) = 1.0;
+    for (std::size_t j = mid; j < hi; ++j) w(r + 1, j) = -1.0;
+  }
+  return w;
+}
+
+Strategy WaveletStrategy(const Domain& domain) {
+  std::vector<Matrix> factors;
+  factors.reserve(domain.num_attributes());
+  for (std::size_t d : domain.sizes()) factors.push_back(HaarMatrix1D(d));
+  return Strategy(linalg::KronList(factors), "Wavelet");
+}
+
+}  // namespace dpmm

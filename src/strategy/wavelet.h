@@ -1,0 +1,23 @@
+// The Haar wavelet strategy of Xiao et al. [21], in the unnormalized +-1
+// form shown in Fig. 2 of the paper: the total query followed by recursive
+// difference (detail) queries. Multi-dimensional domains use the Kronecker
+// product of per-dimension wavelets, as in [21].
+#ifndef DPMM_STRATEGY_WAVELET_H_
+#define DPMM_STRATEGY_WAVELET_H_
+
+#include "domain/domain.h"
+#include "strategy/strategy.h"
+
+namespace dpmm {
+
+/// One-dimensional Haar wavelet matrix on d cells (d x d when d is a power
+/// of two; for other sizes the recursion splits at floor(d/2), yielding the
+/// natural generalization with the same tree depth).
+linalg::Matrix HaarMatrix1D(std::size_t d);
+
+/// Wavelet strategy for a multi-dimensional domain (Kronecker combination).
+Strategy WaveletStrategy(const Domain& domain);
+
+}  // namespace dpmm
+
+#endif  // DPMM_STRATEGY_WAVELET_H_

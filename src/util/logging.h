@@ -1,0 +1,50 @@
+// Lightweight assertion / check macros in the style used by database engines
+// (RocksDB-style fail-fast on programmer errors; recoverable conditions use
+// util::Status instead).
+#ifndef DPMM_UTIL_LOGGING_H_
+#define DPMM_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dpmm {
+namespace internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line, const char* expr,
+                                   const std::string& msg) {
+  std::fprintf(stderr, "DPMM_CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dpmm
+
+/// Aborts with a diagnostic when `cond` is false. Active in all build types:
+/// violations are programmer errors, never data-dependent conditions.
+#define DPMM_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::dpmm::internal::CheckFail(__FILE__, __LINE__, #cond, "");     \
+    }                                                                 \
+  } while (0)
+
+#define DPMM_CHECK_MSG(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream oss_;                                        \
+      oss_ << "(" << (msg) << ")";                                    \
+      ::dpmm::internal::CheckFail(__FILE__, __LINE__, #cond,          \
+                                  oss_.str());                        \
+    }                                                                 \
+  } while (0)
+
+#define DPMM_CHECK_EQ(a, b) DPMM_CHECK((a) == (b))
+#define DPMM_CHECK_GT(a, b) DPMM_CHECK((a) > (b))
+#define DPMM_CHECK_GE(a, b) DPMM_CHECK((a) >= (b))
+#define DPMM_CHECK_LT(a, b) DPMM_CHECK((a) < (b))
+#define DPMM_CHECK_LE(a, b) DPMM_CHECK((a) <= (b))
+
+#endif  // DPMM_UTIL_LOGGING_H_

@@ -1,0 +1,105 @@
+// Minimal Status / Result<T> error propagation, following the idiom used by
+// Arrow and RocksDB: recoverable runtime failures (I/O, non-convergence)
+// return Status rather than throwing.
+#ifndef DPMM_UTIL_STATUS_H_
+#define DPMM_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dpmm {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotConverged,
+  kNumericalError,
+  kIoError,
+  kNotFound,
+};
+
+/// Result of an operation that may fail in a recoverable way.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotConverged: return "NotConverged";
+      case StatusCode::kNumericalError: return "NumericalError";
+      case StatusCode::kIoError: return "IoError";
+      case StatusCode::kNotFound: return "NotFound";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error. `ValueOrDie()` aborts on error (for contexts where
+/// failure is a programmer error); callers that can recover use `ok()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    DPMM_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    DPMM_CHECK_MSG(ok(), status_.ToString());
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    DPMM_CHECK_MSG(ok(), status_.ToString());
+    return *std::move(value_);
+  }
+  const T& operator*() const& { return ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace dpmm
+
+#endif  // DPMM_UTIL_STATUS_H_

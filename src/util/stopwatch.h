@@ -1,0 +1,30 @@
+// Wall-clock stopwatch for the experiment harness (Fig. 4 reports solver
+// execution times).
+#ifndef DPMM_UTIL_STOPWATCH_H_
+#define DPMM_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace dpmm {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dpmm
+
+#endif  // DPMM_UTIL_STOPWATCH_H_

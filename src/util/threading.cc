@@ -1,0 +1,50 @@
+#include "util/threading.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace dpmm {
+
+int NumThreads() {
+  static const int kThreads = [] {
+    if (const char* env = std::getenv("DPMM_THREADS")) {
+      int v = std::atoi(env);
+      if (v > 0) return v;
+    }
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+  }();
+  return kThreads;
+}
+
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t total = end - begin;
+  const int max_threads = NumThreads();
+  if (max_threads <= 1 || total < std::max<std::size_t>(grain, 2)) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t num_chunks =
+      std::min<std::size_t>(static_cast<std::size_t>(max_threads),
+                            (total + grain - 1) / std::max<std::size_t>(grain, 1));
+  if (num_chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t chunk = (total + num_chunks - 1) / num_chunks;
+  std::vector<std::thread> workers;
+  workers.reserve(num_chunks);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::size_t lo = begin + c * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    workers.emplace_back([&fn, lo, hi] { fn(lo, hi); });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace dpmm

@@ -1,0 +1,25 @@
+// Simple fork-join parallel loop used by the BLAS-3 kernels and Gram-matrix
+// builders. No persistent pool: thread creation cost is negligible next to
+// the O(n^3) work these loops carry.
+#ifndef DPMM_UTIL_THREADING_H_
+#define DPMM_UTIL_THREADING_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace dpmm {
+
+/// Number of worker threads used by ParallelFor (hardware concurrency,
+/// overridable via the DPMM_THREADS environment variable).
+int NumThreads();
+
+/// Runs fn(begin, end) over a partition of [begin, end) across worker
+/// threads. Falls back to a serial call when the range is small (< grain)
+/// or only one thread is configured. fn must be thread-safe across disjoint
+/// ranges.
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace dpmm
+
+#endif  // DPMM_UTIL_THREADING_H_

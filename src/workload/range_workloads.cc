@@ -1,0 +1,171 @@
+#include "workload/range_workloads.h"
+
+#include <cmath>
+#include <functional>
+
+#include "linalg/eigen_sym.h"
+#include "linalg/kronecker.h"
+#include "workload/gram.h"
+
+namespace dpmm {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+AllRangeWorkload::AllRangeWorkload(Domain domain)
+    : Workload(std::move(domain)) {}
+
+std::size_t AllRangeWorkload::num_queries() const {
+  std::size_t m = 1;
+  for (std::size_t d : domain_.sizes()) m *= gram::NumRanges1D(d);
+  return m;
+}
+
+std::string AllRangeWorkload::Name() const {
+  return "AllRange " + domain_.ToString();
+}
+
+Matrix AllRangeWorkload::Gram() const {
+  std::vector<Matrix> factors;
+  factors.reserve(domain_.num_attributes());
+  for (std::size_t d : domain_.sizes()) factors.push_back(gram::AllRange1D(d));
+  return linalg::KronList(factors);
+}
+
+Matrix AllRangeWorkload::NormalizedGram() const {
+  std::vector<Matrix> factors;
+  factors.reserve(domain_.num_attributes());
+  for (std::size_t d : domain_.sizes()) {
+    factors.push_back(gram::NormalizedAllRange1D(d));
+  }
+  return linalg::KronList(factors);
+}
+
+double AllRangeWorkload::L2Sensitivity() const {
+  // Per dimension, cell i is covered by (i+1)(d-i) ranges; the worst cell is
+  // in the middle. The multi-dimensional count is the product.
+  double sens2 = 1.0;
+  for (std::size_t d : domain_.sizes()) {
+    double mx = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      mx = std::max(mx, static_cast<double>((i + 1) * (d - i)));
+    }
+    sens2 *= mx;
+  }
+  return std::sqrt(sens2);
+}
+
+Vector AllRangeWorkload::Answer(const Vector& x) const {
+  DPMM_CHECK_EQ(x.size(), num_cells());
+  const std::size_t k = domain_.num_attributes();
+  const auto& sizes = domain_.sizes();
+
+  // Summed-area table: P[idx] = sum of x over cells with multi-index <= idx
+  // per dimension. Built by running prefix sums along each axis in turn.
+  Vector p = x;
+  std::size_t stride_after = 1;
+  for (std::size_t axis = k; axis > 0; --axis) {
+    const std::size_t a = axis - 1;
+    const std::size_t d = sizes[a];
+    const std::size_t stride = stride_after;
+    const std::size_t block = d * stride;
+    for (std::size_t base = 0; base < p.size(); base += block) {
+      for (std::size_t i = 1; i < d; ++i) {
+        double* cur = p.data() + base + i * stride;
+        const double* prev = cur - stride;
+        for (std::size_t s = 0; s < stride; ++s) cur[s] += prev[s];
+      }
+    }
+    stride_after *= d;
+  }
+  // Strides of the full table (attribute 0 slowest, matching CellIndex).
+  std::vector<std::size_t> strides(k, 1);
+  for (std::size_t a = k; a-- > 1;) strides[a - 1] = strides[a] * sizes[a];
+
+  auto table_at = [&](const std::vector<long>& idx) -> double {
+    std::size_t lin = 0;
+    for (std::size_t a = 0; a < k; ++a) {
+      if (idx[a] < 0) return 0.0;
+      lin += static_cast<std::size_t>(idx[a]) * strides[a];
+    }
+    return p[lin];
+  };
+
+  Vector out;
+  out.reserve(num_queries());
+  std::vector<long> lo(k), hi(k), corner(k);
+  // Enumerate boxes in canonical order: dimension 0 outermost, ranges
+  // ordered (a ascending, b ascending). Box sums by inclusion-exclusion.
+  std::function<void(std::size_t)> rec = [&](std::size_t axis) {
+    if (axis == k) {
+      double sum = 0;
+      const std::size_t num_corners = std::size_t{1} << k;
+      for (std::size_t mask = 0; mask < num_corners; ++mask) {
+        int sign = 1;
+        for (std::size_t a = 0; a < k; ++a) {
+          if (mask & (std::size_t{1} << a)) {
+            corner[a] = lo[a] - 1;
+            sign = -sign;
+          } else {
+            corner[a] = hi[a];
+          }
+        }
+        sum += sign * table_at(corner);
+      }
+      out.push_back(sum);
+      return;
+    }
+    const long d = static_cast<long>(sizes[axis]);
+    for (long a = 0; a < d; ++a) {
+      for (long b = a; b < d; ++b) {
+        lo[axis] = a;
+        hi[axis] = b;
+        rec(axis + 1);
+      }
+    }
+  };
+  rec(0);
+  return out;
+}
+
+linalg::SymmetricEigenResult AllRangeWorkload::FactorizedEigen(
+    bool normalized) const {
+  std::vector<linalg::SymmetricEigenResult> parts;
+  parts.reserve(domain_.num_attributes());
+  for (std::size_t d : domain_.sizes()) {
+    Matrix g = normalized ? gram::NormalizedAllRange1D(d) : gram::AllRange1D(d);
+    parts.push_back(linalg::SymmetricEigen(g).ValueOrDie());
+  }
+  if (parts.size() == 1) return std::move(parts[0]);
+  return linalg::KronEigen(parts);
+}
+
+PrefixWorkload::PrefixWorkload(std::size_t d) : Workload(Domain::OneDim(d)) {}
+
+std::string PrefixWorkload::Name() const {
+  return "CDF " + domain_.ToString();
+}
+
+Matrix PrefixWorkload::Gram() const { return gram::Prefix1D(num_cells()); }
+
+Matrix PrefixWorkload::NormalizedGram() const {
+  return gram::NormalizedPrefix1D(num_cells());
+}
+
+double PrefixWorkload::L2Sensitivity() const {
+  // Cell 0 appears in all n prefix queries.
+  return std::sqrt(static_cast<double>(num_cells()));
+}
+
+Vector PrefixWorkload::Answer(const Vector& x) const {
+  DPMM_CHECK_EQ(x.size(), num_cells());
+  Vector out(x.size());
+  double run = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    run += x[i];
+    out[i] = run;
+  }
+  return out;
+}
+
+}  // namespace dpmm

@@ -1,0 +1,54 @@
+// Structured range workloads: all (multi-dimensional) range queries and the
+// one-dimensional CDF / prefix workload. Both are implicit: Gram matrices
+// come from closed forms in workload/gram.h and answers are computed with
+// summed-area tables, never materializing the query matrix.
+#ifndef DPMM_WORKLOAD_RANGE_WORKLOADS_H_
+#define DPMM_WORKLOAD_RANGE_WORKLOADS_H_
+
+#include "linalg/eigen_sym.h"
+#include "workload/workload.h"
+
+namespace dpmm {
+
+/// All axis-aligned range queries over a multi-dimensional domain: the
+/// Kronecker combination of all per-attribute 1D ranges. On [2048] this is
+/// the paper's "All Range" workload (2,098,176 queries).
+///
+/// Canonical query order: row-major over per-dimension range indices, with
+/// ranges of each dimension ordered (a ascending, then b ascending).
+class AllRangeWorkload : public Workload {
+ public:
+  explicit AllRangeWorkload(Domain domain);
+
+  std::size_t num_queries() const override;
+  std::string Name() const override;
+  linalg::Matrix Gram() const override;
+  linalg::Matrix NormalizedGram() const override;
+  double L2Sensitivity() const override;
+  linalg::Vector Answer(const linalg::Vector& x) const override;
+
+  /// Eigendecomposition of Gram() (or NormalizedGram()) assembled from the
+  /// per-dimension closed-form Gram factors via KronEigen: O(sum d_i^3)
+  /// instead of O(n^3). For one-dimensional domains this is simply the
+  /// numeric eigendecomposition.
+  linalg::SymmetricEigenResult FactorizedEigen(bool normalized = false) const;
+};
+
+/// The cumulative-distribution workload on a 1D domain: query i sums cells
+/// [0..i]. Highly skewed: cell 0 participates in every query (sensitivity
+/// sqrt(n)), the last cell in one.
+class PrefixWorkload : public Workload {
+ public:
+  explicit PrefixWorkload(std::size_t d);
+
+  std::size_t num_queries() const override { return num_cells(); }
+  std::string Name() const override;
+  linalg::Matrix Gram() const override;
+  linalg::Matrix NormalizedGram() const override;
+  double L2Sensitivity() const override;
+  linalg::Vector Answer(const linalg::Vector& x) const override;
+};
+
+}  // namespace dpmm
+
+#endif  // DPMM_WORKLOAD_RANGE_WORKLOADS_H_

@@ -1,0 +1,99 @@
+// Tests for data vectors, synthetic generators and CSV persistence.
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "data/data_vector.h"
+#include "data/generators.h"
+#include "data/io.h"
+
+namespace dpmm {
+namespace {
+
+TEST(DataVector, TotalsAndMarginals) {
+  Domain d({2, 2});
+  DataVector dv(d, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(dv.Total(), 10.0);
+  EXPECT_DOUBLE_EQ(dv.At({1, 0}), 3.0);
+  EXPECT_EQ(dv.Marginal(0), (linalg::Vector{3, 7}));
+  EXPECT_EQ(dv.Marginal(1), (linalg::Vector{4, 6}));
+}
+
+TEST(Generators, CensusLikeShapeAndScale) {
+  DataVector dv = data::GenCensusLike();
+  EXPECT_EQ(dv.domain.sizes(), (std::vector<std::size_t>{8, 16, 16}));
+  EXPECT_NEAR(dv.Total(), 15e6, 0.01 * 15e6);
+  for (double c : dv.counts) ASSERT_GE(c, 0.0);
+}
+
+TEST(Generators, AdultLikeShapeAndScale) {
+  DataVector dv = data::GenAdultLike();
+  EXPECT_EQ(dv.domain.sizes(), (std::vector<std::size_t>{8, 8, 16, 2}));
+  EXPECT_NEAR(dv.Total(), 33e3, 0.01 * 33e3);
+}
+
+TEST(Generators, DeterministicPerSeed) {
+  DataVector a = data::GenCensusLike(99);
+  DataVector b = data::GenCensusLike(99);
+  DataVector c = data::GenCensusLike(100);
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_NE(a.counts, c.counts);
+}
+
+TEST(Generators, CensusIsNonUniform) {
+  // The income margin must be heavy-tailed, not flat: max/min bucket > 3.
+  DataVector dv = data::GenCensusLike();
+  auto income = dv.Marginal(2);
+  double mn = income[0], mx = income[0];
+  for (double v : income) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_GT(mx / std::max(mn, 1.0), 3.0);
+}
+
+TEST(Generators, UniformIsFlat) {
+  DataVector dv = data::GenUniform(Domain({4, 4}), 160.0);
+  for (double c : dv.counts) EXPECT_DOUBLE_EQ(c, 10.0);
+}
+
+TEST(Generators, ZipfIsSkewedAndDeterministic) {
+  Domain d({64});
+  DataVector a = data::GenZipf(d, 1e5, 1.2, 5);
+  DataVector b = data::GenZipf(d, 1e5, 1.2, 5);
+  EXPECT_EQ(a.counts, b.counts);
+  double mx = 0;
+  for (double c : a.counts) mx = std::max(mx, c);
+  // The top cell of a Zipf(1.2) over 64 cells holds a large share.
+  EXPECT_GT(mx / a.Total(), 0.1);
+}
+
+TEST(Io, RoundTrip) {
+  Domain d({2, 3});
+  DataVector dv(d, {1, 2, 3, 4, 5, 6.5});
+  const std::string path = ::testing::TempDir() + "/dpmm_io_test.csv";
+  ASSERT_TRUE(data::SaveCsv(dv, path).ok());
+  auto loaded = data::LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.ValueOrDie().domain.sizes(), d.sizes());
+  EXPECT_EQ(loaded.ValueOrDie().counts, dv.counts);
+  std::remove(path.c_str());
+}
+
+TEST(Io, MissingFileIsIoError) {
+  auto r = data::LoadCsv("/nonexistent/nope.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(Io, MalformedHeaderRejected) {
+  const std::string path = ::testing::TempDir() + "/dpmm_io_bad.csv";
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("not a header\n0,1\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(data::LoadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dpmm

@@ -1,0 +1,111 @@
+// Tests for the eps-DP (L1) weighting variant of Sec. 3.5.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mechanism/error.h"
+#include "optimize/l1_design.h"
+#include "strategy/fourier.h"
+#include "strategy/wavelet.h"
+#include "workload/marginal_workloads.h"
+#include "workload/range_workloads.h"
+
+namespace dpmm {
+namespace {
+
+constexpr double kEps = 0.5;
+
+TEST(L1Design, SensitivityNormalizedToOne) {
+  Domain dom({16});
+  AllRangeWorkload w(dom);
+  auto r =
+      optimize::L1WeightedDesign(w.Gram(), HaarMatrix1D(16)).ValueOrDie();
+  EXPECT_NEAR(r.strategy.L1Sensitivity(), 1.0, 1e-6);
+}
+
+TEST(L1Design, ImprovesWaveletOnAllRange) {
+  // Sec. 3.5: weighting the wavelet basis improves the plain wavelet under
+  // eps-DP (paper reports a factor ~1.1 on all ranges).
+  Domain dom({32});
+  AllRangeWorkload w(dom);
+  const linalg::Matrix gram = w.Gram();
+  Strategy plain = WaveletStrategy(dom);
+  auto weighted = optimize::L1WeightedDesign(gram, plain.matrix()).ValueOrDie();
+  const double before = LaplaceStrategyError(gram, w.num_queries(), plain,
+                                             kEps, ErrorConvention::kPerQuery);
+  const double after =
+      LaplaceStrategyError(gram, w.num_queries(), weighted.strategy, kEps,
+                           ErrorConvention::kPerQuery);
+  EXPECT_LT(after, before);
+  EXPECT_GT(before / after, 1.02);  // visible improvement
+}
+
+TEST(L1Design, ImprovesFourierOnLowOrderMarginals) {
+  Domain dom({4, 4, 2});
+  MarginalsWorkload w = MarginalsWorkload::AllKWay(dom, 1);
+  const linalg::Matrix gram = w.Gram();
+  // The full Fourier basis is invertible; weight it for this workload.
+  linalg::Matrix basis = FullFourierBasis(dom);
+  auto weighted = optimize::L1WeightedDesign(gram, basis).ValueOrDie();
+  Strategy plain(basis, "Fourier-full");
+  const double before = LaplaceStrategyError(gram, w.num_queries(), plain,
+                                             kEps, ErrorConvention::kPerQuery);
+  const double after =
+      LaplaceStrategyError(gram, w.num_queries(), weighted.strategy, kEps,
+                           ErrorConvention::kPerQuery);
+  EXPECT_LT(after, before);
+}
+
+TEST(L1Design, PredictedObjectiveMatchesMeasuredError) {
+  Domain dom({12});
+  AllRangeWorkload w(dom);
+  const linalg::Matrix gram = w.Gram();
+  auto r = optimize::L1WeightedDesign(gram, HaarMatrix1D(12)).ValueOrDie();
+  const double predicted =
+      std::sqrt(2.0 / (kEps * kEps) * r.predicted_objective);
+  const double measured = LaplaceStrategyError(
+      gram, w.num_queries(), r.strategy, kEps, ErrorConvention::kTotal);
+  EXPECT_NEAR(measured, predicted, 2e-3 * predicted);
+}
+
+TEST(L1Design, OrthonormalRowsVariantImprovesRestrictedFourier) {
+  // Sec. 3.5 Fourier measurement: weight the (non-square) restricted
+  // Fourier basis for a low-order marginal workload.
+  Domain dom({4, 4, 2});
+  MarginalsWorkload w = MarginalsWorkload::AllKWay(dom, 1);
+  Strategy plain = FourierStrategy(dom, AllSubsetsOfSize(3, 1));
+  const linalg::Matrix gram = w.Gram();
+  auto weighted =
+      optimize::L1WeightedDesignOrthonormal(gram, plain.matrix()).ValueOrDie();
+  const double before = LaplaceStrategyError(gram, w.num_queries(), plain,
+                                             kEps, ErrorConvention::kPerQuery);
+  const double after =
+      LaplaceStrategyError(gram, w.num_queries(), weighted.strategy, kEps,
+                           ErrorConvention::kPerQuery);
+  EXPECT_LT(after, before);
+  EXPECT_NEAR(weighted.strategy.L1Sensitivity(), 1.0, 1e-6);
+}
+
+TEST(L1Design, OrthonormalVariantMatchesGeneralOnSquareBasis) {
+  // On a square orthonormal basis both construction routes must agree.
+  Domain dom({16});
+  AllRangeWorkload w(dom);
+  const linalg::Matrix gram = w.Gram();
+  const linalg::Matrix basis = FullFourierBasis(dom);
+  auto general = optimize::L1WeightedDesign(gram, basis).ValueOrDie();
+  auto ortho =
+      optimize::L1WeightedDesignOrthonormal(gram, basis).ValueOrDie();
+  EXPECT_NEAR(general.predicted_objective, ortho.predicted_objective,
+              1e-3 * general.predicted_objective);
+}
+
+TEST(L1Design, GapCertificate) {
+  Domain dom({24});
+  AllRangeWorkload w(dom);
+  auto r =
+      optimize::L1WeightedDesign(w.Gram(), HaarMatrix1D(24)).ValueOrDie();
+  EXPECT_LT(r.duality_gap, 1e-5);
+}
+
+}  // namespace
+}  // namespace dpmm

@@ -1,0 +1,92 @@
+// Tests for Kronecker products and the materialization-free Kronecker
+// matrix-vector product.
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "linalg/kronecker.h"
+#include "util/rng.h"
+
+namespace dpmm {
+namespace linalg {
+namespace {
+
+Matrix RandomMatrix(std::size_t r, std::size_t c, Rng* rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng->Gaussian();
+  }
+  return m;
+}
+
+TEST(Kron, SmallKnown) {
+  Matrix a = Matrix::FromRows({{1, 2}});
+  Matrix b = Matrix::FromRows({{3}, {4}});
+  Matrix k = Kron(a, b);
+  ASSERT_EQ(k.rows(), 2u);
+  ASSERT_EQ(k.cols(), 2u);
+  EXPECT_EQ(k(0, 0), 3.0);
+  EXPECT_EQ(k(0, 1), 6.0);
+  EXPECT_EQ(k(1, 0), 4.0);
+  EXPECT_EQ(k(1, 1), 8.0);
+}
+
+TEST(Kron, IdentityKronIdentity) {
+  Matrix k = Kron(Matrix::Identity(3), Matrix::Identity(4));
+  EXPECT_EQ(k.MaxAbsDiff(Matrix::Identity(12)), 0.0);
+}
+
+TEST(Kron, MixedProductProperty) {
+  // (A kron B)(C kron D) = (AC) kron (BD).
+  Rng rng(2);
+  Matrix a = RandomMatrix(3, 2, &rng);
+  Matrix b = RandomMatrix(2, 4, &rng);
+  Matrix c = RandomMatrix(2, 3, &rng);
+  Matrix d = RandomMatrix(4, 2, &rng);
+  Matrix lhs = MatMul(Kron(a, b), Kron(c, d));
+  Matrix rhs = Kron(MatMul(a, c), MatMul(b, d));
+  EXPECT_LT(lhs.MaxAbsDiff(rhs), 1e-10);
+}
+
+TEST(KronList, ThreeFactors) {
+  Rng rng(3);
+  Matrix a = RandomMatrix(2, 2, &rng);
+  Matrix b = RandomMatrix(3, 2, &rng);
+  Matrix c = RandomMatrix(2, 3, &rng);
+  Matrix klist = KronList({a, b, c});
+  Matrix manual = Kron(Kron(a, b), c);
+  EXPECT_LT(klist.MaxAbsDiff(manual), 1e-12);
+}
+
+class KronVecShapes
+    : public ::testing::TestWithParam<std::vector<std::pair<int, int>>> {};
+
+TEST_P(KronVecShapes, MatchesExplicitProduct) {
+  Rng rng(7);
+  std::vector<Matrix> factors;
+  std::size_t cols = 1;
+  for (auto [r, c] : GetParam()) {
+    factors.push_back(RandomMatrix(r, c, &rng));
+    cols *= c;
+  }
+  Vector x(cols);
+  for (auto& v : x) v = rng.Gaussian();
+  Vector fast = KronMatVec(factors, x);
+  Vector slow = MatVec(KronList(factors), x);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    ASSERT_NEAR(fast[i], slow[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KronVecShapes,
+    ::testing::Values(
+        std::vector<std::pair<int, int>>{{2, 3}},
+        std::vector<std::pair<int, int>>{{2, 3}, {4, 2}},
+        std::vector<std::pair<int, int>>{{1, 5}, {3, 3}},
+        std::vector<std::pair<int, int>>{{3, 2}, {1, 4}, {2, 2}},
+        std::vector<std::pair<int, int>>{{4, 4}, {4, 4}, {2, 2}}));
+
+}  // namespace
+}  // namespace linalg
+}  // namespace dpmm

@@ -1,0 +1,107 @@
+// Tests for the release utilities: synthetic-data rounding, budget
+// composition and per-query error profiles.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mechanism/error.h"
+#include "mechanism/matrix_mechanism.h"
+#include "optimize/eigen_design.h"
+#include "release/release.h"
+#include "strategy/wavelet.h"
+#include "workload/builders.h"
+#include "workload/range_workloads.h"
+
+namespace dpmm {
+namespace release {
+namespace {
+
+TEST(NonNegativeIntegral, ClipsAndRounds) {
+  linalg::Vector x{-2.5, 1.2, 3.9, 0.4};
+  linalg::Vector out = NonNegativeIntegral(x);
+  ASSERT_EQ(out.size(), 4u);
+  for (double v : out) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_DOUBLE_EQ(v, std::floor(v));
+  }
+  // Total preserved: clipped sum = 5.5 -> 6 units.
+  EXPECT_DOUBLE_EQ(linalg::SumVec(out), 6.0);
+}
+
+TEST(NonNegativeIntegral, LargestRemaindersWin) {
+  linalg::Vector x{0.9, 0.1, 0.9, 0.1};  // total 2.0
+  linalg::Vector out = NonNegativeIntegral(x);
+  EXPECT_EQ(out, (linalg::Vector{1, 0, 1, 0}));
+}
+
+TEST(NonNegativeIntegral, IntegralInputUnchanged) {
+  linalg::Vector x{3, 0, 7};
+  EXPECT_EQ(NonNegativeIntegral(x), x);
+}
+
+TEST(SyntheticData, AnswersWorkloadsConsistently) {
+  // End to end: a private synthetic dataset answers any query consistently
+  // (it is a single nonnegative integral table).
+  Domain dom({16});
+  AllRangeWorkload w(dom);
+  auto design = optimize::EigenDesignForWorkload(w).ValueOrDie();
+  auto mech =
+      MatrixMechanism::Prepare(design.strategy, {1.0, 1e-4}).ValueOrDie();
+  linalg::Vector x(16, 100.0);
+  Rng rng(3);
+  DataVector synth = SyntheticData(dom, mech.InferX(x, &rng));
+  for (double c : synth.counts) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_DOUBLE_EQ(c, std::floor(c));
+  }
+  // Large-count queries remain accurate after rounding.
+  linalg::Vector est = w.Answer(synth.counts);
+  linalg::Vector truth = w.Answer(x);
+  EXPECT_NEAR(est.back(), truth.back(), 0.10 * truth.back());
+}
+
+TEST(SplitBudget, ProportionalAndExhaustive) {
+  PrivacyParams total{1.0, 1e-4};
+  auto parts = SplitBudget(total, {1.0, 3.0});
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_NEAR(parts[0].epsilon, 0.25, 1e-12);
+  EXPECT_NEAR(parts[1].epsilon, 0.75, 1e-12);
+  EXPECT_NEAR(parts[0].delta + parts[1].delta, total.delta, 1e-18);
+}
+
+TEST(SplitBudget, RejectsNonPositiveWeights) {
+  EXPECT_DEATH(SplitBudget({1.0, 1e-4}, {1.0, 0.0}), "");
+}
+
+TEST(QueryErrorProfile, MatchesWorkloadErrorAggregate) {
+  // The per-query profile must aggregate to the Prop. 4 workload error.
+  auto w = ExplicitWorkload::FromMatrix(builders::Fig1Matrix(), "Fig1");
+  Strategy wav = WaveletStrategy(Domain::OneDim(8));
+  PrivacyParams privacy{0.5, 1e-4};
+  linalg::Vector profile = QueryErrorProfile(w, wav, privacy);
+  ASSERT_EQ(profile.size(), 8u);
+  double total2 = 0;
+  for (double sd : profile) total2 += sd * sd;
+  ErrorOptions opts;
+  opts.privacy = privacy;
+  opts.convention = ErrorConvention::kTotal;
+  EXPECT_NEAR(std::sqrt(total2), StrategyError(w, wav, opts),
+              1e-6 * std::sqrt(total2));
+}
+
+TEST(QueryErrorProfile, IdentityStrategyGivesRowNorms) {
+  // Under the identity strategy, sd_q = sigma * ||w_q||.
+  auto w = ExplicitWorkload::FromMatrix(builders::PrefixMatrix1D(6), "prefix");
+  Strategy id = IdentityStrategy(6);
+  PrivacyParams privacy{1.0, 1e-4};
+  const double sigma = GaussianNoiseScale(privacy, 1.0);
+  linalg::Vector profile = QueryErrorProfile(w, id, privacy);
+  for (std::size_t q = 0; q < 6; ++q) {
+    EXPECT_NEAR(profile[q], sigma * std::sqrt(static_cast<double>(q + 1)),
+                1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace release
+}  // namespace dpmm

@@ -1,0 +1,279 @@
+// dpmm_cli — command-line front end for the adaptive mechanism.
+//
+// Subcommands:
+//   error    --domain 8,16,16 --workload allrange [--epsilon E --delta D]
+//            Analytic error comparison (eigen design vs baselines vs bound).
+//   design   --domain 8,16,16 --workload allrange --out strategy.txt
+//            Run the Eigen-Design once and persist the strategy (selection
+//            is database-independent and reusable).
+//   release  --data hist.csv --workload allrange --epsilon E [--delta D]
+//            [--seed S] [--strategy strategy.txt] [--out answers.csv]
+//            One private release of the workload answers.
+//   synth    --data hist.csv --epsilon E [--delta D] [--seed S]
+//            [--strategy strategy.txt] [--out synth.csv]
+//            Private synthetic histogram (designed for the all-range
+//            workload, then post-processed to nonnegative integers).
+//
+// Workload specs: allrange | cdf | marginals:K | rangemarginals:K
+// Histogram CSV format: see data::SaveCsv (header "# domain: d1,d2,...").
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "dpmm/dpmm.h"
+
+using namespace dpmm;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    args.options[key] = argv[i + 1];
+  }
+  return args;
+}
+
+std::string Opt(const Args& args, const std::string& key,
+                const std::string& fallback = "") {
+  auto it = args.options.find(key);
+  return it == args.options.end() ? fallback : it->second;
+}
+
+Result<Domain> ParseDomain(const std::string& spec) {
+  std::vector<std::size_t> sizes;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t next = spec.find(',', pos);
+    if (next == std::string::npos) next = spec.size();
+    const std::string tok = spec.substr(pos, next - pos);
+    if (tok.empty()) return Status::InvalidArgument("bad domain spec");
+    sizes.push_back(std::stoull(tok));
+    pos = next + 1;
+  }
+  if (sizes.empty()) return Status::InvalidArgument("empty domain spec");
+  return Domain(sizes);
+}
+
+Result<std::shared_ptr<Workload>> ParseWorkload(const std::string& spec,
+                                                const Domain& domain) {
+  if (spec == "allrange") {
+    return std::shared_ptr<Workload>(new AllRangeWorkload(domain));
+  }
+  if (spec == "cdf") {
+    if (domain.num_attributes() != 1) {
+      return Status::InvalidArgument("cdf workload requires a 1-D domain");
+    }
+    return std::shared_ptr<Workload>(new PrefixWorkload(domain.size(0)));
+  }
+  const auto colon = spec.find(':');
+  if (colon != std::string::npos) {
+    const std::string kind = spec.substr(0, colon);
+    const std::size_t way = std::stoull(spec.substr(colon + 1));
+    if (way > domain.num_attributes()) {
+      return Status::InvalidArgument("marginal order exceeds attribute count");
+    }
+    if (kind == "marginals") {
+      return std::shared_ptr<Workload>(new MarginalsWorkload(
+          MarginalsWorkload::AllKWay(domain, way)));
+    }
+    if (kind == "rangemarginals") {
+      return std::shared_ptr<Workload>(
+          new MarginalsWorkload(MarginalsWorkload::AllKWay(
+              domain, way, MarginalsWorkload::Flavor::kRangeMarginal)));
+    }
+  }
+  return Status::InvalidArgument("unknown workload spec '" + spec + "'");
+}
+
+PrivacyParams ParsePrivacy(const Args& args) {
+  PrivacyParams p;
+  p.epsilon = std::stod(Opt(args, "epsilon", "0.5"));
+  p.delta = std::stod(Opt(args, "delta", "1e-4"));
+  return p;
+}
+
+int CmdError(const Args& args) {
+  auto domain = ParseDomain(Opt(args, "domain"));
+  if (!domain.ok()) {
+    std::fprintf(stderr, "%s\n", domain.status().ToString().c_str());
+    return 2;
+  }
+  auto workload = ParseWorkload(Opt(args, "workload", "allrange"),
+                                domain.ValueOrDie());
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 2;
+  }
+  const Workload& w = *workload.ValueOrDie();
+  ErrorOptions opts;
+  opts.privacy = ParsePrivacy(args);
+
+  std::printf("workload: %s (%zu queries over %zu cells)\n",
+              w.Name().c_str(), w.num_queries(), w.num_cells());
+  const linalg::Matrix gram = w.Gram();
+  auto design = optimize::EigenDesign(gram).ValueOrDie();
+  const Domain& dom = w.domain();
+
+  TablePrinter table({"strategy", "per-query RMSE", "vs bound"});
+  const double bound = SvdErrorLowerBound(gram, w.num_queries(), opts);
+  auto add = [&](const std::string& name, double err) {
+    table.AddRow({name, TablePrinter::Num(err, 3),
+                  TablePrinter::Num(err / bound, 3) + "x"});
+  };
+  add("EigenDesign",
+      StrategyError(gram, w.num_queries(), design.strategy, opts));
+  add("Wavelet", StrategyError(gram, w.num_queries(), WaveletStrategy(dom), opts));
+  add("Hierarchical",
+      StrategyError(gram, w.num_queries(), HierarchicalStrategy(dom), opts));
+  add("Identity", StrategyError(gram, w.num_queries(),
+                                IdentityStrategy(w.num_cells()), opts));
+  add("LowerBound", bound);
+  table.Print();
+  return 0;
+}
+
+int CmdDesign(const Args& args) {
+  auto domain = ParseDomain(Opt(args, "domain"));
+  if (!domain.ok()) {
+    std::fprintf(stderr, "%s\n", domain.status().ToString().c_str());
+    return 2;
+  }
+  auto workload = ParseWorkload(Opt(args, "workload", "allrange"),
+                                domain.ValueOrDie());
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 2;
+  }
+  const std::string out = Opt(args, "out");
+  if (out.empty()) {
+    std::fprintf(stderr, "design requires --out <strategy file>\n");
+    return 2;
+  }
+  const Workload& w = *workload.ValueOrDie();
+  Stopwatch sw;
+  auto design = optimize::EigenDesign(w.Gram()).ValueOrDie();
+  Status st = strategy_io::SaveStrategy(design.strategy, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  std::printf("designed strategy for %s in %.1fs (rank %zu, gap %.1e); "
+              "wrote %s\n",
+              w.Name().c_str(), sw.Seconds(), design.rank, design.duality_gap,
+              out.c_str());
+  return 0;
+}
+
+int CmdReleaseOrSynth(const Args& args, bool synth) {
+  auto loaded = data::LoadCsv(Opt(args, "data"));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 2;
+  }
+  const DataVector& data_vec = loaded.ValueOrDie();
+  auto workload =
+      ParseWorkload(Opt(args, "workload", "allrange"), data_vec.domain);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 2;
+  }
+  const Workload& w = *workload.ValueOrDie();
+  PrivacyParams privacy = ParsePrivacy(args);
+  const std::uint64_t seed = std::stoull(Opt(args, "seed", "42"));
+
+  // Reuse a persisted strategy when provided; otherwise design now.
+  Strategy strategy;
+  const std::string strategy_path = Opt(args, "strategy");
+  if (!strategy_path.empty()) {
+    auto loaded_strategy = strategy_io::LoadStrategy(strategy_path);
+    if (!loaded_strategy.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   loaded_strategy.status().ToString().c_str());
+      return 2;
+    }
+    strategy = std::move(loaded_strategy).ValueOrDie();
+    if (strategy.num_cells() != data_vec.domain.NumCells()) {
+      std::fprintf(stderr, "strategy has %zu cells, data has %zu\n",
+                   strategy.num_cells(), data_vec.domain.NumCells());
+      return 2;
+    }
+  } else {
+    strategy = optimize::EigenDesign(w.Gram()).ValueOrDie().strategy;
+  }
+  auto mech = MatrixMechanism::Prepare(strategy, privacy).ValueOrDie();
+  Rng rng(seed);
+  linalg::Vector x_hat = mech.InferX(data_vec.counts, &rng);
+
+  const std::string out = Opt(args, "out");
+  if (synth) {
+    DataVector synth_data = release::SyntheticData(data_vec.domain, x_hat);
+    if (out.empty()) {
+      std::printf("# private synthetic histogram (eps=%.3f, delta=%g)\n",
+                  privacy.epsilon, privacy.delta);
+      for (std::size_t i = 0; i < synth_data.counts.size(); ++i) {
+        std::printf("%zu,%.0f\n", i, synth_data.counts[i]);
+      }
+    } else {
+      Status st = data::SaveCsv(synth_data, out);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 2;
+      }
+      std::printf("wrote %s\n", out.c_str());
+    }
+    return 0;
+  }
+
+  linalg::Vector answers = w.Answer(x_hat);
+  FILE* sink = stdout;
+  if (!out.empty()) {
+    sink = std::fopen(out.c_str(), "w");
+    if (sink == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out.c_str());
+      return 2;
+    }
+  }
+  std::fprintf(sink, "# query,private_answer (eps=%.3f, delta=%g, seed=%llu)\n",
+               privacy.epsilon, privacy.delta,
+               static_cast<unsigned long long>(seed));
+  for (std::size_t q = 0; q < answers.size(); ++q) {
+    std::fprintf(sink, "%zu,%.6f\n", q, answers[q]);
+  }
+  if (sink != stdout) {
+    std::fclose(sink);
+    std::printf("wrote %zu answers to %s\n", answers.size(), out.c_str());
+  }
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: dpmm_cli <error|design|release|synth> [--domain 8,16,16]\n"
+               "                [--workload allrange|cdf|marginals:K|"
+               "rangemarginals:K]\n"
+               "                [--data hist.csv] [--epsilon E] [--delta D]\n"
+               "                [--seed S] [--strategy strategy.txt] [--out file.csv]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  if (args.command == "error") return CmdError(args);
+  if (args.command == "design") return CmdDesign(args);
+  if (args.command == "release") return CmdReleaseOrSynth(args, false);
+  if (args.command == "synth") return CmdReleaseOrSynth(args, true);
+  Usage();
+  return 1;
+}

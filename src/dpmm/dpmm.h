@@ -26,6 +26,7 @@
 #include "linalg/blas.h"
 #include "linalg/cholesky.h"
 #include "linalg/eigen_sym.h"
+#include "linalg/kron_operator.h"
 #include "linalg/kronecker.h"
 #include "linalg/lu.h"
 #include "linalg/matrix.h"
@@ -51,6 +52,7 @@
 #include "strategy/fourier.h"
 #include "strategy/hierarchical.h"
 #include "strategy/io.h"
+#include "strategy/kron_strategy.h"
 #include "strategy/strategy.h"
 #include "strategy/wavelet.h"
 #include "util/rng.h"

@@ -114,7 +114,11 @@ Matrix Gram(const Matrix& a) {
 Vector MatVec(const Matrix& a, const Vector& x) {
   DPMM_CHECK_EQ(a.cols(), x.size());
   Vector y(a.rows(), 0.0);
-  ParallelFor(0, a.rows(), 4096, [&](std::size_t lo, std::size_t hi) {
+  // Grain in rows, sized by row cost: a wide matrix (the dual solver's
+  // n x n constraint matvec) should parallelize even at modest row counts.
+  const std::size_t grain =
+      std::max<std::size_t>(1, (std::size_t{1} << 15) / (a.cols() + 1));
+  ParallelFor(0, a.rows(), grain, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
       const double* ai = a.RowPtr(i);
       double s = 0;

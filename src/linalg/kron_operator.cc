@@ -1,0 +1,179 @@
+#include "linalg/kron_operator.h"
+
+#include <cmath>
+
+#include "linalg/eigen_sym.h"
+#include "linalg/kronecker.h"
+
+namespace dpmm {
+namespace linalg {
+
+namespace {
+
+std::size_t ProductDim(const std::vector<Matrix>& factors) {
+  std::size_t n = 1;
+  for (const auto& f : factors) {
+    DPMM_CHECK_EQ(f.rows(), f.cols());
+    DPMM_CHECK_GT(f.rows(), 0u);
+    n *= f.rows();
+  }
+  return n;
+}
+
+Matrix EntrywiseMap(const Matrix& m, double (*fn)(double)) {
+  Matrix out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* src = m.RowPtr(i);
+    double* dst = out.RowPtr(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) dst[j] = fn(src[j]);
+  }
+  return out;
+}
+
+}  // namespace
+
+KronGram::KronGram(std::vector<Matrix> factors, double scale)
+    : factors_(std::move(factors)), scale_(scale) {
+  DPMM_CHECK_GT(factors_.size(), 0u);
+  dim_ = ProductDim(factors_);
+}
+
+Vector KronGram::MatVec(const Vector& x) const {
+  Vector y = KronMatVec(factors_, x);
+  if (scale_ != 1.0) ScaleVec(scale_, &y);
+  return y;
+}
+
+double KronGram::Trace() const {
+  double t = scale_;
+  for (const auto& f : factors_) t *= f.Trace();
+  return t;
+}
+
+Matrix KronGram::Dense() const {
+  Matrix g = KronList(factors_);
+  if (scale_ != 1.0) g.Scale(scale_);
+  return g;
+}
+
+SumKronGram::SumKronGram(std::vector<KronGram> terms)
+    : terms_(std::move(terms)) {
+  DPMM_CHECK_GT(terms_.size(), 0u);
+  for (const auto& t : terms_) DPMM_CHECK_EQ(t.dim(), terms_[0].dim());
+}
+
+Vector SumKronGram::MatVec(const Vector& x) const {
+  Vector y = terms_[0].MatVec(x);
+  for (std::size_t t = 1; t < terms_.size(); ++t) {
+    Vector yt = terms_[t].MatVec(x);
+    Axpy(1.0, yt, &y);
+  }
+  return y;
+}
+
+double SumKronGram::Trace() const {
+  double t = 0;
+  for (const auto& term : terms_) t += term.Trace();
+  return t;
+}
+
+Matrix SumKronGram::Dense() const {
+  Matrix g = terms_[0].Dense();
+  for (std::size_t t = 1; t < terms_.size(); ++t) {
+    Matrix gt = terms_[t].Dense();
+    for (std::size_t i = 0; i < g.rows(); ++i) {
+      double* gi = g.RowPtr(i);
+      const double* gti = gt.RowPtr(i);
+      for (std::size_t j = 0; j < g.cols(); ++j) gi[j] += gti[j];
+    }
+  }
+  return g;
+}
+
+KronEigenBasis::KronEigenBasis(std::vector<Matrix> factors)
+    : factors_(std::move(factors)) {
+  DPMM_CHECK_GT(factors_.size(), 0u);
+  dim_ = ProductDim(factors_);
+  transposed_.reserve(factors_.size());
+  squared_.reserve(factors_.size());
+  squared_transposed_.reserve(factors_.size());
+  abs_.reserve(factors_.size());
+  for (const auto& f : factors_) {
+    transposed_.push_back(f.Transposed());
+    squared_.push_back(EntrywiseMap(f, [](double v) { return v * v; }));
+    squared_transposed_.push_back(squared_.back().Transposed());
+    abs_.push_back(EntrywiseMap(f, [](double v) { return std::fabs(v); }));
+  }
+}
+
+Vector KronEigenBasis::Apply(const Vector& x) const {
+  return KronMatVec(factors_, x);
+}
+
+Vector KronEigenBasis::ApplyT(const Vector& x) const {
+  return KronMatVec(transposed_, x);
+}
+
+Vector KronEigenBasis::ApplySquared(const Vector& x) const {
+  return KronMatVec(squared_, x);
+}
+
+Vector KronEigenBasis::ApplySquaredT(const Vector& x) const {
+  return KronMatVec(squared_transposed_, x);
+}
+
+Vector KronEigenBasis::ApplyAbs(const Vector& x) const {
+  return KronMatVec(abs_, x);
+}
+
+double KronEigenBasis::Entry(std::size_t row, std::size_t col) const {
+  double v = 1.0;
+  // Factor k-1 varies fastest in the row-major linearization.
+  for (std::size_t i = factors_.size(); i-- > 0;) {
+    const Matrix& f = factors_[i];
+    const std::size_t d = f.rows();
+    v *= f(row % d, col % d);
+    row /= d;
+    col /= d;
+  }
+  return v;
+}
+
+Vector KronEigenBasis::Column(std::size_t col) const {
+  Vector e(dim_, 0.0);
+  e[col] = 1.0;
+  return Apply(e);
+}
+
+Matrix KronEigenBasis::Dense() const { return KronList(factors_); }
+
+Result<KronEigenResult> FactorKronEigen(const KronGram& gram) {
+  std::vector<Matrix> vectors;
+  std::vector<Vector> factor_values;
+  vectors.reserve(gram.num_factors());
+  factor_values.reserve(gram.num_factors());
+  for (const auto& f : gram.factors()) {
+    auto eig = SymmetricEigen(f);
+    if (!eig.ok()) return eig.status();
+    SymmetricEigenResult r = std::move(eig).ValueOrDie();
+    factor_values.push_back(std::move(r.values));
+    vectors.push_back(std::move(r.vectors));
+  }
+  KronEigenResult out;
+  out.basis = KronEigenBasis(std::move(vectors));
+  const std::size_t n = out.basis.dim();
+  // values[j] = scale * prod_i factor_values[i][j_i], row-major multi-index.
+  out.values.assign(n, gram.scale());
+  std::size_t block = n;
+  for (const auto& vals : factor_values) {
+    const std::size_t d = vals.size();
+    block /= d;
+    for (std::size_t j = 0; j < n; ++j) {
+      out.values[j] *= vals[(j / block) % d];
+    }
+  }
+  return out;
+}
+
+}  // namespace linalg
+}  // namespace dpmm

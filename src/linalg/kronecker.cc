@@ -52,20 +52,30 @@ Vector KronMatVec(const std::vector<Matrix>& factors, const Vector& x) {
     for (std::size_t i = axis + 1; i < dims.size(); ++i) stride *= dims[i];
 
     Vector next(outer * r * stride, 0.0);
-    for (std::size_t o = 0; o < outer; ++o) {
-      const double* in_block = cur.data() + o * c * stride;
-      double* out_block = next.data() + o * r * stride;
-      for (std::size_t ri = 0; ri < r; ++ri) {
-        const double* frow = f.RowPtr(ri);
-        double* dst = out_block + ri * stride;
-        for (std::size_t ci = 0; ci < c; ++ci) {
-          const double fv = frow[ci];
-          if (fv == 0.0) continue;
-          const double* src = in_block + ci * stride;
-          for (std::size_t s = 0; s < stride; ++s) dst[s] += fv * src[s];
-        }
-      }
-    }
+    // Each (outer block, row) pair writes a disjoint stride-length slice of
+    // `next`, so the flattened index space splits safely across one thread
+    // team per axis. Grain sized so each chunk carries at least ~kMinFlops
+    // multiply-adds.
+    constexpr std::size_t kMinFlops = std::size_t{1} << 16;
+    const std::size_t per_row = std::max<std::size_t>(c * stride, 1);
+    ParallelFor(0, outer * r, std::max<std::size_t>(1, kMinFlops / per_row),
+                [&](std::size_t lo, std::size_t hi) {
+                  for (std::size_t idx = lo; idx < hi; ++idx) {
+                    const std::size_t o = idx / r;
+                    const std::size_t ri = idx % r;
+                    const double* in_block = cur.data() + o * c * stride;
+                    const double* frow = f.RowPtr(ri);
+                    double* dst = next.data() + (o * r + ri) * stride;
+                    for (std::size_t ci = 0; ci < c; ++ci) {
+                      const double fv = frow[ci];
+                      if (fv == 0.0) continue;
+                      const double* src = in_block + ci * stride;
+                      for (std::size_t s = 0; s < stride; ++s) {
+                        dst[s] += fv * src[s];
+                      }
+                    }
+                  }
+                });
     dims[axis] = r;
     cur = std::move(next);
   }

@@ -21,6 +21,15 @@ double PFactor(const ErrorOptions& opts) {
   return 2.0 * std::log(2.0 / delta) / (eps * eps);
 }
 
+double ErrorFromTrace(double sensitivity, double trace_term,
+                      std::size_t num_queries, const ErrorOptions& opts) {
+  double err2 = PFactor(opts) * sensitivity * sensitivity * trace_term;
+  if (opts.convention == ErrorConvention::kPerQuery) {
+    err2 /= static_cast<double>(num_queries);
+  }
+  return std::sqrt(err2);
+}
+
 double TraceTerm(const Matrix& workload_gram, const Strategy& a) {
   DPMM_CHECK_EQ(workload_gram.rows(), a.num_cells());
   Matrix ata = a.Gram();
@@ -47,15 +56,48 @@ double TraceTerm(const Matrix& workload_gram, const Strategy& a) {
   return tr;
 }
 
+double TraceTerm(const linalg::Vector& gram_eigenvalues,
+                 const KronStrategy& a) {
+  DPMM_CHECK_EQ(gram_eigenvalues.size(), a.num_cells());
+  if (!a.has_completion()) {
+    // Shared eigenbasis: trace(G (A^T A)^+) = sum over kept j of g_j / u_j.
+    double tr = 0;
+    const auto& kept = a.kept();
+    const auto& w = a.weights();
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      const double u = w[i] * w[i];
+      if (u > 0.0) tr += gram_eigenvalues[kept[i]] / u;
+    }
+    return tr;
+  }
+  // Completion rows break the diagonal structure; solve the normal
+  // equations once per nonzero eigendirection: tr = sum_j g_j q_j^T M^-1 q_j.
+  double tr = 0;
+  double max_g = 0;
+  for (double g : gram_eigenvalues) max_g = std::max(max_g, g);
+  for (std::size_t j = 0; j < gram_eigenvalues.size(); ++j) {
+    const double g = gram_eigenvalues[j];
+    if (g <= 1e-15 * max_g) continue;
+    const linalg::Vector qj = a.basis().Column(j);
+    // Validation-grade accuracy: the quadratic form divides by small
+    // completion masses, where a 1e-10 residual would show up at ~1e-4.
+    const linalg::Vector z = a.SolveNormal(qj, 1e-14);
+    tr += g * linalg::Dot(qj, z);
+  }
+  return tr;
+}
+
+double StrategyError(const linalg::Vector& gram_eigenvalues,
+                     std::size_t num_queries, const KronStrategy& a,
+                     const ErrorOptions& opts) {
+  return ErrorFromTrace(a.L2Sensitivity(), TraceTerm(gram_eigenvalues, a),
+                        num_queries, opts);
+}
+
 double StrategyError(const Matrix& workload_gram, std::size_t num_queries,
                      const Strategy& a, const ErrorOptions& opts) {
-  const double sens = a.L2Sensitivity();
-  const double tr = TraceTerm(workload_gram, a);
-  double err2 = PFactor(opts) * sens * sens * tr;
-  if (opts.convention == ErrorConvention::kPerQuery) {
-    err2 /= static_cast<double>(num_queries);
-  }
-  return std::sqrt(err2);
+  return ErrorFromTrace(a.L2Sensitivity(), TraceTerm(workload_gram, a),
+                        num_queries, opts);
 }
 
 double StrategyError(const Workload& w, const Strategy& a,
@@ -64,12 +106,11 @@ double StrategyError(const Workload& w, const Strategy& a,
 }
 
 double GaussianBaselineError(const Workload& w, const ErrorOptions& opts) {
-  // Independent noise with variance P * ||W||_2^2 on each of the m queries.
-  const double sens = w.L2Sensitivity();
-  const double m = static_cast<double>(w.num_queries());
-  double err2 = PFactor(opts) * sens * sens * m;
-  if (opts.convention == ErrorConvention::kPerQuery) err2 /= m;
-  return std::sqrt(err2);
+  // Independent noise with variance P * ||W||_2^2 on each of the m queries:
+  // the trace term degenerates to the query count.
+  return ErrorFromTrace(w.L2Sensitivity(),
+                        static_cast<double>(w.num_queries()), w.num_queries(),
+                        opts);
 }
 
 double LaplaceStrategyError(const Matrix& workload_gram,

@@ -12,6 +12,7 @@
 
 #include "linalg/matrix.h"
 #include "mechanism/privacy.h"
+#include "strategy/kron_strategy.h"
 #include "strategy/strategy.h"
 #include "workload/workload.h"
 
@@ -32,6 +33,13 @@ struct ErrorOptions {
 /// convention.
 double PFactor(const ErrorOptions& opts);
 
+/// Assembles Prop. 4 from its parts: sqrt(P * sens^2 * trace), divided by
+/// the query count under the per-query convention. The single source of the
+/// error formula for the dense and implicit paths (and for callers that
+/// compute the trace themselves, e.g. from a solver objective).
+double ErrorFromTrace(double sensitivity, double trace_term,
+                      std::size_t num_queries, const ErrorOptions& opts);
+
 /// trace(G_w (A^T A)^{-1}), the strategy-dependent part of Prop. 4. Uses a
 /// Cholesky solve when A^T A is positive definite and falls back to the
 /// pseudo-inverse for rank-deficient strategies (valid when the workload
@@ -46,6 +54,24 @@ double StrategyError(const linalg::Matrix& workload_gram,
 
 /// Convenience overload computing the Gram matrix from the workload.
 double StrategyError(const Workload& w, const Strategy& a,
+                     const ErrorOptions& opts);
+
+/// trace(G_w (A^T A)^+) for an implicit Kronecker strategy whose eigenbasis
+/// diagonalizes the workload Gram. `gram_eigenvalues` is the workload
+/// spectrum in the strategy's natural Kronecker order (length num_cells, as
+/// produced by Workload::ImplicitEigen / KronEigenDesignResult). Without
+/// completion rows both matrices are diagonal in the shared basis and the
+/// trace is an O(n) sum; with completion rows each nonzero eigendirection
+/// takes one implicit normal-equation solve (exact, but O(n) solves — meant
+/// for validation, not the hot path; the hot path reports the pre-completion
+/// predicted objective, an upper bound since completion only adds rows).
+double TraceTerm(const linalg::Vector& gram_eigenvalues,
+                 const KronStrategy& a);
+
+/// Workload error of an implicit Kronecker strategy (Prop. 4), computed
+/// entirely through the shared eigenbasis.
+double StrategyError(const linalg::Vector& gram_eigenvalues,
+                     std::size_t num_queries, const KronStrategy& a,
                      const ErrorOptions& opts);
 
 /// Error of answering the workload directly with the Gaussian mechanism

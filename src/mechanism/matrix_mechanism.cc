@@ -52,6 +52,31 @@ Vector MatrixMechanism::Run(const Workload& workload, const Vector& x,
   return workload.Answer(InferX(x, rng));
 }
 
+Result<KronMatrixMechanism> KronMatrixMechanism::Prepare(KronStrategy strategy,
+                                                         PrivacyParams privacy,
+                                                         NoiseKind noise) {
+  const double sigma =
+      noise == NoiseKind::kGaussian
+          ? GaussianNoiseScale(privacy, strategy.L2Sensitivity())
+          : LaplaceNoiseScale(privacy.epsilon, strategy.L1Sensitivity());
+  return KronMatrixMechanism(std::move(strategy), privacy, noise, sigma);
+}
+
+Vector KronMatrixMechanism::InferX(const Vector& x, Rng* rng) const {
+  Vector y = strategy_.Apply(x);
+  if (noise_ == NoiseKind::kGaussian) {
+    for (auto& v : y) v += rng->Gaussian(sigma_);
+  } else {
+    for (auto& v : y) v += rng->Laplace(sigma_);
+  }
+  return strategy_.SolveNormal(strategy_.ApplyT(y));
+}
+
+Vector KronMatrixMechanism::Run(const Workload& workload, const Vector& x,
+                                Rng* rng) const {
+  return workload.Answer(InferX(x, rng));
+}
+
 double MeanRelativeError(const Workload& workload, const MatrixMechanism& mech,
                          const DataVector& data,
                          const RelativeErrorOptions& opts) {

@@ -14,6 +14,7 @@
 #include "linalg/cholesky.h"
 #include "mechanism/error.h"
 #include "mechanism/noise.h"
+#include "strategy/kron_strategy.h"
 #include "strategy/strategy.h"
 #include "util/status.h"
 #include "workload/workload.h"
@@ -75,6 +76,45 @@ class MatrixMechanism {
   // empty optional means the strategy is dense enough to stay dense.
   std::optional<linalg::SparseMatrix> sparse_;
   double sigma_;  // noise scale for the strategy queries
+};
+
+/// The matrix mechanism over an implicit Kronecker strategy: noisy answers
+/// to the kept eigen-queries plus completion rows, least-squares inference
+/// through the implicit normal equations. One release costs O(n sum d_i)
+/// (plus CG iterations when the strategy carries completion rows) and never
+/// materializes the strategy — the form that reaches domain sizes the dense
+/// MatrixMechanism cannot (n >= 2^18).
+class KronMatrixMechanism {
+ public:
+  using NoiseKind = MatrixMechanism::NoiseKind;
+
+  static Result<KronMatrixMechanism> Prepare(
+      KronStrategy strategy, PrivacyParams privacy,
+      NoiseKind noise = NoiseKind::kGaussian);
+
+  /// One private release: the least-squares estimate x_hat of the data
+  /// vector. Workload answers are workload.Answer(x_hat).
+  linalg::Vector InferX(const linalg::Vector& x, Rng* rng) const;
+
+  /// One private release of the workload answers W x_hat.
+  linalg::Vector Run(const Workload& workload, const linalg::Vector& x,
+                     Rng* rng) const;
+
+  const KronStrategy& strategy() const { return strategy_; }
+  double noise_scale() const { return sigma_; }
+
+ private:
+  KronMatrixMechanism(KronStrategy strategy, PrivacyParams privacy,
+                      NoiseKind noise, double sigma)
+      : strategy_(std::move(strategy)),
+        privacy_(privacy),
+        noise_(noise),
+        sigma_(sigma) {}
+
+  KronStrategy strategy_;
+  PrivacyParams privacy_;
+  NoiseKind noise_;
+  double sigma_;
 };
 
 /// Options for Monte-Carlo relative-error evaluation (Sec. 3.4 / Fig. 3b,d).

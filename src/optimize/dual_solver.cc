@@ -11,13 +11,6 @@ namespace optimize {
 
 namespace {
 
-// s = G^T mu, computed against a pre-transposed constraint matrix so the
-// inner loop is a row-major (threaded) matvec.
-void ConstraintAdjoint(const linalg::Matrix& gt, const linalg::Vector& mu,
-                       linalg::Vector* s) {
-  *s = linalg::MatVec(gt, mu);
-}
-
 // Inner minimizer x_i(mu) = (q c_i / s_i)^{1/(q+1)} (0 when c_i = 0).
 void InnerX(const linalg::Vector& c, const linalg::Vector& s, int q,
             linalg::Vector* x) {
@@ -50,10 +43,10 @@ double DualValue(const linalg::Vector& c, const linalg::Vector& s,
 
 // Rescales x to the feasible boundary (max constraint = 1) and evaluates the
 // primal objective there. Returns false when x gives no feasible direction.
-bool FeasiblePrimal(const WeightingProblem& p, const linalg::Vector& x,
+bool FeasiblePrimal(const linalg::Vector& c, int q, const linalg::Vector& x,
                     const linalg::Vector& gx, linalg::Vector* x_feas,
                     double* objective) {
-  const std::size_t nv = p.num_vars();
+  const std::size_t nv = c.size();
   double alpha = 0;
   for (double v : gx) alpha = std::max(alpha, v);
   if (alpha <= 0.0) return false;
@@ -62,9 +55,9 @@ bool FeasiblePrimal(const WeightingProblem& p, const linalg::Vector& x,
   bool any_positive = false;
   for (std::size_t i = 0; i < nv; ++i) {
     (*x_feas)[i] = x[i] / alpha;
-    if (p.c[i] > 0.0) {
+    if (c[i] > 0.0) {
       if ((*x_feas)[i] <= 0.0) return false;  // positive weight needed
-      obj += p.c[i] / std::pow((*x_feas)[i], p.exponent);
+      obj += c[i] / std::pow((*x_feas)[i], q);
       any_positive = true;
     }
   }
@@ -75,41 +68,39 @@ bool FeasiblePrimal(const WeightingProblem& p, const linalg::Vector& x,
 
 }  // namespace
 
-Result<WeightingSolution> SolveWeighting(const WeightingProblem& problem,
+Result<WeightingSolution> SolveWeighting(const linalg::Vector& c,
+                                         const ConstraintOperator& constraints,
+                                         int exponent,
                                          const SolverOptions& options) {
-  const std::size_t nv = problem.num_vars();
-  const std::size_t nc = problem.num_constraints();
+  const std::size_t nv = c.size();
+  const std::size_t nc = constraints.num_constraints();
   DPMM_CHECK_GT(nv, 0u);
   DPMM_CHECK_GT(nc, 0u);
-  DPMM_CHECK_EQ(problem.constraints.cols(), nv);
-  const int q = problem.exponent;
+  DPMM_CHECK_EQ(constraints.num_vars(), nv);
+  const int q = exponent;
   DPMM_CHECK(q == 1 || q == 2);
 
   // Normalize the objective scale: c' = c / c_max. The optimizer x is
   // unchanged; objective and dual bound scale linearly back.
   double c_max = 0;
-  for (double v : problem.c) c_max = std::max(c_max, v);
+  for (double v : c) c_max = std::max(c_max, v);
   if (c_max == 0.0) {
     // Degenerate: nothing to optimize; any feasible x works.
     WeightingSolution sol;
     sol.x.assign(nv, 0.0);
+    const linalg::Vector row_sums = constraints.Apply(linalg::Vector(nv, 1.0));
     double row_max = 0;
-    for (std::size_t j = 0; j < nc; ++j) {
-      double v = 0;
-      for (std::size_t i = 0; i < nv; ++i) v += problem.constraints(j, i);
-      row_max = std::max(row_max, v);
-    }
+    for (double v : row_sums) row_max = std::max(row_max, v);
     if (row_max > 0) sol.x.assign(nv, 1.0 / row_max);
     return sol;
   }
-  WeightingProblem p = problem;
-  for (auto& v : p.c) v /= c_max;
-  const linalg::Matrix gt = p.constraints.Transposed();
+  linalg::Vector cn = c;
+  for (auto& v : cn) v /= c_max;
 
   linalg::Vector mu(nc, 1.0);
   linalg::Vector s, x, grad(nc), mu_trial(nc), s_trial, gx(nc);
-  ConstraintAdjoint(gt, mu, &s);
-  double dual = DualValue(p.c, s, mu, q);
+  s = constraints.ApplyT(mu);
+  double dual = DualValue(cn, s, mu, q);
   double best_dual = dual;
 
   WeightingSolution best;
@@ -136,14 +127,14 @@ Result<WeightingSolution> SolveWeighting(const WeightingProblem& problem,
       if (stalled_windows >= 2) break;
       dual_checkpoint = dual;
     }
-    InnerX(p.c, s, q, &x);
-    gx = linalg::MatVec(p.constraints, x);
+    InnerX(cn, s, q, &x);
+    gx = constraints.Apply(x);
     for (std::size_t j = 0; j < nc; ++j) grad[j] = gx[j] - 1.0;
 
     // Primal candidate from the current dual point.
     linalg::Vector x_feas;
     double obj;
-    if (FeasiblePrimal(p, x, gx, &x_feas, &obj) && obj < best.objective) {
+    if (FeasiblePrimal(cn, q, x, gx, &x_feas, &obj) && obj < best.objective) {
       best.objective = obj;
       best.x = std::move(x_feas);
     }
@@ -162,8 +153,8 @@ Result<WeightingSolution> SolveWeighting(const WeightingProblem& problem,
       for (std::size_t j = 0; j < nc; ++j) {
         mu_trial[j] = mu[j] * std::pow(std::max(gx[j], 1e-300), eta);
       }
-      ConstraintAdjoint(gt, mu_trial, &s_trial);
-      const double trial = DualValue(p.c, s_trial, mu_trial, q);
+      s_trial = constraints.ApplyT(mu_trial);
+      const double trial = DualValue(cn, s_trial, mu_trial, q);
       if (trial > dual) {
         mu.swap(mu_trial);
         s.swap(s_trial);
@@ -178,8 +169,8 @@ Result<WeightingSolution> SolveWeighting(const WeightingProblem& problem,
         for (std::size_t j = 0; j < nc; ++j) {
           mu_trial[j] = std::max(0.0, mu[j] + step * grad[j]);
         }
-        ConstraintAdjoint(gt, mu_trial, &s_trial);
-        const double trial = DualValue(p.c, s_trial, mu_trial, q);
+        s_trial = constraints.ApplyT(mu_trial);
+        const double trial = DualValue(cn, s_trial, mu_trial, q);
         if (trial > dual) {
           mu.swap(mu_trial);
           s.swap(s_trial);
@@ -204,6 +195,13 @@ Result<WeightingSolution> SolveWeighting(const WeightingProblem& problem,
                       std::max(1.0, std::fabs(best.objective));
   best.iterations = it;
   return best;
+}
+
+Result<WeightingSolution> SolveWeighting(const WeightingProblem& problem,
+                                         const SolverOptions& options) {
+  DPMM_CHECK_EQ(problem.constraints.cols(), problem.num_vars());
+  const DenseConstraintOperator op(problem.constraints);
+  return SolveWeighting(problem.c, op, problem.exponent, options);
 }
 
 }  // namespace optimize

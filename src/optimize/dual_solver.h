@@ -52,6 +52,14 @@ struct WeightingSolution {
 Result<WeightingSolution> SolveWeighting(const WeightingProblem& problem,
                                          const SolverOptions& options = {});
 
+/// Operator form: the solver touches the constraints only through matvecs,
+/// so structured constraint operators (KronEigenConstraintOperator) run the
+/// identical iteration in O(n sum d_i) per step without an n x n matrix.
+Result<WeightingSolution> SolveWeighting(const linalg::Vector& c,
+                                         const ConstraintOperator& constraints,
+                                         int exponent,
+                                         const SolverOptions& options = {});
+
 }  // namespace optimize
 }  // namespace dpmm
 

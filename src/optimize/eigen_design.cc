@@ -10,6 +10,22 @@ namespace optimize {
 using linalg::Matrix;
 using linalg::Vector;
 
+Vector CompletionScales(const Vector& col2) {
+  double max2 = 0;
+  for (double v : col2) max2 = std::max(max2, v);
+  Vector completion(col2.size(), 0.0);
+  bool any = false;
+  for (std::size_t j = 0; j < col2.size(); ++j) {
+    const double deficit = max2 - col2[j];
+    if (deficit > 1e-12 * std::max(1.0, max2)) {
+      completion[j] = std::sqrt(deficit);
+      any = true;
+    }
+  }
+  if (!any) completion.clear();
+  return completion;
+}
+
 Strategy AssembleWeightedStrategy(const Matrix& eigenvectors,
                                   const std::vector<std::size_t>& kept,
                                   const Vector& weights, bool complete_columns,
@@ -37,35 +53,28 @@ Strategy AssembleWeightedStrategy(const Matrix& eigenvectors,
     const double* row = a.RowPtr(i);
     for (std::size_t j = 0; j < n; ++j) col2[j] += row[j] * row[j];
   }
-  double max2 = 0;
-  for (double v : col2) max2 = std::max(max2, v);
-  std::vector<std::pair<std::size_t, double>> completions;
+  const Vector completion = CompletionScales(col2);
+  if (completion.empty()) return Strategy(std::move(a), std::move(name));
+  std::size_t num_rows = 0;
+  for (double v : completion) num_rows += v > 0.0 ? 1 : 0;
+  Matrix d(num_rows, n);
+  std::size_t k = 0;
   for (std::size_t j = 0; j < n; ++j) {
-    const double deficit = max2 - col2[j];
-    if (deficit > 1e-12 * std::max(1.0, max2)) {
-      completions.push_back({j, std::sqrt(deficit)});
-    }
-  }
-  if (completions.empty()) return Strategy(std::move(a), std::move(name));
-  Matrix d(completions.size(), n);
-  for (std::size_t k = 0; k < completions.size(); ++k) {
-    d(k, completions[k].first) = completions[k].second;
+    if (completion[j] > 0.0) d(k++, j) = completion[j];
   }
   return Strategy(a.VStack(d), std::move(name));
 }
 
 Strategy SqrtEigenvalueStrategy(const linalg::SymmetricEigenResult& eigen,
                                 double rank_rel_tol, bool complete_columns) {
-  double max_ev = 0;
-  for (double v : eigen.values) max_ev = std::max(max_ev, v);
-  DPMM_CHECK_GT(max_ev, 0.0);
-  std::vector<std::size_t> kept;
+  Vector kept_values;
+  std::vector<std::size_t> kept =
+      KeptSpectrum(eigen.values, rank_rel_tol, &kept_values);
+  DPMM_CHECK_GT(kept.size(), 0u);
   Vector weights;
-  for (std::size_t i = 0; i < eigen.values.size(); ++i) {
-    if (eigen.values[i] > rank_rel_tol * max_ev) {
-      kept.push_back(i);
-      weights.push_back(std::pow(eigen.values[i], 0.25));  // lambda = sigma^(1/4)
-    }
+  weights.reserve(kept_values.size());
+  for (double v : kept_values) {
+    weights.push_back(std::pow(v, 0.25));  // lambda = sigma^(1/4)
   }
   // Normalize to unit sensitivity for comparability.
   Strategy raw = AssembleWeightedStrategy(eigen.vectors, kept, weights,
@@ -109,6 +118,74 @@ Result<EigenDesignResult> EigenDesign(const Matrix& workload_gram,
   auto eig = linalg::SymmetricEigen(workload_gram);
   if (!eig.ok()) return eig.status();
   return EigenDesignFromEigen(eig.ValueOrDie(), options);
+}
+
+Result<KronEigenDesignResult> EigenDesignFromKronEigen(
+    const linalg::KronEigenResult& eigen, const EigenDesignOptions& options) {
+  const std::size_t n = eigen.basis.dim();
+  DPMM_CHECK_EQ(eigen.values.size(), n);
+  // Sec. 4.1 rank reduction through the shared threshold rule.
+  Vector c;
+  std::vector<std::size_t> kept =
+      KeptSpectrum(eigen.values, options.rank_rel_tol, &c);
+  if (kept.empty()) {
+    return Status::InvalidArgument("zero spectrum in EigenDesignFromKronEigen");
+  }
+
+  const KronEigenConstraintOperator op(&eigen.basis, kept);
+  auto solved = SolveWeighting(c, op, /*exponent=*/1, options.solver);
+  if (!solved.ok()) return solved.status();
+  const WeightingSolution& sol = solved.ValueOrDie();
+
+  KronEigenDesignResult out;
+  out.eigenvalues = eigen.values;
+  out.kept = kept;
+  out.rank = kept.size();
+  out.predicted_objective = sol.objective;
+  out.duality_gap = sol.relative_gap;
+  out.solver_iterations = sol.iterations;
+  out.weights.resize(kept.size());
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    out.weights[i] = std::sqrt(std::max(0.0, sol.x[i]));
+  }
+
+  // Steps 4-5 without forming A: squared column norms are one squared-basis
+  // apply of u = lambda^2; deficits become the diagonal completion block
+  // (CompletionScales — the same rule as the dense assembly).
+  Vector completion;
+  if (options.complete_columns) {
+    Vector u_full(n, 0.0);
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      u_full[kept[i]] = std::max(0.0, sol.x[i]);
+    }
+    completion = CompletionScales(eigen.basis.ApplySquared(u_full));
+  }
+  out.strategy =
+      KronStrategy(eigen.basis, std::move(kept), out.weights,
+                   std::move(completion), "EigenDesign(Kron)");
+  return out;
+}
+
+Result<KronEigenDesignResult> EigenDesignKron(
+    const linalg::KronGram& workload_gram, const EigenDesignOptions& options) {
+  auto eig = linalg::FactorKronEigen(workload_gram);
+  if (!eig.ok()) return eig.status();
+  return EigenDesignFromKronEigen(eig.ValueOrDie(), options);
+}
+
+Result<KronEigenDesignResult> EigenDesignKronForWorkload(
+    const Workload& workload, const EigenDesignOptions& options) {
+  auto eig = workload.ImplicitEigen();
+  if (eig.has_value()) return EigenDesignFromKronEigen(*eig, options);
+  // nullopt conflates "no structure" with a failed factor eigensolve;
+  // distinguish them here so the caller sees the real error.
+  auto kron = workload.KronGramFactors();
+  if (kron.has_value()) {
+    auto factored = linalg::FactorKronEigen(*kron);
+    if (!factored.ok()) return factored.status();
+  }
+  return Status::InvalidArgument("workload '" + workload.Name() +
+                                 "' exposes no Kronecker eigenstructure");
 }
 
 Result<EigenDesignResult> EigenDesignForWorkload(

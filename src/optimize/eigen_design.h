@@ -12,7 +12,9 @@
 #define DPMM_OPTIMIZE_EIGEN_DESIGN_H_
 
 #include "linalg/eigen_sym.h"
+#include "linalg/kron_operator.h"
 #include "optimize/dual_solver.h"
+#include "strategy/kron_strategy.h"
 #include "strategy/strategy.h"
 #include "util/status.h"
 #include "workload/workload.h"
@@ -60,6 +62,48 @@ Result<EigenDesignResult> EigenDesign(const linalg::Matrix& workload_gram,
 /// the m x m side in O(m^2 n) instead of a dense O(n^3) eigensolve.
 Result<EigenDesignResult> EigenDesignForWorkload(
     const Workload& workload, const EigenDesignOptions& options = {});
+
+/// Program 2 through the Kronecker fast path: same algorithm, no dense
+/// matrices anywhere. The spectrum comes factored (natural Kronecker order),
+/// the weighting problem runs against the implicit squared-eigenbasis
+/// constraint operator, and the result is an implicit KronStrategy.
+struct KronEigenDesignResult {
+  KronStrategy strategy;
+  linalg::Vector weights;          // lambda_i for the kept eigen-queries
+  std::vector<std::size_t> kept;   // natural Kronecker indices, ascending
+  /// Full spectrum of W^T W in natural Kronecker order (length n).
+  linalg::Vector eigenvalues;
+  /// Predicted trace term sum c_i/u_i at sensitivity 1 (before completion).
+  double predicted_objective = 0;
+  double duality_gap = 0;
+  int solver_iterations = 0;
+  std::size_t rank = 0;
+};
+
+/// Runs Program 2 given a factored eigendecomposition (use with
+/// Workload::ImplicitEigen or linalg::FactorKronEigen). Total cost
+/// O(sum d_i^3 + iters * n sum d_i) against the dense path's O(n^3).
+Result<KronEigenDesignResult> EigenDesignFromKronEigen(
+    const linalg::KronEigenResult& eigen,
+    const EigenDesignOptions& options = {});
+
+/// Runs Program 2 on a Kronecker-factored workload Gram.
+Result<KronEigenDesignResult> EigenDesignKron(
+    const linalg::KronGram& workload_gram,
+    const EigenDesignOptions& options = {});
+
+/// Kronecker eigen-design for a structured workload; fails with
+/// InvalidArgument when the workload exposes no Kronecker eigenstructure
+/// (use EigenDesignForWorkload for the dense path in that case).
+Result<KronEigenDesignResult> EigenDesignKronForWorkload(
+    const Workload& workload, const EigenDesignOptions& options = {});
+
+/// Steps 4-5 completion scales from the squared column norms of the
+/// weighted design: entry j is sqrt(max(col2) - col2[j]) where the deficit
+/// exceeds the shared threshold, 0 otherwise; an empty vector when no
+/// column is deficient. The single source of the completion rule for both
+/// the dense and the implicit assembly paths.
+linalg::Vector CompletionScales(const linalg::Vector& col2);
 
 /// Builds the strategy diag(weights) * basis_rows(kept) with optional column
 /// completion — shared by the eigen-design and the Sec. 4 optimizations.

@@ -1,13 +1,50 @@
 #include "optimize/weighting_problem.h"
 
 #include <cmath>
+#include <utility>
 
+#include "linalg/blas.h"
 #include "linalg/lu.h"
 
 namespace dpmm {
 namespace optimize {
 
 using linalg::Matrix;
+
+DenseConstraintOperator::DenseConstraintOperator(Matrix constraints)
+    : g_(std::move(constraints)), gt_(g_.Transposed()) {}
+
+linalg::Vector DenseConstraintOperator::Apply(const linalg::Vector& x) const {
+  return linalg::MatVec(g_, x);
+}
+
+linalg::Vector DenseConstraintOperator::ApplyT(const linalg::Vector& mu) const {
+  return linalg::MatVec(gt_, mu);
+}
+
+KronEigenConstraintOperator::KronEigenConstraintOperator(
+    const linalg::KronEigenBasis* basis, std::vector<std::size_t> kept)
+    : basis_(basis), kept_(std::move(kept)) {
+  DPMM_CHECK_GT(kept_.size(), 0u);
+  for (std::size_t j : kept_) DPMM_CHECK_LT(j, basis_->dim());
+}
+
+linalg::Vector KronEigenConstraintOperator::Apply(
+    const linalg::Vector& x) const {
+  DPMM_CHECK_EQ(x.size(), kept_.size());
+  linalg::Vector full(basis_->dim(), 0.0);
+  for (std::size_t v = 0; v < kept_.size(); ++v) full[kept_[v]] = x[v];
+  return basis_->ApplySquared(full);
+}
+
+linalg::Vector KronEigenConstraintOperator::ApplyT(
+    const linalg::Vector& mu) const {
+  DPMM_CHECK_EQ(mu.size(), basis_->dim());
+  linalg::Vector full = basis_->ApplySquaredT(mu);
+  linalg::Vector out(kept_.size());
+  for (std::size_t v = 0; v < kept_.size(); ++v) out[v] = full[kept_[v]];
+  return out;
+}
 
 namespace {
 
@@ -49,20 +86,30 @@ WeightingProblem MakeL2Problem(const Matrix& workload_gram,
   return p;
 }
 
+std::vector<std::size_t> KeptSpectrum(const linalg::Vector& values,
+                                      double rank_rel_tol,
+                                      linalg::Vector* kept_values) {
+  double max_ev = 0;
+  for (double v : values) max_ev = std::max(max_ev, v);
+  std::vector<std::size_t> kept;
+  if (kept_values != nullptr) kept_values->clear();
+  if (max_ev <= 0) return kept;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] > rank_rel_tol * max_ev) {
+      kept.push_back(i);
+      if (kept_values != nullptr) kept_values->push_back(values[i]);
+    }
+  }
+  return kept;
+}
+
 WeightingProblem MakeEigenProblem(const linalg::SymmetricEigenResult& eigen,
                                   double rank_rel_tol,
                                   std::vector<std::size_t>* kept_indices) {
   // Note: `eigen` may be a truncated decomposition (e.g. LowRankGramEigen),
   // in which case values.size() < vectors.rows(); one constraint per cell.
-  const std::size_t num_values = eigen.values.size();
   const std::size_t num_cells = eigen.vectors.rows();
-  double max_ev = 0;
-  for (double v : eigen.values) max_ev = std::max(max_ev, v);
-  DPMM_CHECK_GT(max_ev, 0.0);
-  std::vector<std::size_t> kept;
-  for (std::size_t i = 0; i < num_values; ++i) {
-    if (eigen.values[i] > rank_rel_tol * max_ev) kept.push_back(i);
-  }
+  std::vector<std::size_t> kept = KeptSpectrum(eigen.values, rank_rel_tol);
   DPMM_CHECK_GT(kept.size(), 0u);
 
   WeightingProblem p;

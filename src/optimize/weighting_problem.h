@@ -21,7 +21,10 @@
 #ifndef DPMM_OPTIMIZE_WEIGHTING_PROBLEM_H_
 #define DPMM_OPTIMIZE_WEIGHTING_PROBLEM_H_
 
+#include <vector>
+
 #include "linalg/eigen_sym.h"
+#include "linalg/kron_operator.h"
 #include "linalg/matrix.h"
 
 namespace dpmm {
@@ -39,11 +42,71 @@ struct WeightingProblem {
   std::size_t num_constraints() const { return constraints.rows(); }
 };
 
+/// An entrywise-nonnegative constraint matrix exposed only through matvecs —
+/// all the dual solver ever needs. Structured workloads supply operators
+/// whose Apply costs O(n sum d_i) instead of the O(n^2) dense matvec (and,
+/// more importantly, O(n sum d_i) memory instead of the n x n matrix that
+/// makes the dense path infeasible past ~2^14 cells).
+class ConstraintOperator {
+ public:
+  virtual ~ConstraintOperator() = default;
+  virtual std::size_t num_constraints() const = 0;
+  virtual std::size_t num_vars() const = 0;
+  virtual linalg::Vector Apply(const linalg::Vector& x) const = 0;    // G x
+  virtual linalg::Vector ApplyT(const linalg::Vector& mu) const = 0;  // G^T mu
+};
+
+/// Dense adapter: wraps a WeightingProblem's constraint matrix, holding a
+/// pre-transposed copy so both directions run as threaded row-major matvecs.
+class DenseConstraintOperator : public ConstraintOperator {
+ public:
+  explicit DenseConstraintOperator(linalg::Matrix constraints);
+
+  std::size_t num_constraints() const override { return g_.rows(); }
+  std::size_t num_vars() const override { return g_.cols(); }
+  linalg::Vector Apply(const linalg::Vector& x) const override;
+  linalg::Vector ApplyT(const linalg::Vector& mu) const override;
+
+ private:
+  linalg::Matrix g_;
+  linalg::Matrix gt_;
+};
+
+/// The eigen weighting problem's constraints over an *implicit* Kronecker
+/// eigenbasis: G(j, v) = Q(j, kept[v])^2, i.e. the entrywise square Q o Q
+/// restricted to the kept columns. Both matvec directions scatter/gather
+/// through the kept index set around a squared-factor vec-trick apply.
+/// Because Q is orthogonal, Q o Q is doubly stochastic, so mu = 1 still
+/// starts the solver at the sqrt-eigenvalue strategy of Thm. 2.
+class KronEigenConstraintOperator : public ConstraintOperator {
+ public:
+  KronEigenConstraintOperator(const linalg::KronEigenBasis* basis,
+                              std::vector<std::size_t> kept);
+
+  std::size_t num_constraints() const override { return basis_->dim(); }
+  std::size_t num_vars() const override { return kept_.size(); }
+  linalg::Vector Apply(const linalg::Vector& x) const override;
+  linalg::Vector ApplyT(const linalg::Vector& mu) const override;
+
+ private:
+  const linalg::KronEigenBasis* basis_;  // not owned
+  std::vector<std::size_t> kept_;
+};
+
 /// Program 1 for an arbitrary invertible design basis (rows of `basis` are
 /// the design queries): c_i = (B^{-T} G_W B^{-1})_ii, constraint row per
 /// cell j with entries B_ij^2.
 WeightingProblem MakeL2Problem(const linalg::Matrix& workload_gram,
                                const linalg::Matrix& basis);
+
+/// The Sec. 4.1 rank-reduction rule, shared by every eigen-design path
+/// (dense, sqrt-eigenvalue, Kronecker) so the threshold cannot drift:
+/// returns the indices with values[i] > rank_rel_tol * max(values), in
+/// order; `kept_values` (optional) receives the surviving values. Empty
+/// when the spectrum is entirely nonpositive.
+std::vector<std::size_t> KeptSpectrum(const linalg::Vector& values,
+                                      double rank_rel_tol,
+                                      linalg::Vector* kept_values = nullptr);
 
 /// Program 1 for the eigen-design (Def. 6): the basis is the orthogonal
 /// eigenbasis of W^T W, so c = eigenvalues directly. Eigenvalues at or

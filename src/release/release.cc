@@ -77,5 +77,20 @@ linalg::Vector QueryErrorProfile(const ExplicitWorkload& workload,
   return out;
 }
 
+linalg::Vector QueryErrorProfile(const ExplicitWorkload& workload,
+                                 const KronStrategy& strategy,
+                                 const PrivacyParams& privacy) {
+  const linalg::Matrix& w = *workload.matrix();
+  DPMM_CHECK_EQ(w.cols(), strategy.num_cells());
+  const double sigma = GaussianNoiseScale(privacy, strategy.L2Sensitivity());
+  linalg::Vector out(w.rows());
+  for (std::size_t q = 0; q < w.rows(); ++q) {
+    const linalg::Vector wq = w.Row(q);
+    const linalg::Vector z = strategy.SolveNormal(wq);
+    out[q] = sigma * std::sqrt(std::max(0.0, linalg::Dot(wq, z)));
+  }
+  return out;
+}
+
 }  // namespace release
 }  // namespace dpmm

@@ -14,6 +14,7 @@
 
 #include "data/data_vector.h"
 #include "mechanism/privacy.h"
+#include "strategy/kron_strategy.h"
 #include "strategy/strategy.h"
 #include "workload/workload.h"
 
@@ -39,6 +40,13 @@ std::vector<PrivacyParams> SplitBudget(const PrivacyParams& total,
 /// sd_q = sigma * || w_q A^+ ||_2 (Def. 5 / Prop. 4 per-query error).
 linalg::Vector QueryErrorProfile(const ExplicitWorkload& workload,
                                  const Strategy& strategy,
+                                 const PrivacyParams& privacy);
+
+/// Per-query error profile against an implicit Kronecker strategy:
+/// sd_q = sigma * sqrt(w_q (A^T A)^+ w_q^T), one implicit normal-equation
+/// solve per query — no n x n pseudo-inverse is ever formed.
+linalg::Vector QueryErrorProfile(const ExplicitWorkload& workload,
+                                 const KronStrategy& strategy,
                                  const PrivacyParams& privacy);
 
 }  // namespace release

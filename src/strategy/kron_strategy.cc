@@ -1,0 +1,182 @@
+#include "strategy/kron_strategy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpmm {
+
+using linalg::Vector;
+
+KronStrategy::KronStrategy(linalg::KronEigenBasis basis,
+                           std::vector<std::size_t> kept, Vector weights,
+                           Vector completion, std::string name)
+    : basis_(std::move(basis)),
+      kept_(std::move(kept)),
+      weights_(std::move(weights)),
+      completion_(std::move(completion)),
+      name_(std::move(name)) {
+  DPMM_CHECK_GT(kept_.size(), 0u);
+  DPMM_CHECK_EQ(kept_.size(), weights_.size());
+  DPMM_CHECK(std::is_sorted(kept_.begin(), kept_.end()));
+  u_full_.assign(basis_.dim(), 0.0);
+  for (std::size_t i = 0; i < kept_.size(); ++i) {
+    DPMM_CHECK_LT(kept_[i], basis_.dim());
+    u_full_[kept_[i]] = weights_[i] * weights_[i];
+  }
+  if (!completion_.empty()) {
+    DPMM_CHECK_EQ(completion_.size(), basis_.dim());
+    for (std::size_t j = 0; j < completion_.size(); ++j) {
+      if (completion_[j] > 0.0) completion_cells_.push_back(j);
+    }
+  }
+}
+
+Vector KronStrategy::Apply(const Vector& x) const {
+  DPMM_CHECK_EQ(x.size(), num_cells());
+  const Vector z = basis_.ApplyT(x);
+  Vector out;
+  out.reserve(num_queries());
+  for (std::size_t i = 0; i < kept_.size(); ++i) {
+    out.push_back(weights_[i] * z[kept_[i]]);
+  }
+  for (std::size_t j : completion_cells_) out.push_back(completion_[j] * x[j]);
+  return out;
+}
+
+Vector KronStrategy::ApplyT(const Vector& y) const {
+  DPMM_CHECK_EQ(y.size(), num_queries());
+  Vector full(num_cells(), 0.0);
+  for (std::size_t i = 0; i < kept_.size(); ++i) {
+    full[kept_[i]] = weights_[i] * y[i];
+  }
+  Vector out = basis_.Apply(full);
+  for (std::size_t k = 0; k < completion_cells_.size(); ++k) {
+    const std::size_t j = completion_cells_[k];
+    out[j] += completion_[j] * y[kept_.size() + k];
+  }
+  return out;
+}
+
+Vector KronStrategy::NormalMatVec(const Vector& v) const {
+  DPMM_CHECK_EQ(v.size(), num_cells());
+  Vector z = basis_.ApplyT(v);
+  for (std::size_t j = 0; j < z.size(); ++j) z[j] *= u_full_[j];
+  Vector out = basis_.Apply(z);
+  for (std::size_t j : completion_cells_) {
+    out[j] += completion_[j] * completion_[j] * v[j];
+  }
+  return out;
+}
+
+Vector KronStrategy::ColumnNormsSquared() const {
+  Vector col2 = basis_.ApplySquared(u_full_);
+  for (std::size_t j : completion_cells_) {
+    col2[j] += completion_[j] * completion_[j];
+  }
+  return col2;
+}
+
+double KronStrategy::L2Sensitivity() const {
+  double mx = 0;
+  for (double v : ColumnNormsSquared()) mx = std::max(mx, v);
+  return std::sqrt(std::max(0.0, mx));
+}
+
+double KronStrategy::L1Sensitivity() const {
+  Vector lam_full(num_cells(), 0.0);
+  for (std::size_t i = 0; i < kept_.size(); ++i) {
+    lam_full[kept_[i]] = weights_[i];
+  }
+  Vector abs_sum = basis_.ApplyAbs(lam_full);
+  for (std::size_t j : completion_cells_) abs_sum[j] += completion_[j];
+  double mx = 0;
+  for (double v : abs_sum) mx = std::max(mx, v);
+  return mx;
+}
+
+Vector KronStrategy::SolveNormal(const Vector& b, double rel_tol) const {
+  DPMM_CHECK_EQ(b.size(), num_cells());
+  const std::size_t n = num_cells();
+  if (completion_cells_.empty()) {
+    // A^T A = Q diag(u) Q^T: invert on the kept spectrum, zero elsewhere
+    // (minimum-norm solution for truncated designs).
+    Vector z = basis_.ApplyT(b);
+    for (std::size_t j = 0; j < n; ++j) {
+      z[j] = u_full_[j] > 0.0 ? z[j] / u_full_[j] : 0.0;
+    }
+    return basis_.Apply(z);
+  }
+  // Preconditioned CG on M = Q diag(u) Q^T + D^2 with preconditioner
+  // P = Q diag(u + tau) Q^T, tau = mean completion mass — exact when the
+  // completion diagonal is uniform, a strong approximation otherwise.
+  double tau = 0;
+  for (std::size_t j : completion_cells_) {
+    tau += completion_[j] * completion_[j];
+  }
+  tau /= static_cast<double>(n);
+  double u_max = 0;
+  for (double u : u_full_) u_max = std::max(u_max, u);
+  tau = std::max(tau, 1e-14 * u_max);
+  auto precond = [&](const Vector& r) {
+    Vector z = basis_.ApplyT(r);
+    for (std::size_t j = 0; j < n; ++j) z[j] /= (u_full_[j] + tau);
+    return basis_.Apply(z);
+  };
+
+  const double b_norm2 = linalg::Dot(b, b);
+  Vector x(n, 0.0);
+  Vector r = b;
+  Vector z = precond(r);
+  Vector p = z;
+  double rz = linalg::Dot(r, z);
+  const double tol2 = rel_tol * rel_tol * std::max(b_norm2, 1e-300);
+  const int max_iter = static_cast<int>(std::min<std::size_t>(8 * n, 20000));
+  // Stagnation guard: when rounding noise keeps the residual above the
+  // requested floor, stop once a window of iterations brings no improvement
+  // instead of burning the full budget.
+  constexpr int kStagnationWindow = 50;
+  double best_r2 = b_norm2;
+  Vector best_x = x;
+  int since_improvement = 0;
+  for (int it = 0; it < max_iter; ++it) {
+    const double r2 = linalg::Dot(r, r);
+    if (r2 < best_r2) {
+      best_r2 = r2;
+      best_x = x;
+      since_improvement = 0;
+    } else if (++since_improvement >= kStagnationWindow) {
+      break;
+    }
+    if (r2 <= tol2) break;
+    const Vector mp = NormalMatVec(p);
+    const double p_mp = linalg::Dot(p, mp);
+    if (p_mp <= 0.0) break;  // hit the (numerical) null space
+    const double alpha = rz / p_mp;
+    linalg::Axpy(alpha, p, &x);
+    linalg::Axpy(-alpha, mp, &r);
+    z = precond(r);
+    const double rz_next = linalg::Dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t j = 0; j < n; ++j) p[j] = z[j] + beta * p[j];
+  }
+  const double final_r2 = linalg::Dot(r, r);
+  return final_r2 <= best_r2 ? x : best_x;
+}
+
+Strategy KronStrategy::Materialize() const {
+  const std::size_t n = num_cells();
+  linalg::Matrix a(num_queries(), n);
+  for (std::size_t i = 0; i < kept_.size(); ++i) {
+    const Vector q = basis_.Column(kept_[i]);
+    double* row = a.RowPtr(i);
+    for (std::size_t j = 0; j < n; ++j) row[j] = weights_[i] * q[j];
+  }
+  for (std::size_t k = 0; k < completion_cells_.size(); ++k) {
+    const std::size_t j = completion_cells_[k];
+    a(kept_.size() + k, j) = completion_[j];
+  }
+  return Strategy(std::move(a), name_);
+}
+
+}  // namespace dpmm

@@ -21,16 +21,21 @@ int NumThreads() {
 
 void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
                  const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (end <= begin) return;
+  if (end <= begin) return;  // empty range: no work, no threads
   const std::size_t total = end - begin;
+  // A grain of 0 means "no minimum"; clamp so the chunk arithmetic below
+  // never divides by zero or underflows.
+  const std::size_t min_grain = std::max<std::size_t>(grain, 1);
   const int max_threads = NumThreads();
-  if (max_threads <= 1 || total < std::max<std::size_t>(grain, 2)) {
+  // Serial fallback: one configured thread, or the whole range fits in a
+  // single grain (this also covers grain larger than the range).
+  if (max_threads <= 1 || total <= min_grain) {
     fn(begin, end);
     return;
   }
   const std::size_t num_chunks =
       std::min<std::size_t>(static_cast<std::size_t>(max_threads),
-                            (total + grain - 1) / std::max<std::size_t>(grain, 1));
+                            (total + min_grain - 1) / min_grain);
   if (num_chunks <= 1) {
     fn(begin, end);
     return;

@@ -14,9 +14,10 @@ namespace dpmm {
 int NumThreads();
 
 /// Runs fn(begin, end) over a partition of [begin, end) across worker
-/// threads. Falls back to a serial call when the range is small (< grain)
-/// or only one thread is configured. fn must be thread-safe across disjoint
-/// ranges.
+/// threads. An empty range is a no-op; the call is serial when the range
+/// fits in one grain (including grain larger than the range; grain 0 means
+/// "no minimum") or only one thread is configured. fn must be thread-safe
+/// across disjoint ranges.
 void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
                  const std::function<void(std::size_t, std::size_t)>& fn);
 

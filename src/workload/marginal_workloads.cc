@@ -87,9 +87,10 @@ std::string MarginalsWorkload::Name() const {
   return oss.str();
 }
 
-Matrix MarginalsWorkload::GramWithScales(bool normalized) const {
-  const std::size_t n = num_cells();
-  Matrix g(n, n);
+std::optional<linalg::SumKronGram> MarginalsWorkload::StructuredGramImpl(
+    bool normalized) const {
+  std::vector<linalg::KronGram> terms;
+  terms.reserve(sets_.size());
   for (const auto& set : sets_) {
     std::vector<Matrix> factors;
     factors.reserve(domain_.num_attributes());
@@ -108,14 +109,50 @@ Matrix MarginalsWorkload::GramWithScales(bool normalized) const {
         factors.push_back(std::move(j));
       }
     }
-    Matrix part = linalg::KronList(factors);
-    for (std::size_t i = 0; i < n; ++i) {
-      double* gi = g.RowPtr(i);
-      const double* pi = part.RowPtr(i);
-      for (std::size_t jj = 0; jj < n; ++jj) gi[jj] += pi[jj];
-    }
+    terms.push_back(linalg::KronGram(std::move(factors)));
   }
-  return g;
+  return linalg::SumKronGram(std::move(terms));
+}
+
+std::optional<linalg::KronEigenResult> MarginalsWorkload::ImplicitEigenImpl(
+    bool normalized) const {
+  if (!HasAnalyticEigen()) return std::nullopt;
+  const std::size_t k = domain_.num_attributes();
+  std::vector<Matrix> bases;
+  bases.reserve(k);
+  for (std::size_t a = 0; a < k; ++a) {
+    bases.push_back(HelmertBasis(domain_.size(a)));
+  }
+  linalg::KronEigenResult out;
+  out.basis = linalg::KronEigenBasis(std::move(bases));
+  // Eigenvalue of the column with per-attribute Helmert indices (j_1..j_k):
+  // sum over sets T of prod_{a not in T} w_a * [j_a == 0], where w_a = d_a
+  // for the plain Gram and 1 for the row-normalized Gram (the 1/d_a row
+  // scaling cancels the J eigenvalue d_a exactly).
+  const std::size_t n = num_cells();
+  out.values.assign(n, 0.0);
+  for (std::size_t col = 0; col < n; ++col) {
+    const auto multi = domain_.MultiIndex(col);
+    double v = 0;
+    for (const auto& set : sets_) {
+      double term = 1;
+      for (std::size_t a = 0; a < k; ++a) {
+        if (Contains(set, a)) continue;
+        if (multi[a] != 0) {
+          term = 0;
+          break;
+        }
+        if (!normalized) term *= static_cast<double>(domain_.size(a));
+      }
+      v += term;
+    }
+    out.values[col] = v;
+  }
+  return out;
+}
+
+Matrix MarginalsWorkload::GramWithScales(bool normalized) const {
+  return StructuredGram(normalized)->Dense();
 }
 
 Matrix MarginalsWorkload::Gram() const { return GramWithScales(false); }
@@ -174,35 +211,10 @@ Vector MarginalsWorkload::Answer(const Vector& x) const {
 linalg::SymmetricEigenResult MarginalsWorkload::AnalyticEigen() const {
   DPMM_CHECK_MSG(HasAnalyticEigen(),
                  "analytic eigendecomposition requires plain marginals");
-  const std::size_t k = domain_.num_attributes();
   const std::size_t n = num_cells();
-
-  // Eigenvector basis: Kronecker product of per-attribute Helmert bases.
-  std::vector<Matrix> bases;
-  bases.reserve(k);
-  for (std::size_t a = 0; a < k; ++a) bases.push_back(HelmertBasis(domain_.size(a)));
-  Matrix q = linalg::KronList(bases);
-
-  // Eigenvalue of the column with per-attribute Helmert indices (j_1..j_k):
-  // sum over workload sets T of prod_{a not in T} d_a * [j_a == 0].
-  Vector values(n, 0.0);
-  for (std::size_t col = 0; col < n; ++col) {
-    const auto multi = domain_.MultiIndex(col);
-    double v = 0;
-    for (const auto& set : sets_) {
-      double term = 1;
-      for (std::size_t a = 0; a < k; ++a) {
-        if (Contains(set, a)) continue;
-        if (multi[a] != 0) {
-          term = 0;
-          break;
-        }
-        term *= static_cast<double>(domain_.size(a));
-      }
-      v += term;
-    }
-    values[col] = v;
-  }
+  const linalg::KronEigenResult implicit = *ImplicitEigen(false);
+  Matrix q = implicit.basis.Dense();
+  const Vector& values = implicit.values;
 
   // Sort ascending to match the SymmetricEigen contract.
   std::vector<std::size_t> order(n);

@@ -43,6 +43,22 @@ class MarginalsWorkload : public Workload {
   const std::vector<AttrSet>& sets() const { return sets_; }
   Flavor flavor() const { return flavor_; }
 
+ protected:
+  /// The marginal Gram as a sum of Kronecker products (one term per
+  /// attribute set: I on set attributes, J elsewhere; range-Gram blocks for
+  /// the range flavor) — the SumKronGram form of Sec. 2.1 / Example 3.
+  std::optional<linalg::SumKronGram> StructuredGramImpl(
+      bool normalized) const override;
+
+  /// Implicit analytic eigendecomposition for plain marginals: the Kronecker
+  /// Helmert basis diagonalizes every term of the Gram sum, so eigenvalues
+  /// have a closed form and no numeric eigensolve runs at all. nullopt for
+  /// the range flavor (range blocks do not commute with J).
+  std::optional<linalg::KronEigenResult> ImplicitEigenImpl(
+      bool normalized) const override;
+
+ public:
+
   /// True iff the analytic eigendecomposition is available (plain
   /// marginals; range marginals do not commute with J per dimension).
   bool HasAnalyticEigen() const { return flavor_ == Flavor::kMarginal; }

@@ -25,20 +25,21 @@ std::string AllRangeWorkload::Name() const {
   return "AllRange " + domain_.ToString();
 }
 
-Matrix AllRangeWorkload::Gram() const {
-  std::vector<Matrix> factors;
-  factors.reserve(domain_.num_attributes());
-  for (std::size_t d : domain_.sizes()) factors.push_back(gram::AllRange1D(d));
-  return linalg::KronList(factors);
-}
-
-Matrix AllRangeWorkload::NormalizedGram() const {
+std::optional<linalg::KronGram> AllRangeWorkload::KronGramFactorsImpl(
+    bool normalized) const {
   std::vector<Matrix> factors;
   factors.reserve(domain_.num_attributes());
   for (std::size_t d : domain_.sizes()) {
-    factors.push_back(gram::NormalizedAllRange1D(d));
+    factors.push_back(normalized ? gram::NormalizedAllRange1D(d)
+                                 : gram::AllRange1D(d));
   }
-  return linalg::KronList(factors);
+  return linalg::KronGram(std::move(factors));
+}
+
+Matrix AllRangeWorkload::Gram() const { return KronGramFactors(false)->Dense(); }
+
+Matrix AllRangeWorkload::NormalizedGram() const {
+  return KronGramFactors(true)->Dense();
 }
 
 double AllRangeWorkload::L2Sensitivity() const {

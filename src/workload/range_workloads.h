@@ -29,9 +29,16 @@ class AllRangeWorkload : public Workload {
 
   /// Eigendecomposition of Gram() (or NormalizedGram()) assembled from the
   /// per-dimension closed-form Gram factors via KronEigen: O(sum d_i^3)
-  /// instead of O(n^3). For one-dimensional domains this is simply the
-  /// numeric eigendecomposition.
+  /// instead of O(n^3), but with the n x n eigenvector matrix materialized —
+  /// prefer ImplicitEigen() for large domains. For one-dimensional domains
+  /// this is simply the numeric eigendecomposition.
   linalg::SymmetricEigenResult FactorizedEigen(bool normalized = false) const;
+
+ protected:
+  /// The Gram is the Kronecker product of per-dimension closed-form blocks;
+  /// this is the entry point of the implicit eigen-design fast path.
+  std::optional<linalg::KronGram> KronGramFactorsImpl(
+      bool normalized) const override;
 };
 
 /// The cumulative-distribution workload on a 1D domain: query i sums cells

@@ -14,6 +14,32 @@ Matrix Workload::NormalizedGram() const {
   return {};  // unreachable
 }
 
+std::optional<linalg::KronGram> Workload::KronGramFactorsImpl(
+    bool /*normalized*/) const {
+  return std::nullopt;
+}
+
+std::optional<linalg::SumKronGram> Workload::StructuredGramImpl(
+    bool normalized) const {
+  auto kron = KronGramFactors(normalized);
+  if (!kron.has_value()) return std::nullopt;
+  std::vector<linalg::KronGram> terms;
+  terms.push_back(*std::move(kron));
+  return linalg::SumKronGram(std::move(terms));
+}
+
+std::optional<linalg::KronEigenResult> Workload::ImplicitEigenImpl(
+    bool normalized) const {
+  auto kron = KronGramFactors(normalized);
+  if (!kron.has_value()) return std::nullopt;
+  auto eig = linalg::FactorKronEigen(*kron);
+  // nullopt covers both "no Kronecker structure" and the (pathological)
+  // factor-eigensolve failure; EigenDesignKronForWorkload re-runs the
+  // factored eigensolve to surface the latter as a real Status.
+  if (!eig.ok()) return std::nullopt;
+  return std::move(eig).ValueOrDie();
+}
+
 double Workload::L2Sensitivity() const {
   const Matrix g = Gram();
   double mx = 0;

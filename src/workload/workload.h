@@ -10,10 +10,12 @@
 #define DPMM_WORKLOAD_WORKLOAD_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "domain/domain.h"
+#include "linalg/kron_operator.h"
 #include "linalg/matrix.h"
 
 namespace dpmm {
@@ -52,8 +54,50 @@ class Workload {
   /// Explicit query matrix if this workload holds one (nullptr otherwise).
   virtual const linalg::Matrix* matrix() const { return nullptr; }
 
+  // ---- Structured (Kronecker) forms. These are what the fast path of the
+  // eigen-design pipeline consumes: when present, strategy selection, error
+  // evaluation and the mechanism itself run without ever materializing the
+  // n x n Gram matrix or its eigenvectors. The public entry points are
+  // non-virtual wrappers so the `normalized` default lives in exactly one
+  // place (defaults on virtuals bind to the static type); subclasses
+  // override the *Impl hooks below.
+
+  /// Kronecker factorization of Gram() (or NormalizedGram()): per-attribute
+  /// Gram blocks whose Kronecker product is the full Gram. nullopt when the
+  /// workload is not a pure Kronecker combination.
+  std::optional<linalg::KronGram> KronGramFactors(
+      bool normalized = false) const {
+    return KronGramFactorsImpl(normalized);
+  }
+
+  /// The Gram matrix as a sum of Kronecker products (single term for pure
+  /// Kronecker workloads, one term per attribute set for marginals).
+  /// nullopt for unstructured workloads.
+  std::optional<linalg::SumKronGram> StructuredGram(
+      bool normalized = false) const {
+    return StructuredGramImpl(normalized);
+  }
+
+  /// Implicit factored eigendecomposition of the Gram: eigenvalues in
+  /// natural Kronecker order, eigenbasis as per-attribute factors. Derived
+  /// from KronGramFactors() by default in O(sum d_i^3); MarginalsWorkload
+  /// overrides it with the analytic Helmert-basis form. nullopt when the
+  /// workload has no Kronecker eigenstructure (or, pathologically, a factor
+  /// eigensolve fails — EigenDesignKronForWorkload distinguishes the two).
+  std::optional<linalg::KronEigenResult> ImplicitEigen(
+      bool normalized = false) const {
+    return ImplicitEigenImpl(normalized);
+  }
+
  protected:
   explicit Workload(Domain domain) : domain_(std::move(domain)) {}
+
+  virtual std::optional<linalg::KronGram> KronGramFactorsImpl(
+      bool normalized) const;
+  virtual std::optional<linalg::SumKronGram> StructuredGramImpl(
+      bool normalized) const;
+  virtual std::optional<linalg::KronEigenResult> ImplicitEigenImpl(
+      bool normalized) const;
 
   Domain domain_;
 };

@@ -142,6 +142,32 @@ TEST(ParallelFor, EmptyAndTinyRanges) {
   EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
 }
 
+TEST(ParallelFor, ZeroGrainAndInvertedRange) {
+  // Grain 0 means "no minimum" and must not underflow the chunk arithmetic.
+  std::vector<int> hits(64, 0);
+  std::mutex mu;
+  ParallelFor(0, 64, 0, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (std::size_t i = lo; i < hi; ++i) hits[i]++;
+  });
+  for (int h : hits) ASSERT_EQ(h, 1);
+  // end < begin is an empty range, not a wraparound.
+  int calls = 0;
+  ParallelFor(10, 2, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, GrainEqualToRangeRunsSerially) {
+  // One grain covers everything: the callback must run exactly once, inline.
+  int calls = 0;
+  ParallelFor(3, 11, 8, [&](std::size_t lo, std::size_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 3u);
+    EXPECT_EQ(hi, 11u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
 TEST(TablePrinter, FormatsNumbers) {
   EXPECT_EQ(TablePrinter::Num(1.23456, 2), "1.23");
   EXPECT_EQ(TablePrinter::Num(std::nan(""), 2), "-");

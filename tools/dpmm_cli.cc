@@ -192,9 +192,24 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
   PrivacyParams privacy = ParsePrivacy(args);
   const std::uint64_t seed = std::stoull(Opt(args, "seed", "42"));
 
-  // Reuse a persisted strategy when provided; otherwise design now.
-  Strategy strategy;
+  // Reuse a persisted strategy when provided; otherwise design now —
+  // through the implicit Kronecker pipeline when the workload has one
+  // (pass --dense 1 to force the dense path), so structured releases never
+  // materialize an n x n matrix.
+  Rng rng(seed);
+  linalg::Vector x_hat;
   const std::string strategy_path = Opt(args, "strategy");
+  const std::string dense_opt = Opt(args, "dense");
+  const bool force_dense =
+      !dense_opt.empty() && dense_opt != "0" && dense_opt != "false";
+  std::optional<linalg::KronEigenResult> keig;
+  // Only worth it with real Kronecker structure: on a 1D domain the factored
+  // eigensolve is the same O(n^3) as the dense path but the implicit basis
+  // keeps several extra n x n factor variants alive.
+  if (strategy_path.empty() && !force_dense &&
+      data_vec.domain.num_attributes() > 1) {
+    keig = w.ImplicitEigen();
+  }
   if (!strategy_path.empty()) {
     auto loaded_strategy = strategy_io::LoadStrategy(strategy_path);
     if (!loaded_strategy.ok()) {
@@ -202,18 +217,43 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
                    loaded_strategy.status().ToString().c_str());
       return 2;
     }
-    strategy = std::move(loaded_strategy).ValueOrDie();
+    Strategy strategy = std::move(loaded_strategy).ValueOrDie();
     if (strategy.num_cells() != data_vec.domain.NumCells()) {
       std::fprintf(stderr, "strategy has %zu cells, data has %zu\n",
                    strategy.num_cells(), data_vec.domain.NumCells());
       return 2;
     }
+    auto mech = MatrixMechanism::Prepare(std::move(strategy), privacy)
+                    .ValueOrDie();
+    x_hat = mech.InferX(data_vec.counts, &rng);
   } else {
-    strategy = optimize::EigenDesign(w.Gram()).ValueOrDie().strategy;
+    bool released = false;
+    if (keig.has_value()) {
+      auto design = optimize::EigenDesignFromKronEigen(*keig);
+      if (design.ok()) {
+        auto& d = design.ValueOrDie();
+        std::fprintf(stderr,
+                     "kron fast path: implicit strategy over %zu cells "
+                     "(rank %zu, gap %.1e)\n",
+                     w.num_cells(), d.rank, d.duality_gap);
+        auto mech =
+            KronMatrixMechanism::Prepare(std::move(d.strategy), privacy)
+                .ValueOrDie();
+        x_hat = mech.InferX(data_vec.counts, &rng);
+        released = true;
+      } else {
+        std::fprintf(stderr, "kron fast path failed (%s); using dense path\n",
+                     design.status().ToString().c_str());
+      }
+    }
+    if (!released) {
+      Strategy strategy =
+          optimize::EigenDesign(w.Gram()).ValueOrDie().strategy;
+      auto mech = MatrixMechanism::Prepare(std::move(strategy), privacy)
+                      .ValueOrDie();
+      x_hat = mech.InferX(data_vec.counts, &rng);
+    }
   }
-  auto mech = MatrixMechanism::Prepare(strategy, privacy).ValueOrDie();
-  Rng rng(seed);
-  linalg::Vector x_hat = mech.InferX(data_vec.counts, &rng);
 
   const std::string out = Opt(args, "out");
   if (synth) {
@@ -263,7 +303,10 @@ void Usage() {
                "                [--workload allrange|cdf|marginals:K|"
                "rangemarginals:K]\n"
                "                [--data hist.csv] [--epsilon E] [--delta D]\n"
-               "                [--seed S] [--strategy strategy.txt] [--out file.csv]\n");
+               "                [--seed S] [--strategy strategy.txt] [--out file.csv]\n"
+               "                [--dense 1]   force the dense pipeline for\n"
+               "                release/synth (structured workloads use the\n"
+               "                implicit Kronecker fast path by default)\n");
 }
 
 }  // namespace

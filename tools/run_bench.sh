@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Builds and runs the micro/scaling benches, leaving BENCH_kron_scaling.json
+# in the repo root as the perf-trajectory record for future PRs.
+#
+# Usage: tools/run_bench.sh [--small] [--skip-scale]
+#   --small       reduced domain sizes (smoke run)
+#   --skip-scale  skip the n = 2^18 section of bench_kron_scaling
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+
+cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+cmake --build "${build_dir}" -j --target \
+  bench_kron_scaling bench_micro_linalg bench_micro_solver 2>/dev/null \
+  || cmake --build "${build_dir}" -j --target bench_kron_scaling
+
+echo "== bench_kron_scaling =="
+# Default --out first so a user-supplied --out= (last one parsed wins) can
+# override the repo-root record.
+"${build_dir}/bench_kron_scaling" --out="${repo_root}/BENCH_kron_scaling.json" "$@"
+
+# The Google-Benchmark micro benches are optional (skipped when the library
+# is not installed); run them when present for a fuller picture.
+for b in bench_micro_linalg bench_micro_solver; do
+  if [[ -x "${build_dir}/${b}" ]]; then
+    echo "== ${b} =="
+    "${build_dir}/${b}" --benchmark_min_time=0.05 || true
+  fi
+done
+
+echo "perf record: ${repo_root}/BENCH_kron_scaling.json"

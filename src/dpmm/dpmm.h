@@ -59,6 +59,8 @@
 #include "util/status.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
+#include "util/threading.h"
 #include "workload/builders.h"
 #include "workload/gram.h"
 #include "workload/marginal_workloads.h"

@@ -91,19 +91,49 @@ Matrix SumKronGram::Dense() const {
 }
 
 KronEigenBasis::KronEigenBasis(std::vector<Matrix> factors)
-    : factors_(std::move(factors)) {
+    : factors_(std::move(factors)),
+      cache_(std::make_shared<VariantCache>()) {
   DPMM_CHECK_GT(factors_.size(), 0u);
   dim_ = ProductDim(factors_);
-  transposed_.reserve(factors_.size());
-  squared_.reserve(factors_.size());
-  squared_transposed_.reserve(factors_.size());
-  abs_.reserve(factors_.size());
-  for (const auto& f : factors_) {
-    transposed_.push_back(f.Transposed());
-    squared_.push_back(EntrywiseMap(f, [](double v) { return v * v; }));
-    squared_transposed_.push_back(squared_.back().Transposed());
-    abs_.push_back(EntrywiseMap(f, [](double v) { return std::fabs(v); }));
-  }
+}
+
+const std::vector<Matrix>& KronEigenBasis::Transposed() const {
+  std::call_once(cache_->transposed_once, [&] {
+    cache_->transposed.reserve(factors_.size());
+    for (const auto& f : factors_) cache_->transposed.push_back(f.Transposed());
+  });
+  return cache_->transposed;
+}
+
+const std::vector<Matrix>& KronEigenBasis::Squared() const {
+  std::call_once(cache_->squared_once, [&] {
+    cache_->squared.reserve(factors_.size());
+    for (const auto& f : factors_) {
+      cache_->squared.push_back(EntrywiseMap(f, [](double v) { return v * v; }));
+    }
+  });
+  return cache_->squared;
+}
+
+const std::vector<Matrix>& KronEigenBasis::SquaredTransposed() const {
+  std::call_once(cache_->squared_t_once, [&] {
+    const std::vector<Matrix>& sq = Squared();
+    cache_->squared_transposed.reserve(sq.size());
+    for (const auto& s : sq) {
+      cache_->squared_transposed.push_back(s.Transposed());
+    }
+  });
+  return cache_->squared_transposed;
+}
+
+const std::vector<Matrix>& KronEigenBasis::Abs() const {
+  std::call_once(cache_->abs_once, [&] {
+    cache_->abs.reserve(factors_.size());
+    for (const auto& f : factors_) {
+      cache_->abs.push_back(EntrywiseMap(f, [](double v) { return std::fabs(v); }));
+    }
+  });
+  return cache_->abs;
 }
 
 Vector KronEigenBasis::Apply(const Vector& x) const {
@@ -111,19 +141,39 @@ Vector KronEigenBasis::Apply(const Vector& x) const {
 }
 
 Vector KronEigenBasis::ApplyT(const Vector& x) const {
-  return KronMatVec(transposed_, x);
+  return KronMatVec(Transposed(), x);
 }
 
 Vector KronEigenBasis::ApplySquared(const Vector& x) const {
-  return KronMatVec(squared_, x);
+  return KronMatVec(Squared(), x);
 }
 
 Vector KronEigenBasis::ApplySquaredT(const Vector& x) const {
-  return KronMatVec(squared_transposed_, x);
+  return KronMatVec(SquaredTransposed(), x);
 }
 
 Vector KronEigenBasis::ApplyAbs(const Vector& x) const {
-  return KronMatVec(abs_, x);
+  return KronMatVec(Abs(), x);
+}
+
+Vector KronEigenBasis::ApplyBatch(const Vector& packed,
+                                  std::size_t batch) const {
+  return KronMatVecBatch(factors_, packed, batch);
+}
+
+Vector KronEigenBasis::ApplyTBatch(const Vector& packed,
+                                   std::size_t batch) const {
+  return KronMatVecBatch(Transposed(), packed, batch);
+}
+
+void KronEigenBasis::ApplyBatchInto(const Vector& packed, std::size_t batch,
+                                    Vector* out, Vector* work) const {
+  KronMatVecBatchInto(factors_, packed, batch, out, work);
+}
+
+void KronEigenBasis::ApplyTBatchInto(const Vector& packed, std::size_t batch,
+                                     Vector* out, Vector* work) const {
+  KronMatVecBatchInto(Transposed(), packed, batch, out, work);
 }
 
 double KronEigenBasis::Entry(std::size_t row, std::size_t col) const {

@@ -20,6 +20,8 @@
 #ifndef DPMM_LINALG_KRON_OPERATOR_H_
 #define DPMM_LINALG_KRON_OPERATOR_H_
 
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "linalg/matrix.h"
@@ -79,7 +81,14 @@ class SumKronGram {
 /// ApplySquared applies the entrywise square Q o Q = (Q_1 o Q_1) (x) ... —
 /// the constraint operator of the eigen weighting problem (Program 1) and
 /// the column-norm accumulator of strategy assembly. ApplyAbs applies |Q|
-/// (L1 sensitivity). Squared/abs factors are precomputed at construction.
+/// (L1 sensitivity). The transposed/squared/abs factor variants are built
+/// lazily on first use under call_once (together they are ~5x the factor
+/// memory — wasteful for a basis over a single large 1D factor whose
+/// caller only ever needs one variant); copies of a basis share one cache,
+/// so a variant is built at most once per underlying factor set.
+/// The ApplyBatch/ApplyTBatch forms run one shared pass over B
+/// column-interleaved vectors (see KronMatVecBatch), bit-identical to B
+/// single applies.
 class KronEigenBasis {
  public:
   KronEigenBasis() = default;
@@ -95,6 +104,19 @@ class KronEigenBasis {
   Vector ApplySquaredT(const Vector& x) const;  // (Q o Q)^T x
   Vector ApplyAbs(const Vector& x) const;       // |Q| x
 
+  /// Q applied to `batch` interleaved vectors (layout of KronMatVecBatch).
+  Vector ApplyBatch(const Vector& packed, std::size_t batch) const;
+  /// Q^T applied to `batch` interleaved vectors.
+  Vector ApplyTBatch(const Vector& packed, std::size_t batch) const;
+
+  /// Scratch-reusing forms for hot loops (see KronMatVecBatchInto): the
+  /// result lands in *out, *work is clobbered; both are grown on demand and
+  /// amortize their allocations across calls. Bitwise-identical results.
+  void ApplyBatchInto(const Vector& packed, std::size_t batch, Vector* out,
+                      Vector* work) const;
+  void ApplyTBatchInto(const Vector& packed, std::size_t batch, Vector* out,
+                       Vector* work) const;
+
   /// Single entry Q(row, col) = prod_i Q_i(row_i, col_i): O(k).
   double Entry(std::size_t row, std::size_t col) const;
 
@@ -105,11 +127,21 @@ class KronEigenBasis {
   Matrix Dense() const;
 
  private:
+  // Lazily built factor variants, shared across copies (immutable once
+  // built; call_once gives the thread-safe once-semantics).
+  struct VariantCache {
+    std::once_flag transposed_once, squared_once, squared_t_once, abs_once;
+    std::vector<Matrix> transposed, squared, squared_transposed, abs;
+  };
+  const std::vector<Matrix>& Transposed() const;
+  const std::vector<Matrix>& Squared() const;
+  const std::vector<Matrix>& SquaredTransposed() const;
+  const std::vector<Matrix>& Abs() const;
+
   std::vector<Matrix> factors_;
-  std::vector<Matrix> transposed_;
-  std::vector<Matrix> squared_;
-  std::vector<Matrix> squared_transposed_;
-  std::vector<Matrix> abs_;
+  // Never null, even default-constructed: variant accessors on an empty
+  // basis must reach the factors-size CHECK, not a null dereference.
+  std::shared_ptr<VariantCache> cache_ = std::make_shared<VariantCache>();
   std::size_t dim_ = 0;
 };
 

@@ -25,6 +25,34 @@ Matrix KronList(const std::vector<Matrix>& factors);
 /// x.size() == prod(cols(A_i)).
 Vector KronMatVec(const std::vector<Matrix>& factors, const Vector& x);
 
+/// Batched vec-trick over B vectors held column-interleaved: element i of
+/// vector b sits at packed[i * batch + b], and the result uses the same
+/// layout. Each per-vector arithmetic chain runs in exactly the order
+/// KronMatVec would run it on that vector alone, so the outputs are
+/// bit-identical to `batch` independent KronMatVec calls — but every axis
+/// pass streams batch-contiguous spans, which keeps the inner loop wide
+/// (and vectorizable) even on the last axis, where the single-vector pass
+/// degenerates to length-1 strides (a serial dot-product dependency chain).
+/// This is the shared-work kernel behind batched releases.
+Vector KronMatVecBatch(const std::vector<Matrix>& factors,
+                       const Vector& packed, std::size_t batch);
+
+/// Scratch-reusing form of KronMatVecBatch for hot loops (block PCG): the
+/// result lands in *out (resized as needed) and *work is ping-pong scratch
+/// (grown on demand, contents clobbered). Reusing the two buffers across
+/// calls avoids re-faulting hundreds of megabytes of fresh allocations per
+/// iteration at large n * B — the arithmetic, and therefore the bitwise
+/// result, is identical to KronMatVecBatch.
+void KronMatVecBatchInto(const std::vector<Matrix>& factors,
+                         const Vector& packed, std::size_t batch, Vector* out,
+                         Vector* work);
+
+/// Packs vectors (all the same length) into the interleaved batch layout.
+Vector PackBatch(const std::vector<Vector>& vectors);
+
+/// Inverse of PackBatch.
+std::vector<Vector> UnpackBatch(const Vector& packed, std::size_t batch);
+
 }  // namespace linalg
 }  // namespace dpmm
 

@@ -8,13 +8,25 @@ namespace dpmm {
 
 using linalg::Vector;
 
+namespace {
+
+// The one place the noise scale is derived from a budget — Prepare (dense
+// and implicit) and WithPrivacy must stay formula-identical or the
+// re-budgeting contract breaks.
+template <typename StrategyT>
+double NoiseScaleFor(MatrixMechanism::NoiseKind noise,
+                     const PrivacyParams& privacy, const StrategyT& strategy) {
+  return noise == MatrixMechanism::NoiseKind::kGaussian
+             ? GaussianNoiseScale(privacy, strategy.L2Sensitivity())
+             : LaplaceNoiseScale(privacy.epsilon, strategy.L1Sensitivity());
+}
+
+}  // namespace
+
 Result<MatrixMechanism> MatrixMechanism::Prepare(Strategy strategy,
                                                  PrivacyParams privacy,
                                                  NoiseKind noise) {
-  const double sigma =
-      noise == NoiseKind::kGaussian
-          ? GaussianNoiseScale(privacy, strategy.L2Sensitivity())
-          : LaplaceNoiseScale(privacy.epsilon, strategy.L1Sensitivity());
+  const double sigma = NoiseScaleFor(noise, privacy, strategy);
   linalg::Matrix ata = strategy.Gram();
   auto chol = linalg::Cholesky::Factor(ata);
   if (chol.ok()) {
@@ -27,6 +39,13 @@ Result<MatrixMechanism> MatrixMechanism::Prepare(Strategy strategy,
   linalg::Matrix pinv = linalg::PseudoInverse(strategy.matrix());
   return MatrixMechanism(std::move(strategy), privacy, noise, std::nullopt,
                          std::move(pinv), sigma);
+}
+
+MatrixMechanism MatrixMechanism::WithPrivacy(PrivacyParams privacy) const {
+  MatrixMechanism out = *this;
+  out.privacy_ = privacy;
+  out.sigma_ = NoiseScaleFor(noise_, privacy, strategy_);
+  return out;
 }
 
 Vector MatrixMechanism::InferX(const Vector& x, Rng* rng) const {
@@ -55,10 +74,7 @@ Vector MatrixMechanism::Run(const Workload& workload, const Vector& x,
 Result<KronMatrixMechanism> KronMatrixMechanism::Prepare(KronStrategy strategy,
                                                          PrivacyParams privacy,
                                                          NoiseKind noise) {
-  const double sigma =
-      noise == NoiseKind::kGaussian
-          ? GaussianNoiseScale(privacy, strategy.L2Sensitivity())
-          : LaplaceNoiseScale(privacy.epsilon, strategy.L1Sensitivity());
+  const double sigma = NoiseScaleFor(noise, privacy, strategy);
   return KronMatrixMechanism(std::move(strategy), privacy, noise, sigma);
 }
 
@@ -72,9 +88,53 @@ Vector KronMatrixMechanism::InferX(const Vector& x, Rng* rng) const {
   return strategy_.SolveNormal(strategy_.ApplyT(y));
 }
 
+std::vector<Vector> KronInferXBatch(const KronStrategy& strategy,
+                                    const Vector& x,
+                                    MatrixMechanism::NoiseKind noise,
+                                    const std::vector<double>& noise_scales,
+                                    Rng* rng) {
+  const std::size_t batch = noise_scales.size();
+  DPMM_CHECK_GT(batch, 0u);
+  // A x is release-independent: compute it once. Noise is drawn in the
+  // exact order the sequential path draws it (release-major), so a shared
+  // rng reaches the same state either way.
+  const Vector y0 = strategy.Apply(x);
+  std::vector<Vector> ys(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    Vector y = y0;
+    if (noise == MatrixMechanism::NoiseKind::kGaussian) {
+      for (auto& v : y) v += rng->Gaussian(noise_scales[b]);
+    } else {
+      for (auto& v : y) v += rng->Laplace(noise_scales[b]);
+    }
+    ys[b] = std::move(y);
+  }
+  // The interleaved block flows straight from A^T into the solver — no
+  // unpack/repack between the stages.
+  return strategy.SolveNormalBatchPacked(strategy.ApplyTBatchPacked(ys),
+                                         batch);
+}
+
+std::vector<Vector> KronMatrixMechanism::InferXBatch(const Vector& x,
+                                                     std::size_t batch,
+                                                     Rng* rng) const {
+  DPMM_CHECK_GT(batch, 0u);
+  return KronInferXBatch(strategy_, x, noise_,
+                         std::vector<double>(batch, sigma_), rng);
+}
+
 Vector KronMatrixMechanism::Run(const Workload& workload, const Vector& x,
                                 Rng* rng) const {
   return workload.Answer(InferX(x, rng));
+}
+
+std::vector<Vector> KronMatrixMechanism::ReleaseBatch(const Workload& workload,
+                                                      const Vector& x,
+                                                      std::size_t batch,
+                                                      Rng* rng) const {
+  std::vector<Vector> answers = InferXBatch(x, batch, rng);
+  for (auto& x_hat : answers) x_hat = workload.Answer(x_hat);
+  return answers;
 }
 
 double MeanRelativeError(const Workload& workload, const MatrixMechanism& mech,

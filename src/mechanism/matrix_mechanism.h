@@ -38,6 +38,12 @@ class MatrixMechanism {
       Strategy strategy, PrivacyParams privacy,
       NoiseKind noise = NoiseKind::kGaussian);
 
+  /// The same prepared mechanism under a different budget: only the noise
+  /// scale depends on (eps, delta), so the factorization (and CSR form)
+  /// carry over — the cheap way to run one strategy across a split budget
+  /// instead of re-preparing per release.
+  MatrixMechanism WithPrivacy(PrivacyParams privacy) const;
+
   /// True when the strategy had full column rank (unique least squares).
   bool full_rank() const { return chol_.has_value(); }
 
@@ -96,9 +102,26 @@ class KronMatrixMechanism {
   /// vector. Workload answers are workload.Answer(x_hat).
   linalg::Vector InferX(const linalg::Vector& x, Rng* rng) const;
 
+  /// `batch` private releases of the same data vector in one pass. The
+  /// noiseless strategy answers A x are computed once and shared (they are
+  /// identical across releases), noise is drawn release by release in the
+  /// same order InferX would draw it, and the least-squares inferences run
+  /// through the block normal solve. With the same starting rng state the
+  /// b-th returned estimate is bit-identical to the b-th of `batch`
+  /// sequential InferX calls — and the rng ends in the same state — while
+  /// the factorization work (spectrum, preconditioner, eigenbasis passes)
+  /// is paid once for the whole batch.
+  std::vector<linalg::Vector> InferXBatch(const linalg::Vector& x,
+                                          std::size_t batch, Rng* rng) const;
+
   /// One private release of the workload answers W x_hat.
   linalg::Vector Run(const Workload& workload, const linalg::Vector& x,
                      Rng* rng) const;
+
+  /// `batch` private releases of the workload answers, through InferXBatch.
+  std::vector<linalg::Vector> ReleaseBatch(const Workload& workload,
+                                           const linalg::Vector& x,
+                                           std::size_t batch, Rng* rng) const;
 
   const KronStrategy& strategy() const { return strategy_; }
   double noise_scale() const { return sigma_; }
@@ -116,6 +139,18 @@ class KronMatrixMechanism {
   NoiseKind noise_;
   double sigma_;
 };
+
+/// The shared engine behind batched implicit releases: y_b = A x + noise at
+/// noise_scales[b] (drawn release-major, matching b sequential InferX
+/// calls), then one packed block normal solve. A x is computed once for the
+/// whole batch. KronMatrixMechanism::InferXBatch uses it with all scales
+/// equal; release::ReleaseBatch with scales from a budget split — keeping
+/// the noise-order-sensitive assembly in one place so the bitwise
+/// batched == sequential contract cannot drift between the two layers.
+std::vector<linalg::Vector> KronInferXBatch(
+    const KronStrategy& strategy, const linalg::Vector& x,
+    MatrixMechanism::NoiseKind noise,
+    const std::vector<double>& noise_scales, Rng* rng);
 
 /// Options for Monte-Carlo relative-error evaluation (Sec. 3.4 / Fig. 3b,d).
 struct RelativeErrorOptions {

@@ -68,6 +68,24 @@ bool FeasiblePrimal(const linalg::Vector& c, int q, const linalg::Vector& x,
 
 }  // namespace
 
+namespace internal {
+
+bool StallWindowStalled(double best_objective, double dual,
+                        double dual_checkpoint, int remaining_iterations) {
+  // No finite primal yet: the gap is undefined (inf - dual over inf), and
+  // the detector must not count the window either way — previously the
+  // inf/inf = NaN comparison silently reset the stall counter here.
+  if (!std::isfinite(best_objective)) return false;
+  const double denom = std::max(1.0, std::fabs(best_objective));
+  const double progress = (dual - dual_checkpoint) / denom;
+  const double gap_now = (best_objective - dual) / denom;
+  const double projected =
+      progress * static_cast<double>(remaining_iterations) / 100.0;
+  return projected < 0.2 * gap_now;
+}
+
+}  // namespace internal
+
 Result<WeightingSolution> SolveWeighting(const linalg::Vector& c,
                                          const ConstraintOperator& constraints,
                                          int exponent,
@@ -110,20 +128,21 @@ Result<WeightingSolution> SolveWeighting(const linalg::Vector& c,
   // Stall detection: every 100 iterations, extrapolate the dual's recent
   // progress over the remaining budget; if even that optimistic projection
   // cannot close half the current gap, stop — the iterations would be
-  // wasted (a relative gap of g inflates error by at most sqrt(1+g)).
+  // wasted (a relative gap of g inflates error by at most sqrt(1+g)). The
+  // window only counts once a finite primal objective exists (see
+  // internal::StallWindowStalled).
   double dual_checkpoint = dual;
   int stalled_windows = 0;
   int it = 0;
   for (; it < options.max_iterations; ++it) {
     if (it > 0 && it % 100 == 0) {
-      const double denom = std::max(1.0, std::fabs(best.objective));
-      const double progress = (dual - dual_checkpoint) / denom;
-      const double gap_now = (best.objective - dual) / denom;
-      const double projected =
-          progress * static_cast<double>(options.max_iterations - it) / 100.0;
       // One slow window can be an artifact of the step schedule; require
       // two in a row before declaring the remaining budget hopeless.
-      stalled_windows = (projected < 0.2 * gap_now) ? stalled_windows + 1 : 0;
+      stalled_windows = internal::StallWindowStalled(best.objective, dual,
+                                                     dual_checkpoint,
+                                                     options.max_iterations - it)
+                            ? stalled_windows + 1
+                            : 0;
       if (stalled_windows >= 2) break;
       dual_checkpoint = dual;
     }

@@ -60,6 +60,20 @@ Result<WeightingSolution> SolveWeighting(const linalg::Vector& c,
                                          int exponent,
                                          const SolverOptions& options = {});
 
+namespace internal {
+
+/// One stall-detector window decision (exposed for testing): true when the
+/// dual progress over the last window, extrapolated over the remaining
+/// iteration budget, cannot close a meaningful fraction of the current
+/// duality gap. While no finite primal objective exists yet the window is
+/// meaningless — the gap would be inf/inf = NaN, whose comparison silently
+/// behaved as "not stalled" — so the detector reports false (and the caller
+/// keeps its counter at zero) until a feasible primal point appears.
+bool StallWindowStalled(double best_objective, double dual,
+                        double dual_checkpoint, int remaining_iterations);
+
+}  // namespace internal
+
 }  // namespace optimize
 }  // namespace dpmm
 

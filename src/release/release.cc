@@ -6,6 +6,7 @@
 
 #include "linalg/blas.h"
 #include "linalg/svd.h"
+#include "mechanism/matrix_mechanism.h"
 
 namespace dpmm {
 namespace release {
@@ -88,6 +89,63 @@ linalg::Vector QueryErrorProfile(const ExplicitWorkload& workload,
     const linalg::Vector wq = w.Row(q);
     const linalg::Vector z = strategy.SolveNormal(wq);
     out[q] = sigma * std::sqrt(std::max(0.0, linalg::Dot(wq, z)));
+  }
+  return out;
+}
+
+BatchReleaseResult ReleaseBatch(const KronStrategy& strategy,
+                                const linalg::Vector& data,
+                                const std::vector<PrivacyParams>& budgets,
+                                Rng* rng,
+                                const ExplicitWorkload* workload) {
+  const std::size_t batch = budgets.size();
+  DPMM_CHECK_GT(batch, 0u);
+  DPMM_CHECK_EQ(data.size(), strategy.num_cells());
+  const double sensitivity = strategy.L2Sensitivity();
+
+  // Per-release noise scales from the budget split; the assembly itself
+  // (shared A x, release-major noise order, packed block solve) lives in
+  // KronInferXBatch so it cannot drift from the mechanism layer's.
+  std::vector<double> sigmas(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    sigmas[b] = GaussianNoiseScale(budgets[b], sensitivity);
+  }
+  BatchReleaseResult out;
+  out.x_hats = KronInferXBatch(strategy, data,
+                               MatrixMechanism::NoiseKind::kGaussian, sigmas,
+                               rng);
+
+  if (workload != nullptr) {
+    const linalg::Matrix& w = *workload->matrix();
+    DPMM_CHECK_EQ(w.cols(), strategy.num_cells());
+    // The roots sqrt(w_q (A^T A)^+ w_q^T) do not depend on the budget:
+    // block-solve them once, then scale per release. Rows go through the
+    // block solve in bounded chunks — each live block buffer is
+    // n * chunk doubles, so an unbounded query count cannot balloon the
+    // solver's working set. Chunking cannot change results: every column's
+    // solve is bit-identical to its solo SolveNormal regardless of which
+    // batch it rides in.
+    constexpr std::size_t kProfileChunk = 32;
+    linalg::Vector roots(w.rows());
+    for (std::size_t q0 = 0; q0 < w.rows(); q0 += kProfileChunk) {
+      const std::size_t q1 = std::min(w.rows(), q0 + kProfileChunk);
+      std::vector<linalg::Vector> rows(q1 - q0);
+      for (std::size_t q = q0; q < q1; ++q) rows[q - q0] = w.Row(q);
+      const std::vector<linalg::Vector> solves =
+          strategy.SolveNormalBatch(rows);
+      for (std::size_t q = q0; q < q1; ++q) {
+        roots[q] = std::sqrt(
+            std::max(0.0, linalg::Dot(rows[q - q0], solves[q - q0])));
+      }
+    }
+    out.error_profiles.resize(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      linalg::Vector profile(w.rows());
+      for (std::size_t q = 0; q < w.rows(); ++q) {
+        profile[q] = sigmas[b] * roots[q];
+      }
+      out.error_profiles[b] = std::move(profile);
+    }
   }
   return out;
 }

@@ -6,7 +6,10 @@
 //  * sequential composition — splitting one (eps, delta) budget across
 //    several batch releases;
 //  * per-query error profiles — the analytic standard deviation of each
-//    individual workload query under a strategy (Def. 5 query error).
+//    individual workload query under a strategy (Def. 5 query error);
+//  * batched releases — many private releases over one implicit strategy in
+//    a single pass, sharing the strategy answers, the block normal solve
+//    and the profile roots across the batch.
 #ifndef DPMM_RELEASE_RELEASE_H_
 #define DPMM_RELEASE_RELEASE_H_
 
@@ -16,6 +19,7 @@
 #include "mechanism/privacy.h"
 #include "strategy/kron_strategy.h"
 #include "strategy/strategy.h"
+#include "util/rng.h"
 #include "workload/workload.h"
 
 namespace dpmm {
@@ -48,6 +52,31 @@ linalg::Vector QueryErrorProfile(const ExplicitWorkload& workload,
 linalg::Vector QueryErrorProfile(const ExplicitWorkload& workload,
                                  const KronStrategy& strategy,
                                  const PrivacyParams& privacy);
+
+/// A batch of Gaussian-mechanism releases over one implicit strategy, with
+/// one privacy budget per release (e.g. from SplitBudget).
+struct BatchReleaseResult {
+  /// Least-squares estimate of the data vector, one per release.
+  std::vector<linalg::Vector> x_hats;
+  /// Per-release QueryErrorProfile (empty when no workload was passed).
+  std::vector<linalg::Vector> error_profiles;
+};
+
+/// Runs budgets.size() private releases in one pass. The work every release
+/// shares is paid once: the noiseless strategy answers A x, the eigenbasis
+/// passes and preconditioner of the block normal solve, and — when
+/// `workload` is non-null — the budget-independent per-query roots
+/// sqrt(w_q (A^T A)^+ w_q^T) behind the error profiles, which each release
+/// then only rescales by its own noise level. Noise is drawn release by
+/// release in sequential order, so with the same starting rng state
+/// x_hats[b] is bit-identical to preparing a KronMatrixMechanism with
+/// budgets[b] and calling InferX, and error_profiles[b] to
+/// QueryErrorProfile(workload, strategy, budgets[b]).
+BatchReleaseResult ReleaseBatch(const KronStrategy& strategy,
+                                const linalg::Vector& data,
+                                const std::vector<PrivacyParams>& budgets,
+                                Rng* rng,
+                                const ExplicitWorkload* workload = nullptr);
 
 }  // namespace release
 }  // namespace dpmm

@@ -54,6 +54,17 @@ class KronStrategy {
   /// A^T y (length num_cells()).
   linalg::Vector ApplyT(const linalg::Vector& y) const;
 
+  /// A^T applied to B query-answer vectors through one shared eigenbasis
+  /// pass; bit-identical to B ApplyT calls.
+  std::vector<linalg::Vector> ApplyTBatch(
+      const std::vector<linalg::Vector>& ys) const;
+
+  /// As ApplyTBatch, but returns the column-interleaved block (layout of
+  /// linalg::PackBatch) — feed it straight into SolveNormalBatchPacked to
+  /// skip an unpack/repack round-trip between the two stages.
+  linalg::Vector ApplyTBatchPacked(
+      const std::vector<linalg::Vector>& ys) const;
+
   /// (A^T A) v without forming the Gram matrix.
   linalg::Vector NormalMatVec(const linalg::Vector& v) const;
 
@@ -77,6 +88,25 @@ class KronStrategy {
   /// trace-term validation path requests ~1e-14.
   linalg::Vector SolveNormal(const linalg::Vector& b,
                              double rel_tol = 1e-12) const;
+
+  /// Solves the normal equations for B right-hand sides at once. One block
+  /// iteration drives all systems: the eigenbasis applies and the
+  /// preconditioner run as shared batched passes over the interleaved
+  /// block (KronMatVecBatch), while the CG scalars (alpha, beta, residual
+  /// norms, stagnation windows) stay per-column. Every column executes
+  /// exactly the arithmetic SolveNormal would execute on it alone — same
+  /// iteration count, same stopping decisions — so the results are
+  /// bit-identical to B sequential SolveNormal calls, at a fraction of the
+  /// wall-clock (the shared passes stream batch-contiguous spans instead
+  /// of degenerate stride-1 inner loops).
+  std::vector<linalg::Vector> SolveNormalBatch(
+      const std::vector<linalg::Vector>& bs, double rel_tol = 1e-12) const;
+
+  /// SolveNormalBatch over an already column-interleaved right-hand-side
+  /// block of `batch` vectors (consumed as the initial residual).
+  std::vector<linalg::Vector> SolveNormalBatchPacked(
+      linalg::Vector packed, std::size_t batch,
+      double rel_tol = 1e-12) const;
 
   /// Dense equivalent (tests / small domains only).
   Strategy Materialize() const;

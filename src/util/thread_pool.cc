@@ -1,0 +1,160 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/threading.h"
+
+namespace dpmm {
+
+namespace {
+
+// Depth of parallel regions on this thread. Nonzero both on workers running
+// a chunk and on callers participating in their own region, so nested
+// ParallelFor calls from either side take the inline serial path.
+thread_local int parallel_depth = 0;
+
+std::atomic<long> total_threads_created{0};
+
+// The chunk cursor packs (region_id mod 2^32) in the high half and the next
+// chunk index in the low half. Tagging prevents a worker that stalled
+// between reading its region's parameters and claiming a chunk from
+// claiming against a *later* region's cursor (its own region can only have
+// completed — and a new one been published — if it had executed nothing).
+constexpr std::uint64_t kChunkMask = 0xffffffffull;
+
+std::uint64_t PackCursor(std::uint64_t region_id, std::size_t chunk) {
+  return (region_id << 32) | (static_cast<std::uint64_t>(chunk) & kChunkMask);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(num_threads, 1)) {
+  const int num_workers = num_threads_ - 1;
+  workers_.reserve(static_cast<std::size_t>(std::max(num_workers, 0)));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+    total_threads_created.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::InParallelRegion() { return parallel_depth > 0; }
+
+long ThreadPool::TotalThreadsCreated() {
+  return total_threads_created.load(std::memory_order_relaxed);
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked by design: workers must never be joined from a static destructor
+  // (the runtime may already have torn down TLS they depend on).
+  static ThreadPool* pool = new ThreadPool(NumThreads());
+  return *pool;
+}
+
+std::size_t ThreadPool::RunChunks(
+    std::uint64_t region_id,
+    const std::function<void(std::size_t, std::size_t)>& fn, std::size_t begin,
+    std::size_t end, std::size_t chunk, std::size_t num_chunks) {
+  const std::uint64_t tag = region_id & kChunkMask;
+  std::size_t executed = 0;
+  ++parallel_depth;
+  while (true) {
+    std::uint64_t packed = cursor_.load(std::memory_order_relaxed);
+    std::size_t c = num_chunks;
+    while ((packed >> 32) == tag && (packed & kChunkMask) < num_chunks) {
+      if (cursor_.compare_exchange_weak(packed, packed + 1,
+                                        std::memory_order_relaxed)) {
+        c = static_cast<std::size_t>(packed & kChunkMask);
+        break;
+      }
+    }
+    if (c >= num_chunks) break;
+    const std::size_t lo = begin + c * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo < hi) fn(lo, hi);
+    ++executed;
+  }
+  --parallel_depth;
+  return executed;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return shutdown_ || region_id_ != seen; });
+    if (shutdown_) return;
+    seen = region_id_;
+    const auto* fn = fn_;
+    const std::size_t begin = begin_, end = end_, chunk = chunk_;
+    const std::size_t num_chunks = num_chunks_;
+    lock.unlock();
+    // fn is null when the region already completed (the caller claimed
+    // every chunk and cleared fn_) before this worker woke for it; there
+    // is nothing left to claim, so don't touch the cursor.
+    const std::size_t executed =
+        fn == nullptr ? 0 : RunChunks(seen, *fn, begin, end, chunk,
+                                      num_chunks);
+    lock.lock();
+    // A region only completes once every executed chunk is counted, and the
+    // next region is only published after that — so a nonzero count is
+    // always credited to the region it ran under. (A worker whose region
+    // raced to completion before it claimed anything credits 0, harmlessly.)
+    chunks_done_ += executed;
+    if (chunks_done_ >= num_chunks_) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t begin, std::size_t end, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t safe_chunk = std::max<std::size_t>(chunk, 1);
+  const std::size_t num_chunks = (end - begin + safe_chunk - 1) / safe_chunk;
+  if (num_chunks <= 1 || num_threads_ <= 1 || InParallelRegion()) {
+    ++parallel_depth;
+    fn(begin, end);
+    --parallel_depth;
+    return;
+  }
+  // Another external caller already owns the pool: run this loop inline
+  // rather than idling blocked until their region drains — contended
+  // callers lose parallelism, never their own thread's progress.
+  std::unique_lock<std::mutex> region(region_mu_, std::try_to_lock);
+  if (!region.owns_lock()) {
+    ++parallel_depth;
+    fn(begin, end);
+    --parallel_depth;
+    return;
+  }
+  std::uint64_t region_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    begin_ = begin;
+    end_ = end;
+    chunk_ = safe_chunk;
+    num_chunks_ = num_chunks;
+    chunks_done_ = 0;
+    region_id = ++region_id_;
+    cursor_.store(PackCursor(region_id, 0), std::memory_order_relaxed);
+  }
+  work_cv_.notify_all();
+  const std::size_t executed =
+      RunChunks(region_id, fn, begin, end, safe_chunk, num_chunks);
+  std::unique_lock<std::mutex> lock(mu_);
+  chunks_done_ += executed;
+  done_cv_.wait(lock, [&] { return chunks_done_ >= num_chunks_; });
+  fn_ = nullptr;
+}
+
+}  // namespace dpmm

@@ -1,0 +1,94 @@
+// Persistent task-queue thread pool behind ParallelFor. Workers are created
+// once and park on a condition variable between parallel regions, so
+// steady-state ParallelFor calls create zero threads — the fork-join
+// spawn/join cost that dominated small-grain loops under the previous raw
+// std::thread implementation is gone. Chunks of one region are handed out
+// through an atomic cursor (no per-chunk queue allocation, no work
+// stealing); the calling thread participates, so a pool of N threads uses
+// N-1 workers. Nested ParallelFor calls — from a worker, or from a caller
+// already inside a region — run serially inline, which makes nesting safe
+// by construction (no deadlock on the region lock, no oversubscription).
+#ifndef DPMM_UTIL_THREAD_POOL_H_
+#define DPMM_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dpmm {
+
+class ThreadPool {
+ public:
+  /// A pool that runs parallel regions over `num_threads` executors: the
+  /// calling thread plus num_threads - 1 persistent workers. num_threads <= 1
+  /// creates no workers and runs everything inline.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn over [begin, end) split into chunks of `chunk` (the last chunk
+  /// may be short), on the workers plus the calling thread; returns when
+  /// every chunk has finished. Chunks are claimed through an atomic cursor,
+  /// so load imbalance self-corrects without a queue. A concurrent external
+  /// caller finding the pool busy runs its own loop inline (serial) instead
+  /// of blocking; nested calls (from a worker or from inside another region
+  /// on this thread) also run fn(begin, end) inline.
+  void ParallelFor(std::size_t begin, std::size_t end, std::size_t chunk,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// The process-wide pool, sized by NumThreads(). Created on first use and
+  /// intentionally never destroyed (workers park between calls; tearing the
+  /// pool down during static destruction would race exiting threads).
+  static ThreadPool& Global();
+
+  /// True while the calling thread is inside a parallel region (worker
+  /// executing a chunk, or caller participating in one). Used to route
+  /// nested calls to the serial path.
+  static bool InParallelRegion();
+
+  /// Total worker threads ever created across all pools in this process.
+  /// Test observability for the "steady state creates zero threads"
+  /// contract: repeated ParallelFor calls must not move this counter.
+  static long TotalThreadsCreated();
+
+ private:
+  void WorkerLoop();
+  // Claims chunks of region `region_id` until its cursor runs out; returns
+  // the number of chunks this thread executed.
+  std::size_t RunChunks(std::uint64_t region_id,
+                        const std::function<void(std::size_t, std::size_t)>& fn,
+                        std::size_t begin, std::size_t end, std::size_t chunk,
+                        std::size_t num_chunks);
+
+  const int num_threads_;
+
+  // One external ParallelFor at a time; nested calls never reach this lock.
+  std::mutex region_mu_;
+
+  // Region state, guarded by mu_ except for the atomic cursor.
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a new region was published
+  std::condition_variable done_cv_;  // caller: all chunks finished
+  std::uint64_t region_id_ = 0;      // bumped per published region
+  const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
+  std::size_t begin_ = 0, end_ = 0, chunk_ = 0, num_chunks_ = 0;
+  std::size_t chunks_done_ = 0;
+  // (region_id mod 2^32) << 32 | next chunk index; see PackCursor in the .cc.
+  std::atomic<std::uint64_t> cursor_{0};
+  bool shutdown_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dpmm
+
+#endif  // DPMM_UTIL_THREAD_POOL_H_

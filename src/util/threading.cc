@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 #include <thread>
-#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace dpmm {
 
@@ -21,15 +22,18 @@ int NumThreads() {
 
 void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
                  const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (end <= begin) return;  // empty range: no work, no threads
+  if (end <= begin) return;  // empty range: no work
   const std::size_t total = end - begin;
   // A grain of 0 means "no minimum"; clamp so the chunk arithmetic below
   // never divides by zero or underflows.
   const std::size_t min_grain = std::max<std::size_t>(grain, 1);
   const int max_threads = NumThreads();
-  // Serial fallback: one configured thread, or the whole range fits in a
-  // single grain (this also covers grain larger than the range).
-  if (max_threads <= 1 || total <= min_grain) {
+  // Serial fast paths: one configured thread, the whole range fits in a
+  // single grain (this also covers grain larger than the range), or we are
+  // already inside a parallel region (nested calls run inline). None of
+  // these touch — or create — the global pool.
+  if (max_threads <= 1 || total <= min_grain ||
+      ThreadPool::InParallelRegion()) {
     fn(begin, end);
     return;
   }
@@ -41,15 +45,7 @@ void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
     return;
   }
   const std::size_t chunk = (total + num_chunks - 1) / num_chunks;
-  std::vector<std::thread> workers;
-  workers.reserve(num_chunks);
-  for (std::size_t c = 0; c < num_chunks; ++c) {
-    const std::size_t lo = begin + c * chunk;
-    const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    workers.emplace_back([&fn, lo, hi] { fn(lo, hi); });
-  }
-  for (auto& w : workers) w.join();
+  ThreadPool::Global().ParallelFor(begin, end, chunk, fn);
 }
 
 }  // namespace dpmm

@@ -1,6 +1,9 @@
-// Simple fork-join parallel loop used by the BLAS-3 kernels and Gram-matrix
-// builders. No persistent pool: thread creation cost is negligible next to
-// the O(n^3) work these loops carry.
+// Parallel loop used by the BLAS-3 kernels, Gram-matrix builders and the
+// Kronecker vec-trick. Backed by the persistent ThreadPool (util/thread_pool
+// .h): workers are created once on first parallel use and reused, so
+// steady-state ParallelFor calls create zero threads — which is what makes
+// fine-grained loops (implicit matvecs inside PCG, batched releases) cheap
+// to parallelize.
 #ifndef DPMM_UTIL_THREADING_H_
 #define DPMM_UTIL_THREADING_H_
 
@@ -13,11 +16,13 @@ namespace dpmm {
 /// overridable via the DPMM_THREADS environment variable).
 int NumThreads();
 
-/// Runs fn(begin, end) over a partition of [begin, end) across worker
-/// threads. An empty range is a no-op; the call is serial when the range
-/// fits in one grain (including grain larger than the range; grain 0 means
-/// "no minimum") or only one thread is configured. fn must be thread-safe
-/// across disjoint ranges.
+/// Runs fn(begin, end) over a partition of [begin, end) across the
+/// persistent pool's threads (the caller participates). An empty range is a
+/// no-op; the call is serial when the range fits in one grain (including
+/// grain larger than the range; grain 0 means "no minimum"), when only one
+/// thread is configured, or when called from inside another ParallelFor
+/// (nested calls are safe and run inline). fn must be thread-safe across
+/// disjoint ranges.
 void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
                  const std::function<void(std::size_t, std::size_t)>& fn);
 

@@ -182,6 +182,61 @@ TEST(KronStrategy, SolveNormalMatchesCholeskyWithCompletion) {
   EXPECT_LT(MaxAbsDiff(z_kron, z_dense), 1e-8);
 }
 
+TEST(KronStrategy, SolveNormalBatchBitIdenticalOnPcgBranch) {
+  // Completion rows present: the block PCG must reproduce each column's
+  // sequential solve exactly — same iterates, same stopping decisions —
+  // so equality here is bitwise, not approximate.
+  AllRangeWorkload w(Domain({5, 4}));
+  auto design = optimize::EigenDesignKronForWorkload(w);
+  ASSERT_TRUE(design.ok());
+  const KronStrategy& a = design.ValueOrDie().strategy;
+  ASSERT_TRUE(a.has_completion());
+
+  Rng rng(31);
+  std::vector<Vector> bs;
+  for (int i = 0; i < 7; ++i) bs.push_back(RandomVector(a.num_cells(), &rng));
+  const std::vector<Vector> batched = a.SolveNormalBatch(bs);
+  ASSERT_EQ(batched.size(), bs.size());
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    EXPECT_EQ(batched[i], a.SolveNormal(bs[i])) << "rhs " << i;
+  }
+}
+
+TEST(KronStrategy, SolveNormalBatchBitIdenticalOnDiagonalBranch) {
+  // No completion rows: the solve is diagonal in the eigenbasis; the
+  // batched passes must still match bitwise.
+  AllRangeWorkload w(Domain({4, 3, 3}));
+  optimize::EigenDesignOptions options;
+  options.complete_columns = false;
+  auto design = optimize::EigenDesignKronForWorkload(w, options);
+  ASSERT_TRUE(design.ok());
+  const KronStrategy& a = design.ValueOrDie().strategy;
+  ASSERT_FALSE(a.has_completion());
+
+  Rng rng(37);
+  std::vector<Vector> bs;
+  for (int i = 0; i < 4; ++i) bs.push_back(RandomVector(a.num_cells(), &rng));
+  const std::vector<Vector> batched = a.SolveNormalBatch(bs);
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    EXPECT_EQ(batched[i], a.SolveNormal(bs[i])) << "rhs " << i;
+  }
+}
+
+TEST(KronStrategy, ApplyTBatchBitIdenticalToApplyT) {
+  AllRangeWorkload w(Domain({5, 4}));
+  auto design = optimize::EigenDesignKronForWorkload(w);
+  ASSERT_TRUE(design.ok());
+  const KronStrategy& a = design.ValueOrDie().strategy;
+
+  Rng rng(41);
+  std::vector<Vector> ys;
+  for (int i = 0; i < 5; ++i) ys.push_back(RandomVector(a.num_queries(), &rng));
+  const std::vector<Vector> batched = a.ApplyTBatch(ys);
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    EXPECT_EQ(batched[i], a.ApplyT(ys[i])) << "vector " << i;
+  }
+}
+
 // The Kronecker product of the 1D spectra has repeated eigenvalues, and a
 // dense numeric eigensolve is free to pick a different (equally valid)
 // orthogonal basis inside each degenerate eigenspace than the factored
@@ -350,6 +405,45 @@ TEST(KronMatrixMechanism, NearNoiselessInferenceRecoversData) {
   Rng rng(5);
   const Vector xhat = mech.ValueOrDie().InferX(x, &rng);
   EXPECT_LT(MaxAbsDiff(xhat, x), 1e-5);
+}
+
+TEST(KronMatrixMechanism, BatchedReleasesBitIdenticalToSequential) {
+  // The batched engine's contract: with a shared seed, release b of a batch
+  // equals the b-th sequential InferX call bitwise (identical noise draws,
+  // identical block-solve iterates), and both paths leave the rng in the
+  // same state.
+  AllRangeWorkload w(Domain({6, 5}));
+  auto design = optimize::EigenDesignKronForWorkload(w);
+  ASSERT_TRUE(design.ok());
+  auto mech =
+      KronMatrixMechanism::Prepare(design.ValueOrDie().strategy, {0.5, 1e-4});
+  ASSERT_TRUE(mech.ok());
+  const KronMatrixMechanism& m = mech.ValueOrDie();
+  ASSERT_TRUE(m.strategy().has_completion());  // exercise the PCG branch
+
+  Vector x(w.num_cells());
+  Rng data_rng(19);
+  for (auto& v : x) v = static_cast<double>(data_rng.UniformInt(50));
+
+  constexpr std::size_t kBatch = 6;
+  Rng seq_rng(1234), batch_rng(1234);
+  std::vector<Vector> sequential;
+  for (std::size_t b = 0; b < kBatch; ++b) {
+    sequential.push_back(m.InferX(x, &seq_rng));
+  }
+  const std::vector<Vector> batched = m.InferXBatch(x, kBatch, &batch_rng);
+  ASSERT_EQ(batched.size(), kBatch);
+  for (std::size_t b = 0; b < kBatch; ++b) {
+    EXPECT_EQ(batched[b], sequential[b]) << "release " << b;
+  }
+  EXPECT_EQ(seq_rng.NextU64(), batch_rng.NextU64());
+
+  // ReleaseBatch answers the workload at each estimate.
+  Rng run_rng(1234);
+  const std::vector<Vector> answers = m.ReleaseBatch(w, x, kBatch, &run_rng);
+  ASSERT_EQ(answers.size(), kBatch);
+  for (const auto& a : answers) EXPECT_EQ(a.size(), w.num_queries());
+  EXPECT_EQ(answers[0], w.Answer(sequential[0]));
 }
 
 TEST(Release, QueryErrorProfileMatchesDenseProfile) {

@@ -32,6 +32,21 @@ ErrorOptions PerQuery() {
   return o;
 }
 
+TEST(MatrixMechanism, WithPrivacySwapsBudgetWithoutRefactorizing) {
+  // The factorization is budget-independent, so a mechanism re-budgeted
+  // through WithPrivacy must behave bit-identically to one freshly
+  // prepared under the new budget.
+  Strategy wav = WaveletStrategy(Domain::OneDim(8));
+  auto base = MatrixMechanism::Prepare(wav, {1.0, 1e-4}).ValueOrDie();
+  const PrivacyParams tighter{0.25, 1e-5};
+  auto fresh = MatrixMechanism::Prepare(wav, tighter).ValueOrDie();
+  const MatrixMechanism swapped = base.WithPrivacy(tighter);
+  EXPECT_EQ(swapped.noise_scale(), fresh.noise_scale());
+  Vector x(8, 25.0);
+  Rng rng_a(5), rng_b(5);
+  EXPECT_EQ(swapped.InferX(x, &rng_a), fresh.InferX(x, &rng_b));
+}
+
 TEST(NoiseScales, GaussianFormula) {
   PrivacyParams p{kEps, kDelta};
   EXPECT_NEAR(GaussianNoiseScale(p, 1.0),

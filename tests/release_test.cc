@@ -89,6 +89,47 @@ TEST(QueryErrorProfile, MatchesWorkloadErrorAggregate) {
               1e-6 * std::sqrt(total2));
 }
 
+TEST(ReleaseBatch, BitIdenticalToSequentialMechanismAndProfiles) {
+  // The release-layer batch API must reproduce, bitwise, what a caller
+  // would get from budget-by-budget mechanism preparation: same estimates,
+  // same error profiles, same rng state afterwards.
+  AllRangeWorkload ranges(Domain({4, 4}));
+  auto design = optimize::EigenDesignKronForWorkload(ranges);
+  ASSERT_TRUE(design.ok());
+  const KronStrategy& strategy = design.ValueOrDie().strategy;
+
+  const std::size_t n = ranges.num_cells();
+  linalg::Matrix probe(3, n);
+  for (std::size_t j = 0; j < n; ++j) probe(0, j) = 1.0;
+  probe(1, 2) = 1.0;
+  for (std::size_t j = 0; j < n / 2; ++j) probe(2, j) = 1.0;
+  ExplicitWorkload probe_workload(ranges.domain(), probe, "probe");
+
+  linalg::Vector data(n);
+  Rng data_rng(15);
+  for (auto& v : data) v = static_cast<double>(data_rng.UniformInt(30));
+  const std::vector<PrivacyParams> budgets =
+      SplitBudget({1.0, 1e-4}, {1.0, 2.0, 1.0, 4.0});
+
+  Rng batch_rng(9);
+  const BatchReleaseResult batched =
+      ReleaseBatch(strategy, data, budgets, &batch_rng, &probe_workload);
+  ASSERT_EQ(batched.x_hats.size(), budgets.size());
+  ASSERT_EQ(batched.error_profiles.size(), budgets.size());
+
+  Rng seq_rng(9);
+  for (std::size_t b = 0; b < budgets.size(); ++b) {
+    auto mech = KronMatrixMechanism::Prepare(strategy, budgets[b]);
+    ASSERT_TRUE(mech.ok());
+    const linalg::Vector x_hat = mech.ValueOrDie().InferX(data, &seq_rng);
+    EXPECT_EQ(batched.x_hats[b], x_hat) << "release " << b;
+    EXPECT_EQ(batched.error_profiles[b],
+              QueryErrorProfile(probe_workload, strategy, budgets[b]))
+        << "profile " << b;
+  }
+  EXPECT_EQ(batch_rng.NextU64(), seq_rng.NextU64());
+}
+
 TEST(QueryErrorProfile, IdentityStrategyGivesRowNorms) {
   // Under the identity strategy, sd_q = sigma * ||w_q||.
   auto w = ExplicitWorkload::FromMatrix(builders::PrefixMatrix1D(6), "prefix");

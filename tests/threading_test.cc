@@ -1,0 +1,223 @@
+// Tests for the persistent thread pool behind ParallelFor: worker reuse
+// across calls (steady state creates zero threads), nested-call safety,
+// concurrent external callers, the DPMM_THREADS=1 serial path, and the
+// thread-safe lazy variant initialization of KronEigenBasis.
+//
+// CMake registers this binary twice: once with DPMM_THREADS=4 (so the pool
+// engages real workers even on single-core CI machines) and once as
+// threading_serial_test with DPMM_THREADS=1 running only the SerialEnv
+// suite. Suites gate themselves on NumThreads() so either binary skips the
+// cases the other covers.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/kron_operator.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/threading.h"
+
+namespace dpmm {
+namespace {
+
+TEST(ThreadPool, ReusedAcrossParallelForCalls) {
+  ThreadPool pool(4);
+  const long created = ThreadPool::TotalThreadsCreated();
+  std::vector<std::atomic<int>> hits(4096);
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(0, hits.size(), 64, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Steady state: 200 parallel regions, zero new threads.
+  EXPECT_EQ(ThreadPool::TotalThreadsCreated(), created);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 200);
+}
+
+TEST(ThreadPool, WorkRunsOnMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  auto record = [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+  };
+  auto distinct = [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return ids.size();
+  };
+  pool.ParallelFor(0, 256, 1, [&](std::size_t lo, std::size_t) {
+    record();
+    if (lo == 0) {
+      // Chunk 0 is always claimed first; parking its thread (bounded wait)
+      // forces the remaining chunks onto other threads, making multi-thread
+      // participation deterministic even on one core.
+      for (int spin = 0; spin < 20000 && distinct() < 2; ++spin) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+  });
+  EXPECT_GT(ids.size(), 1u);
+  EXPECT_LE(ids.size(), 4u);
+}
+
+TEST(ThreadPool, NestedCallsRunInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(256);
+  std::atomic<int> nested_serial{0};
+  pool.ParallelFor(0, 16, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t outer = lo; outer < hi; ++outer) {
+      EXPECT_TRUE(ThreadPool::InParallelRegion());
+      // A nested call — whether through the same pool or the free function
+      // — must run inline on this thread without touching the region lock.
+      const auto me = std::this_thread::get_id();
+      pool.ParallelFor(0, 16, 1, [&](std::size_t nlo, std::size_t nhi) {
+        if (std::this_thread::get_id() == me) {
+          nested_serial.fetch_add(1, std::memory_order_relaxed);
+        }
+        for (std::size_t i = nlo; i < nhi; ++i) {
+          hits[outer * 16 + i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+      ParallelFor(0, 4, 1, [&](std::size_t, std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), me);
+      });
+    }
+  });
+  // Every nested invocation ran as one inline call on its caller's thread.
+  EXPECT_EQ(nested_serial.load(), 16);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ConcurrentExternalCallersSerialize) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(2048);
+  auto caller = [&](std::size_t offset) {
+    for (int round = 0; round < 50; ++round) {
+      pool.ParallelFor(offset, offset + 1024, 16,
+                       [&](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) {
+                           hits[i].fetch_add(1, std::memory_order_relaxed);
+                         }
+                       });
+    }
+  };
+  std::thread a(caller, 0);
+  std::thread b(caller, 1024);
+  a.join();
+  b.join();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 50);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  // num_threads <= 1: no workers, everything inline on the caller.
+  const long created = ThreadPool::TotalThreadsCreated();
+  ThreadPool pool(1);
+  EXPECT_EQ(ThreadPool::TotalThreadsCreated(), created);
+  const auto me = std::this_thread::get_id();
+  int calls = 0;
+  pool.ParallelFor(0, 100, 10, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_EQ(std::this_thread::get_id(), me);
+    ++calls;
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 100u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(GlobalPool, SteadyStateCreatesNoThreads) {
+  if (NumThreads() <= 1) {
+    GTEST_SKIP() << "needs DPMM_THREADS > 1 (pool disabled on one thread)";
+  }
+  // Warm the global pool, then check that further calls create nothing.
+  std::vector<std::atomic<int>> hits(8192);
+  ParallelFor(0, hits.size(), 8, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  const long created = ThreadPool::TotalThreadsCreated();
+  EXPECT_GE(created, NumThreads() - 1);
+  for (int round = 0; round < 100; ++round) {
+    ParallelFor(0, hits.size(), 8, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  EXPECT_EQ(ThreadPool::TotalThreadsCreated(), created);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 101);
+}
+
+TEST(SerialEnv, SingleThreadEnvRunsInlineWithoutPool) {
+  if (NumThreads() != 1) {
+    GTEST_SKIP() << "covered by the DPMM_THREADS=1 ctest registration";
+  }
+  // DPMM_THREADS=1: the serial path must never create the global pool.
+  const long created = ThreadPool::TotalThreadsCreated();
+  const auto me = std::this_thread::get_id();
+  std::vector<int> hits(1000, 0);
+  ParallelFor(0, hits.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_EQ(std::this_thread::get_id(), me);
+    for (std::size_t i = lo; i < hi; ++i) hits[i]++;
+  });
+  for (int h : hits) ASSERT_EQ(h, 1);
+  EXPECT_EQ(ThreadPool::TotalThreadsCreated(), created);
+}
+
+// Lazy variant initialization of the Kronecker eigenbasis: racing first
+// uses from many threads must build each variant exactly once and agree
+// with the serial result.
+TEST(KronEigenBasisLazy, ConcurrentFirstUseIsSafe) {
+  Rng rng(7);
+  std::vector<linalg::Matrix> factors;
+  for (int f = 0; f < 2; ++f) {
+    linalg::Matrix m(6, 6);
+    for (std::size_t i = 0; i < 6; ++i) {
+      for (std::size_t j = 0; j < 6; ++j) {
+        m(i, j) = rng.UniformDouble() - 0.5;
+      }
+    }
+    factors.push_back(std::move(m));
+  }
+  linalg::Vector x(36);
+  for (auto& v : x) v = rng.UniformDouble();
+
+  const linalg::KronEigenBasis reference(factors);
+  const linalg::Vector want_t = reference.ApplyT(x);
+  const linalg::Vector want_sq = reference.ApplySquared(x);
+  const linalg::Vector want_sqt = reference.ApplySquaredT(x);
+  const linalg::Vector want_abs = reference.ApplyAbs(x);
+
+  for (int round = 0; round < 20; ++round) {
+    const linalg::KronEigenBasis basis(factors);  // fresh, variants unbuilt
+    std::vector<std::thread> threads;
+    std::atomic<int> mismatches{0};
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t] {
+        const linalg::Vector got = t % 4 == 0   ? basis.ApplyT(x)
+                                   : t % 4 == 1 ? basis.ApplySquared(x)
+                                   : t % 4 == 2 ? basis.ApplySquaredT(x)
+                                                : basis.ApplyAbs(x);
+        const linalg::Vector& want = t % 4 == 0   ? want_t
+                                     : t % 4 == 1 ? want_sq
+                                     : t % 4 == 2 ? want_sqt
+                                                  : want_abs;
+        if (got != want) mismatches.fetch_add(1);
+      });
+    }
+    for (auto& th : threads) th.join();
+    ASSERT_EQ(mismatches.load(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace dpmm

@@ -1,7 +1,8 @@
 // Tests for the Program-1 solver: dual solver vs the independent barrier
-// reference on random instances, KKT / duality-gap certificates, and
-// closed-form corner cases.
+// reference on random instances, KKT / duality-gap certificates, the stall
+// detector's window decision, and closed-form corner cases.
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -121,6 +122,32 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple{8, 8, 1}, std::tuple{12, 20, 1},
                       std::tuple{2, 3, 2}, std::tuple{4, 6, 2},
                       std::tuple{8, 10, 2}));
+
+TEST(StallDetector, GuardedWhileNoFinitePrimalExists) {
+  // Before any feasible primal point is found, best.objective is +inf and
+  // the window gap would be inf/inf = NaN; the detector must report "not
+  // stalled" deterministically instead of depending on a NaN comparison
+  // (which silently reset the counter, and would flip meaning if the
+  // comparison were ever rewritten with the operands reversed).
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(internal::StallWindowStalled(inf, 1.0, 1.0, 1000));
+  EXPECT_FALSE(internal::StallWindowStalled(inf, 1.0, 0.5, 1000));
+  EXPECT_FALSE(internal::StallWindowStalled(inf, 0.0, 0.0, 0));
+}
+
+TEST(StallDetector, FlagsHopelessAndSparesProgressingWindows) {
+  // Zero progress against a real gap: stalled.
+  EXPECT_TRUE(internal::StallWindowStalled(10.0, 5.0, 5.0, 1000));
+  // Strong progress (0.1 over the window, 10 windows left, gap 0.5):
+  // projected 0.67 > 0.2 * gap, not stalled.
+  EXPECT_FALSE(internal::StallWindowStalled(1.5, 1.0, 0.9, 1000));
+  // The same slope with only one window of budget left cannot close the
+  // gap: stalled.
+  EXPECT_TRUE(internal::StallWindowStalled(2.0, 1.0, 0.999, 100));
+  // Gap already closed (dual == objective): projected progress exceeds the
+  // zero gap, not stalled (the gap-tolerance check terminates first anyway).
+  EXPECT_FALSE(internal::StallWindowStalled(2.0, 2.0, 1.0, 1000));
+}
 
 TEST(DualSolver, EigenProblemKktAtOptimum) {
   // On a real workload: optimal u must activate the binding constraints

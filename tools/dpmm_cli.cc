@@ -8,18 +8,30 @@
 //            is database-independent and reusable).
 //   release  --data hist.csv --workload allrange --epsilon E [--delta D]
 //            [--seed S] [--strategy strategy.txt] [--out answers.csv]
-//            One private release of the workload answers.
+//            [--batch B]
+//            One private release of the workload answers — or, with
+//            --batch B, B releases in one pass (the budget is split evenly
+//            by sequential composition; structured workloads share the
+//            factorization and the block normal solve across the batch).
 //   synth    --data hist.csv --epsilon E [--delta D] [--seed S]
 //            [--strategy strategy.txt] [--out synth.csv]
 //            Private synthetic histogram (designed for the all-range
 //            workload, then post-processed to nonnegative integers).
 //
+// Option parsing is strict: unknown or misspelled options, missing values,
+// and malformed numeric/boolean values are hard errors (exit 2), never
+// silently-ignored fallbacks.
+//
 // Workload specs: allrange | cdf | marginals:K | rangemarginals:K
 // Histogram CSV format: see data::SaveCsv (header "# domain: d1,d2,...").
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "dpmm/dpmm.h"
@@ -33,21 +45,138 @@ struct Args {
   std::map<std::string, std::string> options;
 };
 
-Args ParseArgs(int argc, char** argv) {
-  Args args;
-  if (argc >= 2) args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+/// Known options per command — anything else is a hard error, so a typo
+/// cannot silently fall back to a default.
+const std::map<std::string, std::set<std::string>>& KnownOptions() {
+  static const auto* kKnown = new std::map<std::string, std::set<std::string>>{
+      {"error", {"domain", "workload", "epsilon", "delta"}},
+      {"design", {"domain", "workload", "out"}},
+      {"release",
+       {"data", "workload", "epsilon", "delta", "seed", "strategy", "out",
+        "dense", "batch"}},
+      {"synth",
+       {"data", "workload", "epsilon", "delta", "seed", "strategy", "out",
+        "dense"}},
+  };
+  return *kKnown;
+}
+
+/// Strict option scan: every option is --key value, the key must be known
+/// for the command, and no key may repeat. Returns false after printing the
+/// problem.
+bool ParseOptions(int argc, char** argv, Args* args) {
+  const auto& known = KnownOptions().at(args->command);
+  for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) == 0) key = key.substr(2);
-    args.options[key] = argv[i + 1];
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s' (options are --key value)\n",
+                   key.c_str());
+      return false;
+    }
+    key = key.substr(2);
+    if (known.count(key) == 0) {
+      std::fprintf(stderr, "unknown option --%s for '%s'\n", key.c_str(),
+                   args->command.c_str());
+      return false;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "option --%s is missing a value\n", key.c_str());
+      return false;
+    }
+    if (!args->options.emplace(key, argv[i + 1]).second) {
+      std::fprintf(stderr, "option --%s given more than once\n", key.c_str());
+      return false;
+    }
+    ++i;
   }
-  return args;
+  return true;
 }
 
 std::string Opt(const Args& args, const std::string& key,
                 const std::string& fallback = "") {
   auto it = args.options.find(key);
   return it == args.options.end() ? fallback : it->second;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseU64(const std::string& s, unsigned long long* out) {
+  if (s.empty() || s[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseBool(const std::string& s, bool* out) {
+  if (s == "1" || s == "true") {
+    *out = true;
+    return true;
+  }
+  if (s == "0" || s == "false") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+/// Parses and validates an option value; prints the offense and returns
+/// false on malformed input (the fallback is used when the option is
+/// absent).
+bool DoubleOpt(const Args& args, const std::string& key, double fallback,
+               double* out) {
+  const auto it = args.options.find(key);
+  if (it == args.options.end()) {
+    *out = fallback;
+    return true;
+  }
+  if (!ParseDouble(it->second, out)) {
+    std::fprintf(stderr, "option --%s expects a number, got '%s'\n",
+                 key.c_str(), it->second.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool U64Opt(const Args& args, const std::string& key,
+            unsigned long long fallback, unsigned long long* out) {
+  const auto it = args.options.find(key);
+  if (it == args.options.end()) {
+    *out = fallback;
+    return true;
+  }
+  if (!ParseU64(it->second, out)) {
+    std::fprintf(stderr, "option --%s expects a nonnegative integer, got '%s'\n",
+                 key.c_str(), it->second.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool BoolOpt(const Args& args, const std::string& key, bool fallback,
+             bool* out) {
+  const auto it = args.options.find(key);
+  if (it == args.options.end()) {
+    *out = fallback;
+    return true;
+  }
+  if (!ParseBool(it->second, out)) {
+    std::fprintf(stderr,
+                 "option --%s expects a boolean (1/0/true/false), got '%s'\n",
+                 key.c_str(), it->second.c_str());
+    return false;
+  }
+  return true;
 }
 
 Result<Domain> ParseDomain(const std::string& spec) {
@@ -57,8 +186,11 @@ Result<Domain> ParseDomain(const std::string& spec) {
     std::size_t next = spec.find(',', pos);
     if (next == std::string::npos) next = spec.size();
     const std::string tok = spec.substr(pos, next - pos);
-    if (tok.empty()) return Status::InvalidArgument("bad domain spec");
-    sizes.push_back(std::stoull(tok));
+    unsigned long long size = 0;
+    if (!ParseU64(tok, &size) || size == 0) {
+      return Status::InvalidArgument("bad domain spec '" + spec + "'");
+    }
+    sizes.push_back(static_cast<std::size_t>(size));
     pos = next + 1;
   }
   if (sizes.empty()) return Status::InvalidArgument("empty domain spec");
@@ -79,7 +211,10 @@ Result<std::shared_ptr<Workload>> ParseWorkload(const std::string& spec,
   const auto colon = spec.find(':');
   if (colon != std::string::npos) {
     const std::string kind = spec.substr(0, colon);
-    const std::size_t way = std::stoull(spec.substr(colon + 1));
+    unsigned long long way = 0;
+    if (!ParseU64(spec.substr(colon + 1), &way) || way == 0) {
+      return Status::InvalidArgument("bad marginal order in '" + spec + "'");
+    }
     if (way > domain.num_attributes()) {
       return Status::InvalidArgument("marginal order exceeds attribute count");
     }
@@ -96,11 +231,19 @@ Result<std::shared_ptr<Workload>> ParseWorkload(const std::string& spec,
   return Status::InvalidArgument("unknown workload spec '" + spec + "'");
 }
 
-PrivacyParams ParsePrivacy(const Args& args) {
-  PrivacyParams p;
-  p.epsilon = std::stod(Opt(args, "epsilon", "0.5"));
-  p.delta = std::stod(Opt(args, "delta", "1e-4"));
-  return p;
+bool ParsePrivacy(const Args& args, PrivacyParams* privacy) {
+  if (!DoubleOpt(args, "epsilon", 0.5, &privacy->epsilon) ||
+      !DoubleOpt(args, "delta", 1e-4, &privacy->delta)) {
+    return false;
+  }
+  // Finiteness matters as much as sign: NaN slips past a <= 0 test, and an
+  // infinite epsilon would emit an exact release labeled as private.
+  if (!std::isfinite(privacy->epsilon) || !std::isfinite(privacy->delta) ||
+      privacy->epsilon <= 0.0 || privacy->delta <= 0.0) {
+    std::fprintf(stderr, "--epsilon and --delta must be positive and finite\n");
+    return false;
+  }
+  return true;
 }
 
 int CmdError(const Args& args) {
@@ -117,7 +260,7 @@ int CmdError(const Args& args) {
   }
   const Workload& w = *workload.ValueOrDie();
   ErrorOptions opts;
-  opts.privacy = ParsePrivacy(args);
+  if (!ParsePrivacy(args, &opts.privacy)) return 2;
 
   std::printf("workload: %s (%zu queries over %zu cells)\n",
               w.Name().c_str(), w.num_queries(), w.num_cells());
@@ -176,6 +319,27 @@ int CmdDesign(const Args& args) {
 }
 
 int CmdReleaseOrSynth(const Args& args, bool synth) {
+  // Validate every cheap option before touching the data file, so a typo
+  // is reported immediately instead of after parsing a large histogram
+  // (or being masked by an I/O error).
+  PrivacyParams privacy;
+  if (!ParsePrivacy(args, &privacy)) return 2;
+  unsigned long long seed = 0;
+  bool force_dense = false;
+  unsigned long long batch = 1;
+  if (!U64Opt(args, "seed", 42, &seed) ||
+      !BoolOpt(args, "dense", false, &force_dense) ||
+      !U64Opt(args, "batch", 1, &batch)) {
+    return 2;
+  }
+  // Upper bound keeps a typo'd batch from aborting on a multi-hundred-GB
+  // budget-split allocation instead of exiting cleanly.
+  constexpr unsigned long long kMaxBatch = 10000;
+  if (batch == 0 || batch > kMaxBatch) {
+    std::fprintf(stderr, "--batch must be between 1 and %llu\n", kMaxBatch);
+    return 2;
+  }
+
   auto loaded = data::LoadCsv(Opt(args, "data"));
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
@@ -189,25 +353,31 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
     return 2;
   }
   const Workload& w = *workload.ValueOrDie();
-  PrivacyParams privacy = ParsePrivacy(args);
-  const std::uint64_t seed = std::stoull(Opt(args, "seed", "42"));
+  // One budget per release: even split by sequential composition (the
+  // single-release case degenerates to the whole budget).
+  const std::vector<PrivacyParams> budgets = release::SplitBudget(
+      privacy, std::vector<double>(static_cast<std::size_t>(batch), 1.0));
 
   // Reuse a persisted strategy when provided; otherwise design now —
   // through the implicit Kronecker pipeline when the workload has one
   // (pass --dense 1 to force the dense path), so structured releases never
-  // materialize an n x n matrix.
+  // materialize an n x n matrix. The 1-D case rides the same path since the
+  // eigenbasis variants became lazy (a single large factor no longer pays
+  // for transposed/squared/abs copies it never applies).
   Rng rng(seed);
-  linalg::Vector x_hat;
+  std::vector<linalg::Vector> x_hats;
+  // Dense-path batches reuse one prepared mechanism for every release: the
+  // CLI's split is always even, so all budgets are identical. (Library
+  // callers doing uneven splits re-budget via MatrixMechanism::WithPrivacy
+  // without refactorizing.)
+  auto run_dense_budgets = [&](const MatrixMechanism& base) {
+    for (std::size_t b = 0; b < budgets.size(); ++b) {
+      x_hats.push_back(base.InferX(data_vec.counts, &rng));
+    }
+  };
   const std::string strategy_path = Opt(args, "strategy");
-  const std::string dense_opt = Opt(args, "dense");
-  const bool force_dense =
-      !dense_opt.empty() && dense_opt != "0" && dense_opt != "false";
   std::optional<linalg::KronEigenResult> keig;
-  // Only worth it with real Kronecker structure: on a 1D domain the factored
-  // eigensolve is the same O(n^3) as the dense path but the implicit basis
-  // keeps several extra n x n factor variants alive.
-  if (strategy_path.empty() && !force_dense &&
-      data_vec.domain.num_attributes() > 1) {
+  if (strategy_path.empty() && !force_dense) {
     keig = w.ImplicitEigen();
   }
   if (!strategy_path.empty()) {
@@ -223,9 +393,9 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
                    strategy.num_cells(), data_vec.domain.NumCells());
       return 2;
     }
-    auto mech = MatrixMechanism::Prepare(std::move(strategy), privacy)
-                    .ValueOrDie();
-    x_hat = mech.InferX(data_vec.counts, &rng);
+    run_dense_budgets(
+        MatrixMechanism::Prepare(std::move(strategy), budgets[0])
+            .ValueOrDie());
   } else {
     bool released = false;
     if (keig.has_value()) {
@@ -236,10 +406,9 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
                      "kron fast path: implicit strategy over %zu cells "
                      "(rank %zu, gap %.1e)\n",
                      w.num_cells(), d.rank, d.duality_gap);
-        auto mech =
-            KronMatrixMechanism::Prepare(std::move(d.strategy), privacy)
-                .ValueOrDie();
-        x_hat = mech.InferX(data_vec.counts, &rng);
+        x_hats = release::ReleaseBatch(d.strategy, data_vec.counts, budgets,
+                                       &rng)
+                     .x_hats;
         released = true;
       } else {
         std::fprintf(stderr, "kron fast path failed (%s); using dense path\n",
@@ -249,15 +418,15 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
     if (!released) {
       Strategy strategy =
           optimize::EigenDesign(w.Gram()).ValueOrDie().strategy;
-      auto mech = MatrixMechanism::Prepare(std::move(strategy), privacy)
-                      .ValueOrDie();
-      x_hat = mech.InferX(data_vec.counts, &rng);
+      run_dense_budgets(
+          MatrixMechanism::Prepare(std::move(strategy), budgets[0])
+              .ValueOrDie());
     }
   }
 
   const std::string out = Opt(args, "out");
   if (synth) {
-    DataVector synth_data = release::SyntheticData(data_vec.domain, x_hat);
+    DataVector synth_data = release::SyntheticData(data_vec.domain, x_hats[0]);
     if (out.empty()) {
       std::printf("# private synthetic histogram (eps=%.3f, delta=%g)\n",
                   privacy.epsilon, privacy.delta);
@@ -275,7 +444,9 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
     return 0;
   }
 
-  linalg::Vector answers = w.Answer(x_hat);
+  std::vector<linalg::Vector> answers;
+  answers.reserve(x_hats.size());
+  for (const auto& x_hat : x_hats) answers.push_back(w.Answer(x_hat));
   FILE* sink = stdout;
   if (!out.empty()) {
     sink = std::fopen(out.c_str(), "w");
@@ -284,15 +455,27 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
       return 2;
     }
   }
-  std::fprintf(sink, "# query,private_answer (eps=%.3f, delta=%g, seed=%llu)\n",
-               privacy.epsilon, privacy.delta,
-               static_cast<unsigned long long>(seed));
-  for (std::size_t q = 0; q < answers.size(); ++q) {
-    std::fprintf(sink, "%zu,%.6f\n", q, answers[q]);
+  if (answers.size() == 1) {
+    std::fprintf(sink,
+                 "# query,private_answer (eps=%.3f, delta=%g, seed=%llu)\n",
+                 privacy.epsilon, privacy.delta,
+                 static_cast<unsigned long long>(seed));
+  } else {
+    std::fprintf(sink,
+                 "# query,answer_0..answer_%zu (total eps=%.3f, delta=%g "
+                 "split evenly across %zu releases, seed=%llu)\n",
+                 answers.size() - 1, privacy.epsilon, privacy.delta,
+                 answers.size(), static_cast<unsigned long long>(seed));
+  }
+  for (std::size_t q = 0; q < answers[0].size(); ++q) {
+    std::fprintf(sink, "%zu", q);
+    for (const auto& a : answers) std::fprintf(sink, ",%.6f", a[q]);
+    std::fprintf(sink, "\n");
   }
   if (sink != stdout) {
     std::fclose(sink);
-    std::printf("wrote %zu answers to %s\n", answers.size(), out.c_str());
+    std::printf("wrote %zu answers x %zu releases to %s\n", answers[0].size(),
+                answers.size(), out.c_str());
   }
   return 0;
 }
@@ -304,19 +487,27 @@ void Usage() {
                "rangemarginals:K]\n"
                "                [--data hist.csv] [--epsilon E] [--delta D]\n"
                "                [--seed S] [--strategy strategy.txt] [--out file.csv]\n"
+               "                [--batch B]   release only: B releases in one\n"
+               "                pass, budget split evenly across the batch\n"
                "                [--dense 1]   force the dense pipeline for\n"
                "                release/synth (structured workloads use the\n"
-               "                implicit Kronecker fast path by default)\n");
+               "                implicit Kronecker fast path by default)\n"
+               "Unknown options, missing values and malformed numbers are\n"
+               "hard errors (exit 2).\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args = ParseArgs(argc, argv);
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  if (KnownOptions().count(args.command) == 0) {
+    Usage();
+    return 1;
+  }
+  if (!ParseOptions(argc, argv, &args)) return 2;
   if (args.command == "error") return CmdError(args);
   if (args.command == "design") return CmdDesign(args);
   if (args.command == "release") return CmdReleaseOrSynth(args, false);
-  if (args.command == "synth") return CmdReleaseOrSynth(args, true);
-  Usage();
-  return 1;
+  return CmdReleaseOrSynth(args, true);
 }

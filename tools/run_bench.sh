@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Builds and runs the micro/scaling benches, leaving BENCH_kron_scaling.json
-# in the repo root as the perf-trajectory record for future PRs.
+# Builds and runs the micro/scaling/throughput benches, leaving
+# BENCH_kron_scaling.json and BENCH_release_throughput.json in the repo root
+# as the perf-trajectory record for future PRs.
 #
 # Usage: tools/run_bench.sh [--small] [--skip-scale]
 #   --small       reduced domain sizes (smoke run)
@@ -12,13 +13,19 @@ build_dir="${repo_root}/build"
 
 cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
 cmake --build "${build_dir}" -j --target \
-  bench_kron_scaling bench_micro_linalg bench_micro_solver 2>/dev/null \
-  || cmake --build "${build_dir}" -j --target bench_kron_scaling
+  bench_kron_scaling bench_release_throughput bench_micro_linalg \
+  bench_micro_solver 2>/dev/null \
+  || cmake --build "${build_dir}" -j --target bench_kron_scaling \
+       bench_release_throughput
 
 echo "== bench_kron_scaling =="
 # Default --out first so a user-supplied --out= (last one parsed wins) can
 # override the repo-root record.
 "${build_dir}/bench_kron_scaling" --out="${repo_root}/BENCH_kron_scaling.json" "$@"
+
+echo "== bench_release_throughput =="
+"${build_dir}/bench_release_throughput" \
+  --out="${repo_root}/BENCH_release_throughput.json" "$@"
 
 # The Google-Benchmark micro benches are optional (skipped when the library
 # is not installed); run them when present for a fuller picture.
@@ -30,3 +37,4 @@ for b in bench_micro_linalg bench_micro_solver; do
 done
 
 echo "perf record: ${repo_root}/BENCH_kron_scaling.json"
+echo "perf record: ${repo_root}/BENCH_release_throughput.json"

@@ -42,6 +42,7 @@
 #include "optimize/eigen_design.h"
 #include "optimize/eigen_separation.h"
 #include "optimize/l1_design.h"
+#include "optimize/lbfgs.h"
 #include "optimize/principal_vectors.h"
 #include "optimize/reference_solver.h"
 #include "optimize/weighting_problem.h"

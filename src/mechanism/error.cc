@@ -33,13 +33,44 @@ double ErrorFromTrace(double sensitivity, double trace_term,
 double TraceTerm(const Matrix& workload_gram, const Strategy& a) {
   DPMM_CHECK_EQ(workload_gram.rows(), a.num_cells());
   Matrix ata = a.Gram();
-  // Try a Cholesky solve first (full-rank strategies); fall back to the
-  // spectral pseudo-inverse when the strategy is rank deficient.
-  auto chol = linalg::Cholesky::FactorWithJitter(
-      ata, 1e-12 * (1.0 + ata.Trace() / ata.rows()));
-  if (chol.ok()) {
-    Matrix x = chol.ValueOrDie().Solve(workload_gram);
-    return x.Trace();
+  const std::size_t n = ata.rows();
+  // Positive-definite strategies take a *jitter-free* Cholesky solve of the
+  // Jacobi-equilibrated system: with D = diag(ata)^{-1/2}, factor
+  // S = D ata D (unit diagonal) and use
+  // trace(G (A^T A)^{-1}) = trace(S^{-1} (D G D)) — exact to rounding.
+  // The former jittered factorization (1e-12 relative to the *mean*
+  // diagonal) perturbed the smallest solver weights u_min by
+  // O(jitter / u_min): an accuracy floor of ~1e-4 relative once weights
+  // span six orders of magnitude. Strategies whose normal matrix is not
+  // numerically PD now go straight to the spectral pseudo-inverse below
+  // (valid when the workload lies in the strategy's row space), which has
+  // no such floor, instead of a jittered factorization that did.
+  bool scalable = true;
+  linalg::Vector dscale(n, 1.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double djj = ata(j, j);
+    if (!(djj > 0.0)) {
+      scalable = false;  // zero strategy column: singular, take the pinv path
+      break;
+    }
+    dscale[j] = 1.0 / std::sqrt(djj);
+  }
+  if (scalable) {
+    Matrix scaled = ata;
+    for (std::size_t i = 0; i < n; ++i) {
+      double* row = scaled.RowPtr(i);
+      for (std::size_t j = 0; j < n; ++j) row[j] *= dscale[i] * dscale[j];
+    }
+    auto chol = linalg::Cholesky::Factor(scaled);
+    if (chol.ok()) {
+      Matrix g_scaled = workload_gram;
+      for (std::size_t i = 0; i < n; ++i) {
+        double* row = g_scaled.RowPtr(i);
+        for (std::size_t j = 0; j < n; ++j) row[j] *= dscale[i] * dscale[j];
+      }
+      Matrix x = chol.ValueOrDie().Solve(g_scaled);
+      return x.Trace();
+    }
   }
   auto eig = linalg::SymmetricEigen(ata).ValueOrDie();
   double max_ev = 0;
@@ -47,7 +78,6 @@ double TraceTerm(const Matrix& workload_gram, const Strategy& a) {
   const double cut = 1e-12 * max_ev;
   // trace(G (A^T A)^+) = sum_i (v_i^T G v_i) / ev_i over nonzero ev.
   double tr = 0;
-  const std::size_t n = ata.rows();
   for (std::size_t j = 0; j < n; ++j) {
     if (eig.values[j] <= cut) continue;
     const linalg::Vector vj = eig.vectors.Col(j);

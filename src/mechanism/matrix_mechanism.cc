@@ -137,6 +137,37 @@ std::vector<Vector> KronMatrixMechanism::ReleaseBatch(const Workload& workload,
   return answers;
 }
 
+Result<DesignedMechanism> DesignMechanism(
+    const Workload& workload, PrivacyParams privacy,
+    const optimize::EigenDesignOptions& options, bool force_dense) {
+  DesignedMechanism out;
+  if (!force_dense) {
+    auto keig = workload.ImplicitEigen();
+    if (keig.has_value()) {
+      auto design = optimize::EigenDesignFromKronEigen(*keig, options);
+      if (!design.ok()) return design.status();
+      auto& d = design.ValueOrDie();
+      out.solver_report = std::move(d.solver_report);
+      out.duality_gap = d.duality_gap;
+      out.rank = d.rank;
+      auto mech = KronMatrixMechanism::Prepare(std::move(d.strategy), privacy);
+      if (!mech.ok()) return mech.status();
+      out.kron = std::move(mech).ValueOrDie();
+      return out;
+    }
+  }
+  auto design = optimize::EigenDesignForWorkload(workload, options);
+  if (!design.ok()) return design.status();
+  auto& d = design.ValueOrDie();
+  out.solver_report = std::move(d.solver_report);
+  out.duality_gap = d.duality_gap;
+  out.rank = d.rank;
+  auto mech = MatrixMechanism::Prepare(std::move(d.strategy), privacy);
+  if (!mech.ok()) return mech.status();
+  out.dense = std::move(mech).ValueOrDie();
+  return out;
+}
+
 double MeanRelativeError(const Workload& workload, const MatrixMechanism& mech,
                          const DataVector& data,
                          const RelativeErrorOptions& opts) {

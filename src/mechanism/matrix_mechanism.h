@@ -14,6 +14,7 @@
 #include "linalg/cholesky.h"
 #include "mechanism/error.h"
 #include "mechanism/noise.h"
+#include "optimize/eigen_design.h"
 #include "strategy/kron_strategy.h"
 #include "strategy/strategy.h"
 #include "util/status.h"
@@ -151,6 +152,26 @@ std::vector<linalg::Vector> KronInferXBatch(
     const KronStrategy& strategy, const linalg::Vector& x,
     MatrixMechanism::NoiseKind noise,
     const std::vector<double>& noise_scales, Rng* rng);
+
+/// Strategy selection and mechanism preparation in one step, with the
+/// Program-1 solver's convergence diagnostics surfaced to the caller (the
+/// CLI prints the achieved duality gap and iteration count with every
+/// release). Workloads exposing Kronecker eigenstructure ride the implicit
+/// pipeline unless `force_dense`; everything else designs densely (with the
+/// Sec. 4.1 low-rank shortcut where it applies). Exactly one of `kron` /
+/// `dense` is set on success.
+struct DesignedMechanism {
+  std::optional<KronMatrixMechanism> kron;
+  std::optional<MatrixMechanism> dense;
+  optimize::SolverReport solver_report;
+  double duality_gap = 0;
+  std::size_t rank = 0;
+};
+
+Result<DesignedMechanism> DesignMechanism(
+    const Workload& workload, PrivacyParams privacy,
+    const optimize::EigenDesignOptions& options = {},
+    bool force_dense = false);
 
 /// Options for Monte-Carlo relative-error evaluation (Sec. 3.4 / Fig. 3b,d).
 struct RelativeErrorOptions {

@@ -5,15 +5,37 @@
 #include <limits>
 
 #include "linalg/blas.h"
+#include "optimize/lbfgs.h"
+#include "util/stopwatch.h"
 
 namespace dpmm {
 namespace optimize {
 
+std::optional<SolverMethod> ParseSolverMethod(const std::string& name) {
+  if (name == "ascent") return SolverMethod::kAscent;
+  if (name == "fista") return SolverMethod::kFista;
+  if (name == "lbfgs") return SolverMethod::kLbfgs;
+  return std::nullopt;
+}
+
+const char* SolverMethodName(SolverMethod method) {
+  switch (method) {
+    case SolverMethod::kAscent:
+      return "ascent";
+    case SolverMethod::kFista:
+      return "fista";
+    case SolverMethod::kLbfgs:
+      return "lbfgs";
+  }
+  return "unknown";
+}
+
 namespace {
 
+using linalg::Vector;
+
 // Inner minimizer x_i(mu) = (q c_i / s_i)^{1/(q+1)} (0 when c_i = 0).
-void InnerX(const linalg::Vector& c, const linalg::Vector& s, int q,
-            linalg::Vector* x) {
+void InnerX(const Vector& c, const Vector& s, int q, Vector* x) {
   const double inv_qp1 = 1.0 / (q + 1.0);
   x->resize(c.size());
   for (std::size_t i = 0; i < c.size(); ++i) {
@@ -27,8 +49,7 @@ void InnerX(const linalg::Vector& c, const linalg::Vector& s, int q,
 }
 
 // Dual value g(mu) = sum_i (q+1) (c_i s_i^q / q^q)^{1/(q+1)} - sum_j mu_j.
-double DualValue(const linalg::Vector& c, const linalg::Vector& s,
-                 const linalg::Vector& mu, int q) {
+double DualValue(const Vector& c, const Vector& s, const Vector& mu, int q) {
   const double inv_qp1 = 1.0 / (q + 1.0);
   const double qq = std::pow(static_cast<double>(q), q);
   double val = 0;
@@ -43,9 +64,8 @@ double DualValue(const linalg::Vector& c, const linalg::Vector& s,
 
 // Rescales x to the feasible boundary (max constraint = 1) and evaluates the
 // primal objective there. Returns false when x gives no feasible direction.
-bool FeasiblePrimal(const linalg::Vector& c, int q, const linalg::Vector& x,
-                    const linalg::Vector& gx, linalg::Vector* x_feas,
-                    double* objective) {
+bool FeasiblePrimal(const Vector& c, int q, const Vector& x, const Vector& gx,
+                    Vector* x_feas, double* objective) {
   const std::size_t nv = c.size();
   double alpha = 0;
   for (double v : gx) alpha = std::max(alpha, v);
@@ -64,6 +84,603 @@ bool FeasiblePrimal(const linalg::Vector& c, int q, const linalg::Vector& x,
   if (!any_positive) obj = 0;
   *objective = obj;
   return true;
+}
+
+// Best-so-far bookkeeping shared by every method: primal candidates, the
+// dual bound, the relative gap, and the optional trajectory. Observation
+// only — it never feeds back into the iterates, so wrapping the legacy
+// ascent loop in it leaves that method's numerics bit-identical.
+struct TrackState {
+  WeightingSolution best;  // best.objective starts at +inf
+  double best_dual = -std::numeric_limits<double>::infinity();
+  SolverReport report;
+  Stopwatch watch;
+  bool record = false;
+  double scale = 1.0;  // c_max: solver state is normalized by it
+
+  TrackState() { best.objective = std::numeric_limits<double>::infinity(); }
+
+  /// Offers the primal candidate recovered from (x, gx), folds `dual` into
+  /// the bound, and returns (recording, if asked) the relative gap. The
+  /// returned gap drives the stopping test in the solver's normalized
+  /// scale (the legacy semantics); recorded samples carry the gap in the
+  /// problem's original scale, matching the final reported relative_gap.
+  double Observe(const Vector& c, int q, const Vector& x, const Vector& gx,
+                 double dual, int iteration) {
+    Vector x_feas;
+    double obj;
+    if (FeasiblePrimal(c, q, x, gx, &x_feas, &obj) && obj < best.objective) {
+      best.objective = obj;
+      best.x = std::move(x_feas);
+    }
+    best_dual = std::max(best_dual, dual);
+    const double gap = (best.objective - best_dual) /
+                       std::max(1.0, std::fabs(best.objective));
+    if (record) {
+      const double gap_scaled =
+          (best.objective - best_dual) * scale /
+          std::max(1.0, std::fabs(best.objective) * scale);
+      report.trajectory.push_back(
+          SolverGapSample{iteration, watch.Seconds(), best_dual, gap_scaled});
+    }
+    return gap;
+  }
+};
+
+// Mutable per-phase state handed from the FISTA warm phase to the L-BFGS
+// phase: the current point, its constraint image s = G^T mu, its dual value,
+// and the global iteration counter.
+struct PhaseIo {
+  Vector mu;
+  Vector s;
+  double dual = 0;
+  int it = 0;
+};
+
+enum class PhaseExit { kTolerance, kBudget, kSwitch, kStuck };
+
+// Projected accelerated gradient ascent (FISTA) with backtracking and
+// function-value adaptive restart. With allow_switch, returns kSwitch once
+// the momentum phase's dual progress per window can no longer close a
+// meaningful fraction of the gap — the signal that curvature information
+// (L-BFGS) is needed for the remaining digits.
+PhaseExit RunFistaPhase(const Vector& cn, const ConstraintOperator& op, int q,
+                        const SolverOptions& options, int max_it,
+                        bool allow_switch, TrackState* track, PhaseIo* io) {
+  const std::size_t nc = op.num_constraints();
+  Vector mu = io->mu;
+  Vector s_mu = io->s;
+  double dual_mu = io->dual;
+  Vector y = mu;
+  Vector s_y = s_mu;
+  double t = 1.0;
+  double step = options.initial_step;
+
+  Vector x, gx, grad(nc), mu_next(nc), s_next;
+  double switch_checkpoint = dual_mu;
+  constexpr int kSwitchWindow = 10;
+  int since_refresh = 0;
+
+  auto save = [&]() {
+    io->mu = std::move(mu);
+    io->s = std::move(s_mu);
+    io->dual = dual_mu;
+  };
+
+  while (io->it < max_it) {
+    // Gradient of g at y: grad_j = (G x(y))_j - 1 (envelope theorem).
+    InnerX(cn, s_y, q, &x);
+    gx = op.Apply(x);
+    for (std::size_t j = 0; j < nc; ++j) grad[j] = gx[j] - 1.0;
+    // dual_y anchors the backtracking linearization only; it is NOT folded
+    // into the certified bound because s_y may be the linear-combination
+    // shortcut below rather than a fresh G^T y. Only duals evaluated from a
+    // fresh ApplyT (dual_mu, dual_next) certify. The primal candidate is
+    // exact either way: gx is a fresh apply of the explicit x.
+    const double dual_y = DualValue(cn, s_y, y, q);
+    const double gap = track->Observe(cn, q, x, gx, dual_mu, io->it);
+    if (gap < options.relative_gap_tol) {
+      save();
+      return PhaseExit::kTolerance;
+    }
+
+    // Backtracking proximal ascent step from y.
+    double dual_next = -std::numeric_limits<double>::infinity();
+    bool shrank = false;
+    for (int bt = 0; bt < 60; ++bt) {
+      for (std::size_t j = 0; j < nc; ++j) {
+        mu_next[j] = std::max(0.0, y[j] + step * grad[j]);
+      }
+      s_next = op.ApplyT(mu_next);
+      dual_next = DualValue(cn, s_next, mu_next, q);
+      double lin = dual_y;
+      double d2 = 0;
+      for (std::size_t j = 0; j < nc; ++j) {
+        const double dj = mu_next[j] - y[j];
+        lin += grad[j] * dj;
+        d2 += dj * dj;
+      }
+      lin -= 0.5 / step * d2;
+      if (dual_next >= lin - 1e-15 * std::fabs(dual_y)) break;  // accepted
+      step *= 0.5;
+      shrank = true;
+    }
+    if (!shrank) step *= 1.05;  // cheap recovery from early conservatism
+
+    ++io->it;
+    ++track->report.fista_iterations;
+
+    // Adaptive restart: momentum overshot (the dual moved backwards from
+    // the anchor point) — drop the extrapolation and retake from mu.
+    if (dual_next < dual_mu) {
+      ++track->report.restarts;
+      t = 1.0;
+      y = mu;
+      s_y = s_mu;
+      continue;
+    }
+
+    const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
+    const double beta = (t - 1.0) / t_next;
+    bool clipped = false;
+    for (std::size_t j = 0; j < nc; ++j) {
+      const double yj = mu_next[j] + beta * (mu_next[j] - mu[j]);
+      if (yj < 0.0) {
+        y[j] = 0.0;
+        clipped = true;
+      } else {
+        y[j] = yj;
+      }
+    }
+    // s_y by linearity of G^T when the projection did not clip — saves the
+    // ApplyT that would otherwise dominate the iteration. Periodic fresh
+    // recomputation stops rounding drift from accumulating.
+    if (!clipped && ++since_refresh < 50) {
+      for (std::size_t i = 0; i < s_next.size(); ++i) {
+        s_y[i] = s_next[i] + beta * (s_next[i] - s_mu[i]);
+      }
+    } else {
+      s_y = op.ApplyT(y);
+      since_refresh = 0;
+    }
+    mu = mu_next;
+    s_mu = s_next;
+    dual_mu = dual_next;
+    t = t_next;
+
+    if (allow_switch && io->it % kSwitchWindow == 0) {
+      const double denom = std::max(1.0, std::fabs(track->best.objective));
+      const double progress = (dual_mu - switch_checkpoint) / denom;
+      const double gap_now = (track->best.objective - track->best_dual) / denom;
+      if (std::isfinite(track->best.objective) &&
+          progress < 0.05 * gap_now) {
+        save();
+        return PhaseExit::kSwitch;
+      }
+      switch_checkpoint = dual_mu;
+    }
+  }
+  save();
+  return PhaseExit::kBudget;
+}
+
+// Projected L-BFGS on f = -g over the box mu >= 0: two-loop recursion for
+// the direction, bound coordinates whose gradient pushes outward are frozen,
+// Armijo backtracking on the projected step. Near the optimum the curvature
+// model gives superlinear gap decrease — the digits the first-order phases
+// cannot reach in reasonable budgets.
+PhaseExit RunLbfgsPhase(const Vector& cn, const ConstraintOperator& op, int q,
+                        const SolverOptions& options, int max_it,
+                        TrackState* track, PhaseIo* io) {
+  const std::size_t nc = op.num_constraints();
+  Vector mu = io->mu;
+  Vector s = io->s;
+  double dual = io->dual;
+  LbfgsHistory history(static_cast<std::size_t>(options.lbfgs_memory));
+
+  Vector x, gx, grad_f(nc);
+  auto eval_grad = [&](const Vector& s_at, Vector* grad_out) {
+    InnerX(cn, s_at, q, &x);
+    gx = op.Apply(x);
+    grad_out->resize(nc);
+    for (std::size_t j = 0; j < nc; ++j) (*grad_out)[j] = 1.0 - gx[j];
+  };
+  eval_grad(s, &grad_f);
+  double gap = track->Observe(cn, q, x, gx, dual, io->it);
+
+  Vector d, mu_trial(nc), s_trial, diff(nc), grad_next(nc);
+  auto save = [&]() {
+    io->mu = std::move(mu);
+    io->s = std::move(s);
+    io->dual = dual;
+  };
+  // A failed line search usually means the curvature model degenerated
+  // (active-set churn, rounding-level steps); one model reset earns another
+  // attempt from steepest descent before declaring convergence.
+  int resets_left = 2;
+
+  while (io->it < max_it) {
+    if (gap < options.relative_gap_tol) {
+      save();
+      return PhaseExit::kTolerance;
+    }
+    const double bound_tol = 1e-12 * std::max(1.0, linalg::MaxAbs(mu));
+    const std::vector<char> active = ActiveBoundSet(mu, grad_f, bound_tol);
+    d = history.ApplyInverseHessian(grad_f);
+    for (double& v : d) v = -v;
+    MaskDirection(active, &d);
+    double dd = linalg::Dot(grad_f, d);
+    if (dd >= 0.0) {
+      // The quasi-Newton model points uphill (stale curvature after active-
+      // set churn): fall back to steepest descent and start the model over.
+      history.Clear();
+      d = grad_f;
+      for (double& v : d) v = -v;
+      MaskDirection(active, &d);
+      dd = linalg::Dot(grad_f, d);
+      if (dd >= 0.0) {
+        save();
+        return PhaseExit::kStuck;  // projected gradient vanished
+      }
+    }
+
+    // Armijo backtracking on the projected step; `pred` uses the realized
+    // displacement so clipped coordinates do not overpromise decrease. Any
+    // strictly ascending trial is remembered: when no trial passes Armijo
+    // but one still improved the dual, taking it beats stopping.
+    const double f_mu = -dual;
+    double alpha = 1.0;
+    double dual_trial = dual;
+    bool accepted = false;
+    double fallback_alpha = 0.0;
+    double fallback_dual = dual;
+    for (int ls = 0; ls < 40; ++ls) {
+      for (std::size_t j = 0; j < nc; ++j) {
+        mu_trial[j] = std::max(0.0, mu[j] + alpha * d[j]);
+      }
+      s_trial = op.ApplyT(mu_trial);
+      dual_trial = DualValue(cn, s_trial, mu_trial, q);
+      double pred = 0;
+      for (std::size_t j = 0; j < nc; ++j) {
+        diff[j] = mu_trial[j] - mu[j];
+        pred += grad_f[j] * diff[j];
+      }
+      if (pred < 0.0 && -dual_trial <= f_mu + 1e-4 * pred) {
+        accepted = true;
+        break;
+      }
+      if (dual_trial > fallback_dual) {
+        fallback_dual = dual_trial;
+        fallback_alpha = alpha;
+      }
+      alpha *= 0.5;
+    }
+    if (!accepted && fallback_alpha > 0.0) {
+      // Rebuild the best ascending trial (its buffers were overwritten by
+      // later backtracks).
+      for (std::size_t j = 0; j < nc; ++j) {
+        mu_trial[j] = std::max(0.0, mu[j] + fallback_alpha * d[j]);
+        diff[j] = mu_trial[j] - mu[j];
+      }
+      s_trial = op.ApplyT(mu_trial);
+      dual_trial = DualValue(cn, s_trial, mu_trial, q);
+      accepted = dual_trial > dual;
+    }
+    if (!accepted) {
+      if (history.size() > 0 && resets_left > 0) {
+        --resets_left;
+        history.Clear();
+        ++io->it;  // the failed search consumed real work
+        continue;
+      }
+      save();
+      return PhaseExit::kStuck;  // numerically converged
+    }
+
+    eval_grad(s_trial, &grad_next);
+    Vector y_pair(nc);
+    for (std::size_t j = 0; j < nc; ++j) y_pair[j] = grad_next[j] - grad_f[j];
+    history.Push(diff, y_pair);
+
+    mu.swap(mu_trial);
+    s.swap(s_trial);
+    dual = dual_trial;
+    grad_f.swap(grad_next);
+    ++io->it;
+    ++track->report.lbfgs_iterations;
+    gap = track->Observe(cn, q, x, gx, dual, io->it);
+  }
+  save();
+  return PhaseExit::kBudget;
+}
+
+// Slack-equalizing polish. The rescaled primal candidate reaches the dual
+// bound exactly when the constraint slacks are uniform on supp(mu) (gx = 1
+// there) — the fixed point of the multiplicative update mu *= gx^eta. A
+// converged dual sits on a flat top where strictly ascending moves no
+// longer exist, so unlike the monotone ascent this phase accepts any move
+// that stays within a rounding-scale band *of the best dual seen* (total
+// drift stays bounded by the band, not per-step), and walks toward the
+// equalized point, converting dual precision into primal precision.
+void RunPolishPhase(const Vector& cn, const ConstraintOperator& op, int q,
+                    const SolverOptions& options, int max_it,
+                    TrackState* track, PhaseIo* io) {
+  const std::size_t nc = op.num_constraints();
+  Vector mu = std::move(io->mu);
+  Vector s = std::move(io->s);
+  double dual = io->dual;
+  Vector x, gx, mu_trial(nc), s_trial;
+  for (; io->it < max_it; ++io->it) {
+    InnerX(cn, s, q, &x);
+    gx = op.Apply(x);
+    const double gap = track->Observe(cn, q, x, gx, dual, io->it);
+    if (gap < options.relative_gap_tol) break;
+    const double floor =
+        track->best_dual -
+        1e-13 * std::max(1.0, std::fabs(track->best_dual));
+    bool moved = false;
+    // Largest equalization exponent whose step stays in the band; eta = 1
+    // is the full Sinkhorn step (fastest slack contraction), the smaller
+    // ones are its damped fallbacks.
+    for (double eta : {1.0, 0.5, 0.25, 0.1}) {
+      for (std::size_t j = 0; j < nc; ++j) {
+        mu_trial[j] = mu[j] * std::pow(std::max(gx[j], 1e-300), eta);
+      }
+      s_trial = op.ApplyT(mu_trial);
+      const double trial = DualValue(cn, s_trial, mu_trial, q);
+      if (trial >= floor) {
+        mu.swap(mu_trial);
+        s.swap(s_trial);
+        dual = trial;
+        moved = true;
+        break;
+      }
+    }
+    if (!moved) break;  // every equalizing move leaves the flat top
+  }
+  track->best_dual = std::max(track->best_dual, dual);
+  io->mu = std::move(mu);
+  io->s = std::move(s);
+  io->dual = dual;
+}
+
+// Log phase: unconstrained L-BFGS over v = log mu (all coordinates; zeros
+// are lifted to a tiny interior floor). The box constraints — the reason
+// the projected phase plateaus — vanish: the optimum over v is interior,
+// and the stationarity condition dh/dv_j = mu_j (gx_j - 1) = 0 forces the
+// constraint slacks to 1 *exactly* wherever mu carries weight, so the
+// primal candidate's max-rescale degenerates to a no-op and the duality gap
+// collapses toward rounding (the projected phase's candidates stall orders
+// of magnitude higher because their slacks stay merely approximately
+// uniform). Coordinates that belong at the bound simply drift down in v,
+// their dual contribution and gradient vanishing with them. The two-loop
+// recursion is seeded with the metric diag(1/mu): the log-space Hessian
+// scales as mu_j per coordinate, so the seeded base step is exactly the
+// natural multiplicative (log-Sinkhorn) update, which the curvature pairs
+// then refine.
+PhaseExit RunLogPhase(const Vector& cn, const ConstraintOperator& op, int q,
+                      const SolverOptions& options, int max_it,
+                      TrackState* track, PhaseIo* io) {
+  const std::size_t nc = op.num_constraints();
+  Vector mu = std::move(io->mu);
+  double dual = io->dual;
+  double mu_max = 0;
+  for (double v : mu) mu_max = std::max(mu_max, v);
+  if (mu_max <= 0.0) {
+    io->mu = std::move(mu);
+    io->dual = dual;
+    return PhaseExit::kStuck;
+  }
+  // Interior lift: total dual perturbation <= nc * floor, far below the
+  // achievable gap, and every coordinate becomes free to re-enter.
+  const double lift = 1e-16 * mu_max;
+  for (auto& v : mu) v = std::max(v, lift);
+  Vector s = op.ApplyT(mu);
+  dual = DualValue(cn, s, mu, q);
+
+  Vector v(nc);
+  for (std::size_t j = 0; j < nc; ++j) v[j] = std::log(mu[j]);
+  LbfgsHistory history(static_cast<std::size_t>(options.lbfgs_memory));
+
+  Vector x, gx, grad_f(nc);
+  // Gradient of f = -h at the current (mu, s); also refreshes x, gx.
+  auto eval_grad = [&]() {
+    InnerX(cn, s, q, &x);
+    gx = op.Apply(x);
+    for (std::size_t j = 0; j < nc; ++j) {
+      grad_f[j] = -mu[j] * (gx[j] - 1.0);
+    }
+  };
+  eval_grad();
+  double gap = track->Observe(cn, q, x, gx, dual, io->it);
+
+  Vector d, h0(nc), v_trial, mu_trial(nc), s_trial, diff, grad_next;
+  auto save = [&]() {
+    io->mu = std::move(mu);
+    io->s = std::move(s);
+    io->dual = dual;
+  };
+  int resets_left = 2;
+
+  while (io->it < max_it) {
+    if (gap < options.relative_gap_tol) {
+      save();
+      return PhaseExit::kTolerance;
+    }
+    for (std::size_t j = 0; j < nc; ++j) {
+      h0[j] = 1.0 / std::max(mu[j], 1e-300);
+    }
+    d = history.ApplyInverseHessian(grad_f, &h0);
+    // Clamp per-coordinate v-displacement: a 30-unit log step already spans
+    // 1e13 in mu, and clamping coordinates independently keeps one wild
+    // (near-singular-curvature) coordinate from shrinking the whole step.
+    for (double& val : d) val = std::min(30.0, std::max(-30.0, -val));
+    double dd = linalg::Dot(grad_f, d);
+    if (dd >= 0.0) {
+      history.Clear();
+      d.resize(nc);
+      for (std::size_t j = 0; j < nc; ++j) {
+        d[j] = std::min(30.0, std::max(-30.0, -grad_f[j] * h0[j]));
+      }
+      dd = linalg::Dot(grad_f, d);
+      if (dd >= 0.0) {
+        save();
+        return PhaseExit::kStuck;  // gradient numerically zero
+      }
+    }
+    double alpha = 1.0;
+
+    const double f_v = -dual;
+    double dual_trial = dual;
+    bool accepted = false;
+    double fallback_alpha = 0.0;
+    double fallback_dual = dual;
+    for (int ls = 0; ls < 40; ++ls) {
+      v_trial = v;
+      linalg::Axpy(alpha, d, &v_trial);
+      for (std::size_t j = 0; j < nc; ++j) mu_trial[j] = std::exp(v_trial[j]);
+      s_trial = op.ApplyT(mu_trial);
+      dual_trial = DualValue(cn, s_trial, mu_trial, q);
+      const double pred = alpha * dd;
+      if (-dual_trial <= f_v + 1e-4 * pred) {
+        accepted = true;
+        break;
+      }
+      if (dual_trial > fallback_dual) {
+        fallback_dual = dual_trial;
+        fallback_alpha = alpha;
+      }
+      alpha *= 0.5;
+    }
+    if (!accepted && fallback_alpha > 0.0) {
+      alpha = fallback_alpha;
+      v_trial = v;
+      linalg::Axpy(alpha, d, &v_trial);
+      for (std::size_t j = 0; j < nc; ++j) mu_trial[j] = std::exp(v_trial[j]);
+      s_trial = op.ApplyT(mu_trial);
+      dual_trial = DualValue(cn, s_trial, mu_trial, q);
+      accepted = dual_trial > dual;
+    }
+    if (!accepted) {
+      if (history.size() > 0 && resets_left > 0) {
+        --resets_left;
+        history.Clear();
+        ++io->it;
+        continue;
+      }
+      save();
+      return PhaseExit::kStuck;
+    }
+
+    diff = v_trial;
+    linalg::Axpy(-1.0, v, &diff);
+    mu.swap(mu_trial);
+    v.swap(v_trial);
+    s.swap(s_trial);
+    dual = dual_trial;
+    grad_next = grad_f;
+    eval_grad();  // refreshes grad_f at the new point
+    Vector y_pair = grad_f;
+    linalg::Axpy(-1.0, grad_next, &y_pair);
+    history.Push(diff, y_pair);
+    ++io->it;
+    ++track->report.lbfgs_iterations;
+    gap = track->Observe(cn, q, x, gx, dual, io->it);
+  }
+  save();
+  return PhaseExit::kBudget;
+}
+
+// The original monotone ascent (multiplicative updates with projected-
+// gradient fallback and the two-window stall detector); the TrackState only
+// observes, so for the kAscent method (start 0, full budget) results are
+// bit-identical to the pre-report solver. (The kLbfgs pipeline does NOT
+// reuse this: its slack-equalizing rounds run RunPolishPhase above, whose
+// acceptance band — unlike this strictly monotone ascent — can walk the
+// dual's flat top.)
+void RunAscent(const Vector& cn, const ConstraintOperator& op, int q,
+               const SolverOptions& options, int max_it, TrackState* track,
+               PhaseIo* io) {
+  const std::size_t nc = op.num_constraints();
+  Vector mu = std::move(io->mu);
+  Vector s = std::move(io->s);
+  double dual = io->dual;
+
+  Vector x, grad(nc), mu_trial(nc), s_trial, gx(nc);
+  double step = options.initial_step;
+  // Stall detection: every 100 iterations, extrapolate the dual's recent
+  // progress over the remaining budget; if even that optimistic projection
+  // cannot close half the current gap, stop — the iterations would be
+  // wasted (a relative gap of g inflates error by at most sqrt(1+g)). The
+  // window only counts once a finite primal objective exists (see
+  // internal::StallWindowStalled).
+  double dual_checkpoint = dual;
+  int stalled_windows = 0;
+  const int start = io->it;
+  int it = start;
+  for (; it < max_it; ++it) {
+    if (it > start && (it - start) % 100 == 0) {
+      // One slow window can be an artifact of the step schedule; require
+      // two in a row before declaring the remaining budget hopeless.
+      const bool stalled = internal::StallWindowStalled(
+          track->best.objective, dual, dual_checkpoint, max_it - it);
+      if (stalled) ++track->report.stalled_windows;
+      stalled_windows = stalled ? stalled_windows + 1 : 0;
+      if (stalled_windows >= 2) break;
+      dual_checkpoint = dual;
+    }
+    InnerX(cn, s, q, &x);
+    gx = op.Apply(x);
+    for (std::size_t j = 0; j < nc; ++j) grad[j] = gx[j] - 1.0;
+
+    const double gap = track->Observe(cn, q, x, gx, dual, it);
+    if (gap < options.relative_gap_tol) break;
+
+    // Move 1: multiplicative (Sinkhorn-like) updates mu_j *= (Gx)_j^eta —
+    // self-scaling and fast far from the optimum; smaller exponents act as
+    // damping for the final digits. Fall back to projected gradient with
+    // backtracking when no multiplicative step ascends.
+    bool accepted = false;
+    for (double eta : {0.5, 0.25, 0.1}) {
+      for (std::size_t j = 0; j < nc; ++j) {
+        mu_trial[j] = mu[j] * std::pow(std::max(gx[j], 1e-300), eta);
+      }
+      s_trial = op.ApplyT(mu_trial);
+      const double trial = DualValue(cn, s_trial, mu_trial, q);
+      if (trial > dual) {
+        mu.swap(mu_trial);
+        s.swap(s_trial);
+        dual = trial;
+        accepted = true;
+        break;
+      }
+    }
+    if (!accepted) {
+      bool ascended = false;
+      for (int bt = 0; bt < 50; ++bt) {
+        for (std::size_t j = 0; j < nc; ++j) {
+          mu_trial[j] = std::max(0.0, mu[j] + step * grad[j]);
+        }
+        s_trial = op.ApplyT(mu_trial);
+        const double trial = DualValue(cn, s_trial, mu_trial, q);
+        if (trial > dual) {
+          mu.swap(mu_trial);
+          s.swap(s_trial);
+          dual = trial;
+          step *= 1.3;
+          ascended = true;
+          break;
+        }
+        step *= 0.5;
+      }
+      if (!ascended) break;  // numerically converged
+    }
+  }
+  track->best_dual = std::max(track->best_dual, dual);
+  io->mu = std::move(mu);
+  io->s = std::move(s);
+  io->dual = dual;
+  io->it = it;
 }
 
 }  // namespace
@@ -88,13 +705,14 @@ bool StallWindowStalled(double best_objective, double dual,
 
 Result<WeightingSolution> SolveWeighting(const linalg::Vector& c,
                                          const ConstraintOperator& constraints,
-                                         int exponent,
-                                         const SolverOptions& options) {
+                                         int exponent, const SolverOptions& options,
+                                         const linalg::Vector* warm_start) {
   const std::size_t nv = c.size();
   const std::size_t nc = constraints.num_constraints();
   DPMM_CHECK_GT(nv, 0u);
   DPMM_CHECK_GT(nc, 0u);
   DPMM_CHECK_EQ(constraints.num_vars(), nv);
+  DPMM_CHECK_GT(options.lbfgs_memory, 0);
   const int q = exponent;
   DPMM_CHECK(q == 1 || q == 2);
 
@@ -110,109 +728,122 @@ Result<WeightingSolution> SolveWeighting(const linalg::Vector& c,
     double row_max = 0;
     for (double v : row_sums) row_max = std::max(row_max, v);
     if (row_max > 0) sol.x.assign(nv, 1.0 / row_max);
+    sol.report.method = options.method;
     return sol;
   }
   linalg::Vector cn = c;
   for (auto& v : cn) v /= c_max;
 
-  linalg::Vector mu(nc, 1.0);
-  linalg::Vector s, x, grad(nc), mu_trial(nc), s_trial, gx(nc);
-  s = constraints.ApplyT(mu);
-  double dual = DualValue(cn, s, mu, q);
-  double best_dual = dual;
+  TrackState track;
+  track.record = options.record_trajectory;
+  track.report.method = options.method;
+  track.scale = c_max;
 
-  WeightingSolution best;
-  best.objective = std::numeric_limits<double>::infinity();
-
-  double step = options.initial_step;
-  // Stall detection: every 100 iterations, extrapolate the dual's recent
-  // progress over the remaining budget; if even that optimistic projection
-  // cannot close half the current gap, stop — the iterations would be
-  // wasted (a relative gap of g inflates error by at most sqrt(1+g)). The
-  // window only counts once a finite primal objective exists (see
-  // internal::StallWindowStalled).
-  double dual_checkpoint = dual;
-  int stalled_windows = 0;
-  int it = 0;
-  for (; it < options.max_iterations; ++it) {
-    if (it > 0 && it % 100 == 0) {
-      // One slow window can be an artifact of the step schedule; require
-      // two in a row before declaring the remaining budget hopeless.
-      stalled_windows = internal::StallWindowStalled(best.objective, dual,
-                                                     dual_checkpoint,
-                                                     options.max_iterations - it)
-                            ? stalled_windows + 1
-                            : 0;
-      if (stalled_windows >= 2) break;
-      dual_checkpoint = dual;
-    }
-    InnerX(cn, s, q, &x);
-    gx = constraints.Apply(x);
-    for (std::size_t j = 0; j < nc; ++j) grad[j] = gx[j] - 1.0;
-
-    // Primal candidate from the current dual point.
-    linalg::Vector x_feas;
-    double obj;
-    if (FeasiblePrimal(cn, q, x, gx, &x_feas, &obj) && obj < best.objective) {
-      best.objective = obj;
-      best.x = std::move(x_feas);
-    }
-
-    best_dual = std::max(best_dual, dual);
-    const double gap = (best.objective - best_dual) /
-                       std::max(1.0, std::fabs(best.objective));
-    if (gap < options.relative_gap_tol) break;
-
-    // Move 1: multiplicative (Sinkhorn-like) updates mu_j *= (Gx)_j^eta —
-    // self-scaling and fast far from the optimum; smaller exponents act as
-    // damping for the final digits. Fall back to projected gradient with
-    // backtracking when no multiplicative step ascends.
-    bool accepted = false;
-    for (double eta : {0.5, 0.25, 0.1}) {
-      for (std::size_t j = 0; j < nc; ++j) {
-        mu_trial[j] = mu[j] * std::pow(std::max(gx[j], 1e-300), eta);
-      }
-      s_trial = constraints.ApplyT(mu_trial);
-      const double trial = DualValue(cn, s_trial, mu_trial, q);
-      if (trial > dual) {
-        mu.swap(mu_trial);
-        s.swap(s_trial);
-        dual = trial;
-        accepted = true;
-        break;
+  PhaseIo io;
+  if (warm_start != nullptr) {
+    DPMM_CHECK_EQ(warm_start->size(), nc);
+    io.mu = *warm_start;
+    ProjectNonNegative(&io.mu);
+  } else {
+    io.mu.assign(nc, 1.0);
+  }
+  io.s = constraints.ApplyT(io.mu);
+  io.dual = DualValue(cn, io.s, io.mu, q);
+  if (warm_start != nullptr || options.method != SolverMethod::kAscent) {
+    // Start at the best *uniform rescale* of the starting point:
+    // g(t mu0) = t^{q/(q+1)} A - t B with A = sum_i (q+1)(c_i s0_i^q /
+    // q^q)^{1/(q+1)} = g(mu0) + B and B = sum mu0, maximized at
+    // t* = (q A / ((q+1) B))^{q+1}. After the c/c_max normalization the
+    // dual's natural mu scale is t*, often orders of magnitude from 1; the
+    // legacy multiplicative updates self-scale across that gap, but
+    // additive gradient steps would crawl. For warm starts this also
+    // absorbs any scale mismatch between the source problem's
+    // normalization and this one's (a separable composition needs exactly
+    // a uniform rescale to land on the joint optimum).
+    double b = 0;
+    for (double v : io.mu) b += v;
+    const double a = io.dual + b;
+    if (a > 0.0 && b > 0.0) {
+      const double t = std::pow(q * a / ((q + 1.0) * b),
+                                static_cast<double>(q + 1));
+      if (t > 0.0 && std::isfinite(t)) {
+        for (auto& v : io.mu) v *= t;
+        for (auto& v : io.s) v *= t;
+        io.dual = DualValue(cn, io.s, io.mu, q);
       }
     }
-    if (!accepted) {
-      bool ascended = false;
-      for (int bt = 0; bt < 50; ++bt) {
-        for (std::size_t j = 0; j < nc; ++j) {
-          mu_trial[j] = std::max(0.0, mu[j] + step * grad[j]);
+  }
+  track.best_dual = io.dual;
+
+  const auto current_gap = [&track]() {
+    return (track.best.objective - track.best_dual) /
+           std::max(1.0, std::fabs(track.best.objective));
+  };
+  switch (options.method) {
+    case SolverMethod::kAscent:
+      RunAscent(cn, constraints, q, options, options.max_iterations, &track,
+                &io);
+      break;
+    case SolverMethod::kFista:
+      RunFistaPhase(cn, constraints, q, options, options.max_iterations,
+                    /*allow_switch=*/false, &track, &io);
+      break;
+    case SolverMethod::kLbfgs: {
+      // Warm phase: momentum until its progress-per-window can no longer
+      // close the gap (or half the budget is spent). Then rounds of
+      //   box L-BFGS (converges the dual bound)
+      //   -> short multiplicative polish (settles the support)
+      //   -> log-space L-BFGS on that support (equalizes the slacks
+      //      exactly, collapsing the primal candidate onto the bound).
+      // Any phase alone floors orders of magnitude short of the pipeline.
+      const int max_it = options.max_iterations;
+      PhaseExit exit = RunFistaPhase(cn, constraints, q, options, max_it / 2,
+                                     /*allow_switch=*/true, &track, &io);
+      int dry_rounds = 0;
+      while (exit != PhaseExit::kTolerance && io.it < max_it &&
+             dry_rounds < 2) {
+        if (track.report.phase_switch_iteration < 0) {
+          track.report.phase_switch_iteration = io.it;
         }
-        s_trial = constraints.ApplyT(mu_trial);
-        const double trial = DualValue(cn, s_trial, mu_trial, q);
-        if (trial > dual) {
-          mu.swap(mu_trial);
-          s.swap(s_trial);
-          dual = trial;
-          step *= 1.3;
-          ascended = true;
-          break;
-        }
-        step *= 0.5;
+        const double gap_before = current_gap();
+        // Each phase gets a bounded slice: a phase that merely creeps must
+        // hand the point to the others (whose scaling may fit better)
+        // instead of consuming the whole remaining budget.
+        exit = RunLbfgsPhase(cn, constraints, q, options,
+                             std::min(max_it, io.it + 500), &track, &io);
+        if (exit == PhaseExit::kTolerance || io.it >= max_it) break;
+        RunPolishPhase(cn, constraints, q, options,
+                       std::min(max_it, io.it + 300), &track, &io);
+        if (current_gap() < options.relative_gap_tol || io.it >= max_it) break;
+        exit = RunLogPhase(cn, constraints, q, options,
+                           std::min(max_it, io.it + 500), &track, &io);
+        if (exit == PhaseExit::kTolerance || io.it >= max_it) break;
+        const double gap_after = current_gap();
+        if (gap_after < options.relative_gap_tol) break;
+        dry_rounds = gap_after < 0.5 * gap_before ? 0 : dry_rounds + 1;
       }
-      if (!ascended) break;  // numerically converged
+      break;
     }
   }
 
-  if (!std::isfinite(best.objective)) {
+  if (!std::isfinite(track.best.objective)) {
     return Status::NotConverged("no feasible primal point constructed");
   }
-  best_dual = std::max(best_dual, dual);
+  track.best_dual = std::max(track.best_dual, io.dual);
+  WeightingSolution best = std::move(track.best);
   best.objective *= c_max;
-  best.dual_bound = best_dual * c_max;
+  best.dual_bound = track.best_dual * c_max;
   best.relative_gap = (best.objective - best.dual_bound) /
                       std::max(1.0, std::fabs(best.objective));
-  best.iterations = it;
+  best.iterations = io.it;
+  best.dual_point = std::move(io.mu);
+  best.report = std::move(track.report);
+  best.report.iterations = io.it;
+  best.report.final_gap = best.relative_gap;
+  best.report.seconds = track.watch.Seconds();
+  for (SolverGapSample& sample : best.report.trajectory) {
+    sample.dual *= c_max;
+  }
   return best;
 }
 

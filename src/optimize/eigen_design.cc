@@ -103,6 +103,7 @@ Result<EigenDesignResult> EigenDesignFromEigen(
   out.predicted_objective = sol.objective;
   out.duality_gap = sol.relative_gap;
   out.solver_iterations = sol.iterations;
+  out.solver_report = sol.report;
   out.weights.resize(kept.size());
   for (std::size_t i = 0; i < kept.size(); ++i) {
     out.weights[i] = std::sqrt(std::max(0.0, sol.x[i]));
@@ -120,6 +121,107 @@ Result<EigenDesignResult> EigenDesign(const Matrix& workload_gram,
   return EigenDesignFromEigen(eig.ValueOrDie(), options);
 }
 
+namespace {
+
+// For a genuinely Kronecker-product spectrum with the full rank kept, the
+// q = 1 weighting problem *separates per axis*: with c = (x) c_ax and
+// G = (x) (Q_ax o Q_ax)^T, the Kronecker product of the per-axis inner
+// minimizers is the joint inner minimizer, so the product of per-axis
+// dual optima satisfies the joint KKT system (up to one uniform rescale,
+// which the joint solver's warm start applies in closed form). Solving k
+// tiny d_ax-dim problems and certifying the composition at the full scale
+// replaces thousands of O(n sum d_i) joint iterations with a handful —
+// the difference between a ~1e-6 and a ~1e-11 certified gap at n = 64^3.
+// Returns an empty vector when the instance is not separable (partial
+// spectrum, non-product values such as marginals' summed spectra, or a
+// failed per-axis solve); the caller then takes the generic path.
+Vector SeparableWarmStart(const linalg::KronEigenResult& eigen,
+                          const std::vector<std::size_t>& kept,
+                          const EigenDesignOptions& options,
+                          int* axis_iterations, double* axis_seconds) {
+  const std::size_t n = eigen.basis.dim();
+  const auto& factors = eigen.basis.factors();
+  if (factors.size() < 2 || kept.size() != n) return Vector();
+  const double v0 = eigen.values[0];
+  if (!(v0 > 0.0)) return Vector();
+
+  // Per-axis spectra from the axis-aligned slices of the product values.
+  // Any positive per-axis scale yields the same per-axis optimizer, so the
+  // slices' embedded constants are harmless.
+  const std::size_t k = factors.size();
+  std::vector<Vector> axis_c(k);
+  {
+    std::size_t stride = 1;
+    for (std::size_t ax = k; ax-- > 0;) {
+      const std::size_t d = factors[ax].rows();
+      axis_c[ax].resize(d);
+      for (std::size_t a = 0; a < d; ++a) {
+        const double v = eigen.values[a * stride];
+        if (!(v > 0.0)) return Vector();
+        axis_c[ax][a] = v;
+      }
+      stride *= d;
+    }
+  }
+  // Product-structure check: marginals-style summed spectra share the
+  // factored basis but are not products of their slices.
+  {
+    const double slice_norm = std::pow(1.0 / v0, static_cast<double>(k - 1));
+    for (std::size_t j = 0; j < n; ++j) {
+      double pred = slice_norm;
+      std::size_t rest = j;
+      for (std::size_t ax = k; ax-- > 0;) {
+        const std::size_t d = factors[ax].rows();
+        pred *= axis_c[ax][rest % d];
+        rest /= d;
+      }
+      if (std::fabs(pred - eigen.values[j]) >
+          1e-9 * std::max(std::fabs(eigen.values[j]), v0)) {
+        return Vector();
+      }
+    }
+  }
+
+  // Solve each axis and compose the dual points (row-major natural order).
+  // The composed gap is roughly the sum of the per-axis gaps, so each axis
+  // runs well past the joint tolerance — the axis problems are d_ax-dim,
+  // so even a 10k-iteration budget costs ~a second against thousands of
+  // O(n sum d_i) joint iterations saved.
+  SolverOptions axis_options = options.solver;
+  // The axis solves are internal machinery, not the user's joint-method
+  // choice: always run the strongest pipeline so the composition is as
+  // deep as the axis problems allow.
+  axis_options.method = SolverMethod::kLbfgs;
+  axis_options.relative_gap_tol = std::min(
+      1e-11, options.solver.relative_gap_tol / (4.0 * static_cast<double>(k)));
+  axis_options.max_iterations = std::max(options.solver.max_iterations, 10000);
+  axis_options.record_trajectory = false;
+  Vector warm(n, 1.0);
+  std::size_t stride = 1;
+  for (std::size_t ax = k; ax-- > 0;) {
+    const std::size_t d = factors[ax].rows();
+    linalg::KronEigenBasis axis_basis({factors[ax]});
+    std::vector<std::size_t> axis_kept(d);
+    for (std::size_t a = 0; a < d; ++a) axis_kept[a] = a;
+    const KronEigenConstraintOperator axis_op(&axis_basis, axis_kept);
+    auto solved =
+        SolveWeighting(axis_c[ax], axis_op, /*exponent=*/1, axis_options);
+    if (!solved.ok() || solved.ValueOrDie().dual_point.size() != d) {
+      return Vector();
+    }
+    *axis_iterations += solved.ValueOrDie().iterations;
+    *axis_seconds += solved.ValueOrDie().report.seconds;
+    const Vector& mu_ax = solved.ValueOrDie().dual_point;
+    for (std::size_t j = 0; j < n; ++j) {
+      warm[j] *= mu_ax[(j / stride) % d];
+    }
+    stride *= d;
+  }
+  return warm;
+}
+
+}  // namespace
+
 Result<KronEigenDesignResult> EigenDesignFromKronEigen(
     const linalg::KronEigenResult& eigen, const EigenDesignOptions& options) {
   const std::size_t n = eigen.basis.dim();
@@ -133,9 +235,33 @@ Result<KronEigenDesignResult> EigenDesignFromKronEigen(
   }
 
   const KronEigenConstraintOperator op(&eigen.basis, kept);
-  auto solved = SolveWeighting(c, op, /*exponent=*/1, options.solver);
+  // The accelerated methods exploit per-axis separability of product
+  // spectra (see SeparableWarmStart); the default ascent keeps its exact
+  // legacy behavior.
+  Vector warm;
+  int axis_iterations = 0;
+  double axis_seconds = 0;
+  if (options.solver.method != SolverMethod::kAscent) {
+    warm = SeparableWarmStart(eigen, kept, options, &axis_iterations,
+                              &axis_seconds);
+  }
+  auto solved = SolveWeighting(c, op, /*exponent=*/1, options.solver,
+                               warm.empty() ? nullptr : &warm);
   if (!solved.ok()) return solved.status();
-  const WeightingSolution& sol = solved.ValueOrDie();
+  WeightingSolution sol = std::move(solved).ValueOrDie();
+  if (!warm.empty()) {
+    // The warm start's per-axis solves are real solver work: fold their
+    // cost into the report so "iterations=0, 0 s" can never be read as a
+    // free certificate. The joint trajectory's clock starts after the axis
+    // solves ran, so its samples shift by the same amount — report.seconds
+    // and the trajectory stay mutually consistent.
+    sol.iterations += axis_iterations;
+    sol.report.iterations += axis_iterations;
+    sol.report.seconds += axis_seconds;
+    for (SolverGapSample& sample : sol.report.trajectory) {
+      sample.seconds += axis_seconds;
+    }
+  }
 
   KronEigenDesignResult out;
   out.eigenvalues = eigen.values;
@@ -144,6 +270,7 @@ Result<KronEigenDesignResult> EigenDesignFromKronEigen(
   out.predicted_objective = sol.objective;
   out.duality_gap = sol.relative_gap;
   out.solver_iterations = sol.iterations;
+  out.solver_report = sol.report;
   out.weights.resize(kept.size());
   for (std::size_t i = 0; i < kept.size(); ++i) {
     out.weights[i] = std::sqrt(std::max(0.0, sol.x[i]));

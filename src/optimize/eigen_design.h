@@ -43,6 +43,9 @@ struct EigenDesignResult {
   double duality_gap = 0;
   int solver_iterations = 0;
   std::size_t rank = 0;
+  /// Program-1 convergence diagnostics (method, phase switches, restarts,
+  /// optional gap trajectory when options.solver.record_trajectory is set).
+  SolverReport solver_report;
 };
 
 /// Runs Program 2 given a precomputed eigendecomposition of W^T W (use this
@@ -78,6 +81,8 @@ struct KronEigenDesignResult {
   double duality_gap = 0;
   int solver_iterations = 0;
   std::size_t rank = 0;
+  /// Program-1 convergence diagnostics (see EigenDesignResult).
+  SolverReport solver_report;
 };
 
 /// Runs Program 2 given a factored eigendecomposition (use with

@@ -1,0 +1,103 @@
+#include "optimize/lbfgs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dpmm {
+namespace optimize {
+
+namespace {
+// Rejection threshold for near-orthogonal (s, y) pairs: below this the
+// implied curvature is numerically meaningless and would poison rho.
+constexpr double kCurvatureTol = 1e-12;
+}  // namespace
+
+LbfgsHistory::LbfgsHistory(std::size_t memory) : memory_(memory) {
+  DPMM_CHECK_GT(memory, 0u);
+  entries_.reserve(memory);
+}
+
+void LbfgsHistory::Clear() { entries_.clear(); }
+
+bool LbfgsHistory::Push(const linalg::Vector& s, const linalg::Vector& y) {
+  DPMM_CHECK_EQ(s.size(), y.size());
+  const double sy = linalg::Dot(s, y);
+  const double sn = linalg::Norm2(s);
+  const double yn = linalg::Norm2(y);
+  if (!(sy > kCurvatureTol * sn * yn) || sy <= 0.0) return false;
+  if (entries_.size() == memory_) entries_.erase(entries_.begin());
+  entries_.push_back(Pair{s, y, 1.0 / sy});
+  return true;
+}
+
+linalg::Vector LbfgsHistory::ApplyInverseHessian(
+    const linalg::Vector& grad, const linalg::Vector* h0_diag) const {
+  linalg::Vector r = grad;
+  if (h0_diag != nullptr) DPMM_CHECK_EQ(h0_diag->size(), grad.size());
+  if (entries_.empty()) {
+    if (h0_diag != nullptr) {
+      for (std::size_t i = 0; i < r.size(); ++i) r[i] *= (*h0_diag)[i];
+    }
+    return r;
+  }
+  const std::size_t m = entries_.size();
+  std::vector<double> alpha(m);
+  for (std::size_t idx = m; idx-- > 0;) {
+    const Pair& p = entries_[idx];
+    alpha[idx] = p.rho * linalg::Dot(p.s, r);
+    linalg::Axpy(-alpha[idx], p.y, &r);
+  }
+  // H_0 = gamma D (D = diag(h0) or I) with the newest-pair scaling
+  // gamma = s^T y / y^T D y — the sizing that makes the first step
+  // well-scaled without a line search burning extra evaluations.
+  const Pair& newest = entries_.back();
+  double ydy = 0;
+  if (h0_diag != nullptr) {
+    for (std::size_t i = 0; i < newest.y.size(); ++i) {
+      ydy += newest.y[i] * (*h0_diag)[i] * newest.y[i];
+    }
+  } else {
+    ydy = linalg::Dot(newest.y, newest.y);
+  }
+  const double gamma = ydy > 0.0 ? 1.0 / (newest.rho * ydy) : 1.0;
+  if (h0_diag != nullptr) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      r[i] *= gamma * (*h0_diag)[i];
+    }
+  } else {
+    linalg::ScaleVec(gamma, &r);
+  }
+  for (std::size_t idx = 0; idx < m; ++idx) {
+    const Pair& p = entries_[idx];
+    const double beta = p.rho * linalg::Dot(p.y, r);
+    linalg::Axpy(alpha[idx] - beta, p.s, &r);
+  }
+  return r;
+}
+
+void ProjectNonNegative(linalg::Vector* x) {
+  for (double& v : *x) v = std::max(0.0, v);
+}
+
+std::vector<char> ActiveBoundSet(const linalg::Vector& x,
+                                 const linalg::Vector& grad,
+                                 double bound_tol) {
+  DPMM_CHECK_EQ(x.size(), grad.size());
+  std::vector<char> active(x.size(), 0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    active[i] = (x[i] <= bound_tol && grad[i] > 0.0) ? 1 : 0;
+  }
+  return active;
+}
+
+void MaskDirection(const std::vector<char>& active, linalg::Vector* d) {
+  DPMM_CHECK_EQ(active.size(), d->size());
+  for (std::size_t i = 0; i < d->size(); ++i) {
+    if (active[i]) (*d)[i] = 0.0;
+  }
+}
+
+}  // namespace optimize
+}  // namespace dpmm

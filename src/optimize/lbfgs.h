@@ -1,0 +1,76 @@
+// Limited-memory BFGS machinery for the accelerated dual solver: a ring
+// buffer of (s, y) curvature pairs with the classic two-loop recursion for
+// applying the inverse-Hessian approximation, plus the box-projection
+// helpers of the projected (L-BFGS-B style) iteration. The history is
+// direction-agnostic — the dual solver maximizes a concave g by feeding it
+// gradients of f = -g — and rejects pairs that fail the curvature condition
+// s^T y > eps ||s|| ||y||, so the approximation stays positive definite even
+// when projections clip steps.
+#ifndef DPMM_OPTIMIZE_LBFGS_H_
+#define DPMM_OPTIMIZE_LBFGS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dpmm {
+namespace optimize {
+
+class LbfgsHistory {
+ public:
+  /// `memory` is the number of (s, y) pairs retained (m in Nocedal-Wright);
+  /// the two-loop recursion costs O(memory * n) per apply.
+  explicit LbfgsHistory(std::size_t memory);
+
+  /// Drops all stored pairs (used when the active set changes enough that
+  /// old curvature is misleading).
+  void Clear();
+
+  /// Offers the pair s = x_{k+1} - x_k, y = grad_{k+1} - grad_k. Stored only
+  /// when s^T y > curvature_tol * ||s|| ||y|| (returns false otherwise); the
+  /// oldest pair is evicted at capacity.
+  bool Push(const linalg::Vector& s, const linalg::Vector& y);
+
+  /// r = H_k * g via the two-loop recursion. The seed matrix is
+  /// H_0 = gamma * diag(h0) when `h0_diag` is given (a caller-supplied
+  /// metric — e.g. diag(1/mu) in the dual solver's log-space phase, whose
+  /// base step then matches the problem's natural multiplicative update) and
+  /// gamma * I otherwise; gamma is the standard newest-pair scaling
+  /// s^T y / (y^T H_0' y) computed in the same metric. With no stored pairs
+  /// this is H_0 with gamma = 1.
+  linalg::Vector ApplyInverseHessian(
+      const linalg::Vector& grad,
+      const linalg::Vector* h0_diag = nullptr) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Pair {
+    linalg::Vector s;
+    linalg::Vector y;
+    double rho;  // 1 / (s^T y)
+  };
+  std::size_t memory_;
+  std::vector<Pair> entries_;  // oldest first
+};
+
+/// Clamps x to the nonnegative orthant in place.
+void ProjectNonNegative(linalg::Vector* x);
+
+/// The active bound set of the box-constrained problem min f(x), x >= 0 at
+/// point x: coordinates pinned at the bound whose gradient pushes further
+/// outward (x_i <= bound_tol and grad_i > 0 for minimization). Zeroing these
+/// coordinates of a search direction keeps the projected step from fighting
+/// the bound.
+std::vector<char> ActiveBoundSet(const linalg::Vector& x,
+                                 const linalg::Vector& grad,
+                                 double bound_tol);
+
+/// Zeroes the coordinates of d flagged in `active` (in place).
+void MaskDirection(const std::vector<char>& active, linalg::Vector* d);
+
+}  // namespace optimize
+}  // namespace dpmm
+
+#endif  // DPMM_OPTIMIZE_LBFGS_H_

@@ -296,32 +296,45 @@ std::vector<Vector> KronStrategy::SolveNormalBatchPacked(Vector packed,
   double u_max = 0;
   for (double u : u_full_) u_max = std::max(u_max, u);
   tau = std::max(tau, 1e-14 * u_max);
+
+  // The interleaved block narrows as columns converge: retired columns are
+  // compacted out (see compact below), so after the fastest columns finish
+  // the shared axis passes stream only the live ones instead of dragging
+  // the full batch until the slowest column converges. `width` is the
+  // current block width and slot_col maps live slots back to original batch
+  // columns. Per-column arithmetic never crosses columns and the batched
+  // basis passes are bit-identical per column at any width, so compaction
+  // changes which lanes are computed, never their values.
+  std::size_t width = batch;
+  std::vector<std::size_t> slot_col(batch);
+  for (std::size_t b = 0; b < batch; ++b) slot_col[b] = b;
+
   // The basis passes of every iteration run through two persistent scratch
   // buffers (plus a persistent intermediate), so the block solve allocates
   // its working set once instead of re-faulting ~n*batch*8-byte buffers
   // four times per iteration. Results are bitwise-unchanged.
   Vector scratch, basis_tmp;
   auto precond_into = [&](const Vector& r, Vector* z) {
-    basis_.ApplyTBatchInto(r, batch, &basis_tmp, &scratch);
+    basis_.ApplyTBatchInto(r, width, &basis_tmp, &scratch);
     for (std::size_t j = 0; j < n; ++j) {
       const double d = u_full_[j] + tau;
-      double* tj = basis_tmp.data() + j * batch;
-      for (std::size_t b = 0; b < batch; ++b) tj[b] /= d;
+      double* tj = basis_tmp.data() + j * width;
+      for (std::size_t b = 0; b < width; ++b) tj[b] /= d;
     }
-    basis_.ApplyBatchInto(basis_tmp, batch, z, &scratch);
+    basis_.ApplyBatchInto(basis_tmp, width, z, &scratch);
   };
   auto normal_matvec_into = [&](const Vector& v, Vector* out) {
-    basis_.ApplyTBatchInto(v, batch, &basis_tmp, &scratch);
+    basis_.ApplyTBatchInto(v, width, &basis_tmp, &scratch);
     for (std::size_t j = 0; j < n; ++j) {
       const double u = u_full_[j];
-      double* tj = basis_tmp.data() + j * batch;
-      for (std::size_t b = 0; b < batch; ++b) tj[b] *= u;
+      double* tj = basis_tmp.data() + j * width;
+      for (std::size_t b = 0; b < width; ++b) tj[b] *= u;
     }
-    basis_.ApplyBatchInto(basis_tmp, batch, out, &scratch);
+    basis_.ApplyBatchInto(basis_tmp, width, out, &scratch);
     for (std::size_t j : completion_cells_) {
-      double* oj = out->data() + j * batch;
-      const double* vj = v.data() + j * batch;
-      for (std::size_t b = 0; b < batch; ++b) {
+      double* oj = out->data() + j * width;
+      const double* vj = v.data() + j * width;
+      for (std::size_t b = 0; b < width; ++b) {
         oj[b] += completion_[j] * completion_[j] * vj[b];
       }
     }
@@ -345,23 +358,82 @@ std::vector<Vector> KronStrategy::SolveNormalBatchPacked(Vector packed,
   std::vector<char> active(batch, 1);
   std::vector<Vector> out(batch);
   std::size_t num_active = batch;
+  std::size_t retired_pending = 0;
   // Finalizes a column exactly as SolveNormal's epilogue would: the final
   // residual norm there is recomputed from the (frozen) residual vector, so
   // it equals the r2 the loop just evaluated for this column.
   auto finalize = [&](std::size_t b, double final_r2) {
-    out[b] = final_r2 <= best_r2[b] ? ExtractColumn(x, batch, b)
-                                    : ExtractColumn(best_x, batch, b);
+    out[slot_col[b]] = final_r2 <= best_r2[b] ? ExtractColumn(x, width, b)
+                                              : ExtractColumn(best_x, width, b);
     active[b] = 0;
     --num_active;
+    ++retired_pending;
+  };
+
+  // Removes retired slots from the interleaved state blocks and per-slot
+  // scalars. The block narrows to the next power of two >= the live count —
+  // never to an arbitrary width — because the batched axis passes vectorize
+  // over batch-contiguous spans, and an odd width costs more per live lane
+  // than a properly padded one (measured: 16 -> 15 was a net loss, 16 -> 8
+  // halves the pass cost). Lanes kept as padding stay frozen exactly as
+  // before (alpha = beta = 0), so the arithmetic of live columns is
+  // untouched either way. The forward in-place repack is safe: every write
+  // position is <= the position it reads from.
+  auto compact = [&]() {
+    retired_pending = 0;
+    std::size_t target = 1;
+    while (target < num_active) target <<= 1;
+    if (target >= width) return;  // nothing to gain at this granularity
+    std::vector<char> keep(width, 0);
+    std::size_t pad = target - num_active;
+    for (std::size_t b = 0; b < width; ++b) {
+      if (active[b]) {
+        keep[b] = 1;
+      } else if (pad > 0) {
+        keep[b] = 1;
+        --pad;
+      }
+    }
+    auto pack_block = [&](Vector* v) {
+      double* data = v->data();
+      std::size_t dst = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double* src = data + j * width;
+        for (std::size_t b = 0; b < width; ++b) {
+          if (keep[b]) data[dst++] = src[b];
+        }
+      }
+      v->resize(n * target);
+    };
+    pack_block(&x);
+    pack_block(&r);
+    pack_block(&p);
+    pack_block(&best_x);
+    std::size_t w = 0;
+    for (std::size_t b = 0; b < width; ++b) {
+      if (!keep[b]) continue;
+      slot_col[w] = slot_col[b];
+      rz[w] = rz[b];
+      tol2[w] = tol2[b];
+      best_r2[w] = best_r2[b];
+      r2[w] = r2[b];
+      since_improvement[w] = since_improvement[b];
+      active[w] = active[b];
+      ++w;
+    }
+    width = target;
   };
 
   std::vector<double> alpha(batch), beta(batch), p_mp(batch), rz_next(batch);
   std::vector<char> improved(batch);
   Vector mp;
   for (int it = 0; it < max_iter && num_active > 0; ++it) {
-    ColDots(r, r, batch, &r2);
+    // Columns retired on the p_mp branch last iteration leave the block
+    // before this iteration's passes touch them.
+    if (retired_pending > 0) compact();
+    ColDots(r, r, width, &r2);
     bool any_improved = false;
-    for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t b = 0; b < width; ++b) {
       improved[b] = 0;
       if (!active[b]) continue;
       if (r2[b] < best_r2[b]) {
@@ -375,38 +447,41 @@ std::vector<Vector> KronStrategy::SolveNormalBatchPacked(Vector packed,
       }
       if (r2[b] <= tol2[b]) finalize(b, r2[b]);
     }
-    if (any_improved) ColCopy(improved, x, batch, &best_x);
+    if (any_improved) ColCopy(improved, x, width, &best_x);
     if (num_active == 0) break;
+    // Tolerance/stagnation retirements compact immediately: the expensive
+    // passes below only ever see live columns.
+    if (retired_pending > 0) compact();
     normal_matvec_into(p, &mp);
-    ColDots(p, mp, batch, &p_mp);
-    for (std::size_t b = 0; b < batch; ++b) {
+    ColDots(p, mp, width, &p_mp);
+    for (std::size_t b = 0; b < width; ++b) {
       if (!active[b]) {
-        alpha[b] = 0.0;  // freeze retired columns (their output is taken)
+        alpha[b] = 0.0;  // frozen padding lane (output already taken)
         continue;
       }
       if (p_mp[b] <= 0.0) {  // hit the (numerical) null space
         finalize(b, r2[b]);
-        alpha[b] = 0.0;
+        alpha[b] = 0.0;  // freeze until the next compaction
         continue;
       }
       alpha[b] = rz[b] / p_mp[b];
     }
     if (num_active == 0) break;
-    ColAxpy(alpha, p, batch, &x);
-    for (std::size_t b = 0; b < batch; ++b) alpha[b] = -alpha[b];
-    ColAxpy(alpha, mp, batch, &r);
+    ColAxpy(alpha, p, width, &x);
+    for (std::size_t b = 0; b < width; ++b) alpha[b] = -alpha[b];
+    ColAxpy(alpha, mp, width, &r);
     precond_into(r, &z);
-    ColDots(r, z, batch, &rz_next);
-    for (std::size_t b = 0; b < batch; ++b) {
+    ColDots(r, z, width, &rz_next);
+    for (std::size_t b = 0; b < width; ++b) {
       beta[b] = active[b] ? rz_next[b] / rz[b] : 0.0;
       if (active[b]) rz[b] = rz_next[b];
     }
-    ColUpdateDirection(beta, z, batch, &p);
+    ColUpdateDirection(beta, z, width, &p);
   }
   // Columns that exhausted the budget: same epilogue, fresh residual norm.
   if (num_active > 0) {
-    ColDots(r, r, batch, &r2);
-    for (std::size_t b = 0; b < batch; ++b) {
+    ColDots(r, r, width, &r2);
+    for (std::size_t b = 0; b < width; ++b) {
       if (active[b]) finalize(b, r2[b]);
     }
   }

@@ -202,6 +202,42 @@ TEST(KronStrategy, SolveNormalBatchBitIdenticalOnPcgBranch) {
   }
 }
 
+TEST(KronStrategy, SolveNormalBatchCompactionSurvivesUnevenRhs) {
+  // Deliberately uneven per-column work: a zero rhs retires at iteration 0,
+  // a normal-matvec image converges quickly, random columns (at wildly
+  // different scales) grind, and a tight tolerance forces stagnation-path
+  // retirements at different iterations. Columns therefore retire — and the
+  // interleaved block compacts — at staggered times; per-column results
+  // must still be *bitwise* equal to the sequential solves, proving the
+  // retirement compaction never touches surviving columns' arithmetic.
+  AllRangeWorkload w(Domain({5, 4}));
+  auto design = optimize::EigenDesignKronForWorkload(w);
+  ASSERT_TRUE(design.ok());
+  const KronStrategy& a = design.ValueOrDie().strategy;
+  ASSERT_TRUE(a.has_completion());
+
+  Rng rng(43);
+  std::vector<Vector> bs;
+  bs.push_back(Vector(a.num_cells(), 0.0));  // retires immediately
+  bs.push_back(a.NormalMatVec(RandomVector(a.num_cells(), &rng)));
+  bs.push_back(RandomVector(a.num_cells(), &rng));
+  Vector huge = RandomVector(a.num_cells(), &rng);
+  for (auto& v : huge) v *= 1e8;
+  bs.push_back(huge);
+  Vector tiny = RandomVector(a.num_cells(), &rng);
+  for (auto& v : tiny) v *= 1e-9;
+  bs.push_back(tiny);
+
+  for (double rel_tol : {1e-12, 1e-14}) {
+    const std::vector<Vector> batched = a.SolveNormalBatch(bs, rel_tol);
+    ASSERT_EQ(batched.size(), bs.size());
+    for (std::size_t i = 0; i < bs.size(); ++i) {
+      EXPECT_EQ(batched[i], a.SolveNormal(bs[i], rel_tol))
+          << "rhs " << i << " rel_tol " << rel_tol;
+    }
+  }
+}
+
 TEST(KronStrategy, SolveNormalBatchBitIdenticalOnDiagonalBranch) {
   // No completion rows: the solve is diagonal in the eigenbasis; the
   // batched passes must still match bitwise.
@@ -350,13 +386,15 @@ TEST(EigenDesignKron, AgreesWithAnalyticEigenPathOnMarginals) {
                                           tr_dense, w.num_queries(), opts);
   EXPECT_NEAR(err_dense, err_kron, 1e-6 * err_dense);
 
-  // The generic dense TraceTerm regularizes its Cholesky with a ~2e-12
-  // jitter; with solver weights spanning ~6 orders of magnitude that
-  // reference is only accurate to O(jitter / u_min) ~ 1e-5 relative, so the
-  // exact implicit trace can only be compared against it at that floor.
+  // The generic dense TraceTerm once regularized its Cholesky with an
+  // absolute ~2e-12 jitter, an O(jitter / u_min) accuracy floor (~1e-5
+  // relative here, with solver weights spanning ~6 orders of magnitude).
+  // The equilibrated jitter-free factorization (spectral pseudo-inverse on
+  // the PSD-only path) removed that floor, so the dense reference now
+  // agrees with the exact implicit trace to rounding.
   const double err_via_dense =
       StrategyError(w.Gram(), w.num_queries(), k.strategy.Materialize(), opts);
-  EXPECT_NEAR(err_kron, err_via_dense, 1e-4 * err_kron);
+  EXPECT_NEAR(err_kron, err_via_dense, 1e-8 * err_kron);
 }
 
 // ---- Implicit mechanism and release ----

@@ -21,6 +21,13 @@ else
   cmake -B build -S .
 fi
 cmake --build build -j
+
+echo "==== solver: Program-1 convergence regressions (ctest -L solver) ===="
+# The golden-gap suite runs first: a convergence regression in the dual
+# solver fails tier-1 within seconds, before the full suite spends its
+# time on unrelated suites.
+ctest --test-dir build --output-on-failure -L solver
+
 ctest --test-dir build --output-on-failure -j4
 
 if [[ "${SKIP_TSAN:-0}" == "1" ]]; then

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Builds and runs the micro/scaling/throughput benches, leaving
-# BENCH_kron_scaling.json and BENCH_release_throughput.json in the repo root
-# as the perf-trajectory record for future PRs.
+# Builds and runs the micro/scaling/throughput/convergence benches, leaving
+# BENCH_kron_scaling.json, BENCH_release_throughput.json and
+# BENCH_solver_convergence.json in the repo root as the perf-trajectory
+# record for future PRs.
 #
 # Usage: tools/run_bench.sh [--small] [--skip-scale]
 #   --small       reduced domain sizes (smoke run)
-#   --skip-scale  skip the n = 2^18 section of bench_kron_scaling
+#   --skip-scale  skip the n = 2^18 sections (bench_kron_scaling and the
+#                 3D 64^3 instance of bench_solver_convergence)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -13,10 +15,10 @@ build_dir="${repo_root}/build"
 
 cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
 cmake --build "${build_dir}" -j --target \
-  bench_kron_scaling bench_release_throughput bench_micro_linalg \
-  bench_micro_solver 2>/dev/null \
+  bench_kron_scaling bench_release_throughput bench_solver_convergence \
+  bench_micro_linalg bench_micro_solver 2>/dev/null \
   || cmake --build "${build_dir}" -j --target bench_kron_scaling \
-       bench_release_throughput
+       bench_release_throughput bench_solver_convergence
 
 echo "== bench_kron_scaling =="
 # Default --out first so a user-supplied --out= (last one parsed wins) can
@@ -26,6 +28,10 @@ echo "== bench_kron_scaling =="
 echo "== bench_release_throughput =="
 "${build_dir}/bench_release_throughput" \
   --out="${repo_root}/BENCH_release_throughput.json" "$@"
+
+echo "== bench_solver_convergence =="
+"${build_dir}/bench_solver_convergence" \
+  --out="${repo_root}/BENCH_solver_convergence.json" "$@"
 
 # The Google-Benchmark micro benches are optional (skipped when the library
 # is not installed); run them when present for a fuller picture.
@@ -38,3 +44,4 @@ done
 
 echo "perf record: ${repo_root}/BENCH_kron_scaling.json"
 echo "perf record: ${repo_root}/BENCH_release_throughput.json"
+echo "perf record: ${repo_root}/BENCH_solver_convergence.json"

@@ -4,8 +4,31 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/text.h"
+
 namespace dpmm {
 namespace data {
+
+namespace {
+
+// Served deployments load user-authored histogram files, which arrive with
+// CRLF line endings, trailing blank lines and stray whitespace around the
+// fields. Loading is therefore tolerant of formatting noise but strict
+// about content: every malformed number or out-of-range index is a clean
+// Status error naming the line — never an exception or a crash (the old
+// std::stoull/std::stod parsing threw on non-numeric input).
+
+using util::ParseFiniteDouble;
+using util::ParseSizeT;
+using util::TrimAscii;
+
+Status RowError(const std::string& path, std::size_t lineno,
+                const std::string& line, const char* what) {
+  return Status::IoError(path + ":" + std::to_string(lineno) + ": " + what +
+                         ": '" + line + "'");
+}
+
+}  // namespace
 
 Status SaveCsv(const DataVector& dv, const std::string& path) {
   std::ofstream out(path);
@@ -28,6 +51,7 @@ Result<DataVector> LoadCsv(const std::string& path) {
   if (!in) return Status::IoError("cannot open for read: " + path);
   std::string line;
   if (!std::getline(in, line)) return Status::IoError("empty file: " + path);
+  line = TrimAscii(line);
   const std::string prefix = "# domain:";
   if (line.rfind(prefix, 0) != 0) {
     return Status::IoError("missing domain header in " + path);
@@ -37,25 +61,42 @@ Result<DataVector> LoadCsv(const std::string& path) {
     std::stringstream ss(line.substr(prefix.size()));
     std::string tok;
     while (std::getline(ss, tok, ',')) {
+      tok = TrimAscii(tok);
       if (tok.empty()) continue;
-      sizes.push_back(static_cast<std::size_t>(std::stoull(tok)));
+      std::size_t size = 0;
+      if (!ParseSizeT(tok, &size) || size == 0) {
+        return Status::IoError("bad domain header in " + path +
+                               ": size '" + tok + "'");
+      }
+      sizes.push_back(size);
     }
   }
   if (sizes.empty()) return Status::IoError("bad domain header in " + path);
   Domain domain(sizes);
   linalg::Vector counts(domain.NumCells(), 0.0);
+  std::size_t lineno = 1;
   while (std::getline(in, line)) {
+    ++lineno;
+    line = TrimAscii(line);
     if (line.empty() || line[0] == '#') continue;
     const auto comma = line.find(',');
     if (comma == std::string::npos) {
-      return Status::IoError("malformed row: " + line);
+      return RowError(path, lineno, line, "malformed row (expected cell,count)");
     }
-    const std::size_t cell = std::stoull(line.substr(0, comma));
+    std::size_t cell = 0;
+    double count = 0;
+    if (!ParseSizeT(TrimAscii(line.substr(0, comma)), &cell)) {
+      return RowError(path, lineno, line, "bad cell index");
+    }
+    if (!ParseFiniteDouble(TrimAscii(line.substr(comma + 1)), &count)) {
+      return RowError(path, lineno, line, "bad count");
+    }
     if (cell >= counts.size()) {
-      return Status::IoError("cell index out of range: " + line);
+      return RowError(path, lineno, line, "cell index out of range");
     }
-    counts[cell] = std::stod(line.substr(comma + 1));
+    counts[cell] = count;
   }
+  if (in.bad()) return Status::IoError("read failed: " + path);
   return DataVector(std::move(domain), std::move(counts));
 }
 

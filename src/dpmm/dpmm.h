@@ -49,6 +49,10 @@
 #include "query/predicate.h"
 #include "query/workload_builder.h"
 #include "release/release.h"
+#include "serialize/artifact.h"
+#include "serve/answer_engine.h"
+#include "serve/budget_ledger.h"
+#include "serve/store.h"
 #include "strategy/datacube.h"
 #include "strategy/fourier.h"
 #include "strategy/hierarchical.h"
@@ -60,6 +64,7 @@
 #include "util/status.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
+#include "util/text.h"
 #include "util/thread_pool.h"
 #include "util/threading.h"
 #include "workload/builders.h"

@@ -1,0 +1,189 @@
+#include "serve/answer_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mechanism/privacy.h"
+
+namespace dpmm {
+namespace serve {
+
+namespace {
+
+/// Uncached roots of one batch go through the block solve in bounded
+/// chunks, mirroring release::ReleaseBatch's profile chunking: each live
+/// block buffer is n * chunk doubles, so an arbitrarily large client batch
+/// cannot balloon the solver's working set. Chunking never changes results
+/// — every column's solve is bit-identical to its solo SolveNormal.
+constexpr std::size_t kRootChunk = 32;
+
+}  // namespace
+
+Result<AnswerEngine> AnswerEngine::Create(
+    std::shared_ptr<const serialize::StrategyArtifact> strategy,
+    std::shared_ptr<const serialize::ReleaseArtifact> release, Domain domain) {
+  if (strategy == nullptr || release == nullptr) {
+    return Status::InvalidArgument("answer engine needs both artifacts");
+  }
+  if (release->signature != strategy->signature) {
+    return Status::InvalidArgument(
+        "release is for '" + release->signature + "' but the strategy is '" +
+        strategy->signature + "' — refusing to serve a mismatched pair");
+  }
+  if (strategy->domain_sizes != domain.sizes() ||
+      release->domain_sizes != domain.sizes()) {
+    return Status::InvalidArgument(
+        "artifact domain disagrees with the serving domain " +
+        domain.ToString());
+  }
+  if (strategy->strategy.num_cells() != domain.NumCells() ||
+      release->x_hat.size() != domain.NumCells()) {
+    return Status::InvalidArgument("artifact sizes disagree with the domain");
+  }
+  const double sigma = GaussianNoiseScale(
+      release->budget, strategy->strategy.L2Sensitivity());
+  return AnswerEngine(std::move(strategy), std::move(release),
+                      std::move(domain), sigma);
+}
+
+AnswerEngine::AnswerEngine(
+    std::shared_ptr<const serialize::StrategyArtifact> strategy,
+    std::shared_ptr<const serialize::ReleaseArtifact> release, Domain domain,
+    double sigma)
+    : strategy_(std::move(strategy)),
+      release_(std::move(release)),
+      domain_(std::move(domain)),
+      sigma_(sigma),
+      cache_(new RootCache) {}
+
+std::string AnswerEngine::CacheKey(const query::Predicate& predicate) const {
+  std::string key;
+  key.reserve(domain_.NumCells() == 0 ? 0 : domain_.num_attributes() * 8);
+  for (std::size_t a = 0; a < domain_.num_attributes(); ++a) {
+    if (a > 0) key += '|';
+    for (std::size_t b = 0; b < domain_.size(a); ++b) {
+      bool selected = true;
+      for (const auto& cond : predicate.conjuncts()) {
+        if (cond.attr == a && !cond.Matches(b)) {
+          selected = false;
+          break;
+        }
+      }
+      key += selected ? '1' : '0';
+    }
+  }
+  return key;
+}
+
+double AnswerEngine::RootFor(const std::string& key,
+                             const linalg::Vector& row) const {
+  {
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    auto it = cache_->roots.find(key);
+    if (it != cache_->roots.end()) {
+      ++cache_->hits;
+      return it->second;
+    }
+  }
+  // Solve outside the lock so concurrent readers make progress; racing
+  // solvers of the same key compute the identical value, so last-writer-
+  // wins insertion is harmless.
+  const linalg::Vector z = strategy_->strategy.SolveNormal(row);
+  const double root = std::sqrt(std::max(0.0, linalg::Dot(row, z)));
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  cache_->roots.emplace(key, root);
+  return root;
+}
+
+AnswerEngine::Answer AnswerEngine::AnswerPredicate(
+    const query::Predicate& predicate) const {
+  const linalg::Vector row = predicate.ToRow(domain_);
+  Answer out;
+  out.value = linalg::Dot(row, release_->x_hat);
+  out.stddev = sigma_ * RootFor(CacheKey(predicate), row);
+  return out;
+}
+
+Result<AnswerEngine::Answer> AnswerEngine::AnswerText(
+    const std::string& predicate_text) const {
+  auto parsed = query::ParsePredicate(predicate_text, domain_);
+  if (!parsed.ok()) return parsed.status();
+  return AnswerPredicate(parsed.ValueOrDie());
+}
+
+std::vector<AnswerEngine::Answer> AnswerEngine::AnswerBatch(
+    const std::vector<query::Predicate>& predicates) const {
+  const std::size_t q = predicates.size();
+  std::vector<Answer> answers(q);
+  // Everything per-query — row materialization, value dot products, cache
+  // probes, the block solve — runs inside one bounded chunk at a time, so
+  // live memory is O(n * kRootChunk) no matter how many predicates a
+  // client batches. Chunking cannot change results: each column's solve is
+  // bit-identical to its solo SolveNormal, and a duplicate landing in a
+  // later chunk reads the root its predecessor just cached.
+  for (std::size_t c0 = 0; c0 < q; c0 += kRootChunk) {
+    const std::size_t m = std::min(q, c0 + kRootChunk) - c0;
+    std::vector<linalg::Vector> rows(m);
+    std::vector<std::string> keys(m);
+    std::vector<double> roots(m, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      rows[i] = predicates[c0 + i].ToRow(domain_);
+      keys[i] = CacheKey(predicates[c0 + i]);
+      answers[c0 + i].value = linalg::Dot(rows[i], release_->x_hat);
+    }
+
+    // Resolve cached keys and collect the distinct misses (duplicates
+    // within the chunk solve once).
+    std::vector<std::size_t> miss_rep;  // representative index per new key
+    std::unordered_map<std::string, std::size_t> miss_slot;
+    {
+      std::lock_guard<std::mutex> lock(cache_->mu);
+      for (std::size_t i = 0; i < m; ++i) {
+        auto it = cache_->roots.find(keys[i]);
+        if (it != cache_->roots.end()) {
+          roots[i] = it->second;
+          ++cache_->hits;
+        } else if (miss_slot.emplace(keys[i], miss_rep.size()).second) {
+          miss_rep.push_back(i);
+        }
+      }
+    }
+
+    std::vector<double> miss_roots(miss_rep.size());
+    if (!miss_rep.empty()) {
+      std::vector<linalg::Vector> block(miss_rep.size());
+      for (std::size_t s = 0; s < miss_rep.size(); ++s) {
+        block[s] = rows[miss_rep[s]];
+      }
+      const std::vector<linalg::Vector> solves =
+          strategy_->strategy.SolveNormalBatch(block);
+      for (std::size_t s = 0; s < miss_rep.size(); ++s) {
+        miss_roots[s] =
+            std::sqrt(std::max(0.0, linalg::Dot(block[s], solves[s])));
+      }
+      std::lock_guard<std::mutex> lock(cache_->mu);
+      for (const auto& [key, slot] : miss_slot) {
+        cache_->roots.emplace(key, miss_roots[slot]);
+      }
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      auto it = miss_slot.find(keys[i]);
+      if (it != miss_slot.end()) roots[i] = miss_roots[it->second];
+      answers[c0 + i].stddev = sigma_ * roots[i];
+    }
+  }
+  return answers;
+}
+
+std::size_t AnswerEngine::root_cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  return cache_->roots.size();
+}
+
+std::uint64_t AnswerEngine::root_cache_hits() const {
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  return cache_->hits;
+}
+
+}  // namespace serve
+}  // namespace dpmm

@@ -1,0 +1,116 @@
+// Ad-hoc query serving over a stored release. The engine answers predicate
+// (axis-aligned box) counting queries against the persisted least-squares
+// estimate x_hat: the answer is w_q · x_hat (pure post-processing — no
+// further privacy cost, and all answers are mutually consistent because they
+// derive from the single estimate), and the error bar is the analytic
+// per-query standard deviation sd_q = sigma * sqrt(w_q (A^T A)^+ w_q^T)
+// (Def. 5 / Prop. 4), computed through the implicit strategy's normal
+// equations — never an n x n pseudo-inverse.
+//
+// The budget-independent roots sqrt(w_q (A^T A)^+ w_q^T) are the expensive
+// part (one implicit normal solve per distinct query); the engine caches
+// them under a canonical per-attribute bucket-mask key, so repeated and
+// semantically-identical queries cost one dot product after first touch.
+// Batches of queries solve their uncached roots through one block normal
+// solve (KronStrategy::SolveNormalBatch), whose per-column results are
+// bit-identical to solo solves — answers never depend on how queries were
+// grouped. The engine is safe for concurrent readers: the cache is
+// mutex-guarded, the strategy and release artifacts are immutable shared
+// state.
+//
+// Exactness contract (tested): values are bit-identical to
+// ExplicitWorkload::Answer(x_hat) on the same rows, and error bars
+// bit-identical to release::QueryErrorProfile for the same workload,
+// strategy and budget.
+#ifndef DPMM_SERVE_ANSWER_ENGINE_H_
+#define DPMM_SERVE_ANSWER_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/predicate.h"
+#include "serialize/artifact.h"
+#include "util/status.h"
+
+namespace dpmm {
+namespace serve {
+
+class AnswerEngine {
+ public:
+  struct Answer {
+    double value = 0;   // w_q · x_hat
+    double stddev = 0;  // sigma * sqrt(w_q (A^T A)^+ w_q^T)
+  };
+
+  /// Validates that the release belongs to the strategy (same signature,
+  /// same domain) before serving from the pair.
+  static Result<AnswerEngine> Create(
+      std::shared_ptr<const serialize::StrategyArtifact> strategy,
+      std::shared_ptr<const serialize::ReleaseArtifact> release,
+      Domain domain);
+
+  const Domain& domain() const { return domain_; }
+  const serialize::StrategyArtifact& strategy_artifact() const {
+    return *strategy_;
+  }
+  const serialize::ReleaseArtifact& release_artifact() const {
+    return *release_;
+  }
+  /// The Gaussian noise scale of the stored release's budget.
+  double noise_scale() const { return sigma_; }
+
+  /// Parses the predicate against the domain and answers it.
+  Result<Answer> AnswerText(const std::string& predicate_text) const;
+
+  /// Answers one parsed predicate.
+  Answer AnswerPredicate(const query::Predicate& predicate) const;
+
+  /// Answers a batch of concurrent queries in bounded chunks: cached roots
+  /// are reused, duplicate queries within a chunk solve once (across
+  /// chunks, via the cache), and the remaining distinct roots go through
+  /// the block normal solve. Live memory is O(n * chunk) regardless of the
+  /// batch size. Entry i of the result is bit-identical to
+  /// AnswerPredicate(predicates[i]).
+  std::vector<Answer> AnswerBatch(
+      const std::vector<query::Predicate>& predicates) const;
+
+  /// Cache observability (tests and the serve loop's stats line).
+  std::size_t root_cache_size() const;
+  std::uint64_t root_cache_hits() const;
+
+ private:
+  AnswerEngine(std::shared_ptr<const serialize::StrategyArtifact> strategy,
+               std::shared_ptr<const serialize::ReleaseArtifact> release,
+               Domain domain, double sigma);
+
+  /// Canonical cache key: the per-attribute bucket masks of the predicate.
+  /// Predicates with equal masks have equal indicator rows, so the key is
+  /// collision-free by construction (unlike hashing the row).
+  std::string CacheKey(const query::Predicate& predicate) const;
+
+  /// The budget-independent root for a row, from cache or one normal solve.
+  double RootFor(const std::string& key, const linalg::Vector& row) const;
+
+  std::shared_ptr<const serialize::StrategyArtifact> strategy_;
+  std::shared_ptr<const serialize::ReleaseArtifact> release_;
+  Domain domain_;
+  double sigma_;
+
+  // Behind a pointer so the engine stays movable (Result<AnswerEngine>);
+  // the mutex guards the map and the hit counter.
+  struct RootCache {
+    std::mutex mu;
+    std::unordered_map<std::string, double> roots;
+    std::uint64_t hits = 0;
+  };
+  std::unique_ptr<RootCache> cache_;
+};
+
+}  // namespace serve
+}  // namespace dpmm
+
+#endif  // DPMM_SERVE_ANSWER_ENGINE_H_

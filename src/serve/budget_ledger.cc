@@ -1,0 +1,172 @@
+#include "serve/budget_ledger.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "serve/store.h"
+#include "util/text.h"
+
+namespace dpmm {
+namespace serve {
+
+namespace {
+
+// Rounding slack for the over-budget test: an exact split of one budget
+// into B parts must re-sum to "fits" despite floating accumulation, while
+// any real overdraft (the smallest meaningful request is far above 1e-9 of
+// a budget) is still refused.
+constexpr double kSlack = 1e-9;
+
+/// spent + request > total, beyond rounding slack, in one component.
+bool Exceeds(double spent, double request, double total) {
+  return spent + request > total * (1 + kSlack);
+}
+
+Status Malformed(const std::string& path) {
+  return Status::IoError("malformed ledger file: " + path);
+}
+
+}  // namespace
+
+PrivacyParams LedgerEntry::Remaining() const {
+  return {std::max(0.0, total.epsilon - spent.epsilon),
+          std::max(0.0, total.delta - spent.delta)};
+}
+
+bool LedgerEntry::Overdrawn() const {
+  return Exceeds(spent.epsilon, 0.0, total.epsilon) ||
+         Exceeds(spent.delta, 0.0, total.delta);
+}
+
+BudgetLedger::BudgetLedger(std::string root) : root_(std::move(root)) {}
+
+std::string BudgetLedger::PathFor(const std::string& dataset) const {
+  return root_ + "/ledger/" + StoreKey(dataset) + ".ledger";
+}
+
+Result<LedgerEntry> BudgetLedger::Read(const std::string& dataset) const {
+  const std::string path = PathFor(dataset);
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("no ledger entry for dataset '" + dataset + "'");
+  }
+  LedgerEntry entry;
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("# dpmm-ledger 1", 0) != 0) {
+    return Malformed(path);
+  }
+  bool have_dataset = false, have_total = false, have_spent = false,
+       have_charges = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "dataset") {
+      // The label is the rest of the line past "dataset " (labels — file
+      // paths — may contain spaces).
+      entry.dataset = line.size() > 8 ? line.substr(8) : "";
+      have_dataset = true;
+    } else if (tag == "total" || tag == "spent") {
+      std::string eps, delta;
+      if (!(fields >> eps >> delta)) return Malformed(path);
+      PrivacyParams* p = tag == "total" ? &entry.total : &entry.spent;
+      if (!util::ParseFiniteDouble(eps, &p->epsilon) ||
+          !util::ParseFiniteDouble(delta, &p->delta) || p->epsilon < 0 ||
+          p->delta < 0) {
+        return Malformed(path);
+      }
+      (tag == "total" ? have_total : have_spent) = true;
+    } else if (tag == "charges") {
+      unsigned long long n = 0;
+      if (!(fields >> n)) return Malformed(path);
+      entry.charges = static_cast<std::size_t>(n);
+      have_charges = true;
+    } else {
+      return Malformed(path);
+    }
+  }
+  if (!have_dataset || !have_total || !have_spent || !have_charges ||
+      entry.dataset != dataset) {
+    return Malformed(path);
+  }
+  return entry;
+}
+
+Result<LedgerEntry> BudgetLedger::Charge(const std::string& dataset,
+                                         const PrivacyParams& total,
+                                         const PrivacyParams& request) {
+  if (dataset.empty() || dataset.find('\n') != std::string::npos) {
+    return Status::InvalidArgument(
+        "ledger dataset label must be nonempty and single-line");
+  }
+  if (!(total.epsilon > 0) || total.delta < 0 || !(request.epsilon > 0) ||
+      request.delta < 0 || !std::isfinite(total.epsilon) ||
+      !std::isfinite(total.delta) || !std::isfinite(request.epsilon) ||
+      !std::isfinite(request.delta)) {
+    return Status::InvalidArgument(
+        "ledger budgets must be positive and finite");
+  }
+
+  LedgerEntry entry;
+  auto existing = Read(dataset);
+  if (existing.ok()) {
+    entry = std::move(existing).ValueOrDie();
+    if (entry.total.epsilon != total.epsilon ||
+        entry.total.delta != total.delta) {
+      char msg[256];
+      std::snprintf(msg, sizeof(msg),
+                    "dataset '%s' has a recorded lifetime budget of "
+                    "(eps=%g, delta=%g); a total of (eps=%g, delta=%g) "
+                    "cannot be renegotiated",
+                    dataset.c_str(), entry.total.epsilon, entry.total.delta,
+                    total.epsilon, total.delta);
+      return Status::InvalidArgument(msg);
+    }
+  } else if (existing.status().code() == StatusCode::kNotFound) {
+    entry.dataset = dataset;
+    entry.total = total;
+  } else {
+    return existing.status();
+  }
+
+  if (Exceeds(entry.spent.epsilon, request.epsilon, entry.total.epsilon) ||
+      Exceeds(entry.spent.delta, request.delta, entry.total.delta)) {
+    const PrivacyParams rem = entry.Remaining();
+    char msg[256];
+    std::snprintf(msg, sizeof(msg),
+                  "release of (eps=%g, delta=%g) for dataset '%s' exceeds "
+                  "the remaining budget (eps=%g, delta=%g of a lifetime "
+                  "eps=%g, delta=%g)",
+                  request.epsilon, request.delta, dataset.c_str(), rem.epsilon,
+                  rem.delta, entry.total.epsilon, entry.total.delta);
+    return Status::ResourceExhausted(msg);
+  }
+
+  entry.spent.epsilon += request.epsilon;
+  entry.spent.delta += request.delta;
+  entry.charges += 1;
+
+  Status st = internal::EnsureDir(root_ + "/ledger");
+  if (!st.ok()) return st;
+  char buf[512];
+  std::string text = "# dpmm-ledger 1\n";
+  text += "dataset " + entry.dataset + "\n";
+  std::snprintf(buf, sizeof(buf), "total %.17g %.17g\n", entry.total.epsilon,
+                entry.total.delta);
+  text += buf;
+  std::snprintf(buf, sizeof(buf), "spent %.17g %.17g\n", entry.spent.epsilon,
+                entry.spent.delta);
+  text += buf;
+  std::snprintf(buf, sizeof(buf), "charges %zu\n", entry.charges);
+  text += buf;
+  st = internal::WriteViaRename(PathFor(dataset), text);
+  if (!st.ok()) return st;
+  return entry;
+}
+
+}  // namespace serve
+}  // namespace dpmm

@@ -1,0 +1,78 @@
+// Persistent cumulative privacy accounting across releases of one dataset.
+// Sequential composition (the same rule release::SplitBudget divides a
+// single run's budget by) says the (eps, delta) of all releases over one
+// database sum; a serving deployment therefore needs a durable record of
+// what has been spent, or re-running `release` enough times silently
+// destroys the privacy guarantee. The ledger is that record: one entry per
+// dataset label, holding the dataset's fixed total budget and the running
+// spent sum, persisted as a human-readable text file under
+// <root>/ledger/<dataset-key>.ledger.
+//
+// Charge() is the only mutation: it refuses — with Status::ResourceExhausted
+// and without recording anything — any request that would push the spent sum
+// past the total in either epsilon or delta. The CLI maps that refusal to
+// its own distinct exit code (3), separate from usage errors (2).
+//
+// Scope: one writer at a time per dataset (the CLI's release path). Entries
+// are rewritten atomically (temp file + rename), so a crash mid-charge
+// leaves either the old or the new state, never a torn file; concurrent
+// writers from separate processes are not arbitrated beyond that.
+#ifndef DPMM_SERVE_BUDGET_LEDGER_H_
+#define DPMM_SERVE_BUDGET_LEDGER_H_
+
+#include <string>
+
+#include "mechanism/privacy.h"
+#include "util/status.h"
+
+namespace dpmm {
+namespace serve {
+
+/// One dataset's accumulated accounting state.
+struct LedgerEntry {
+  std::string dataset;
+  /// The dataset's lifetime budget, fixed when the entry is created.
+  PrivacyParams total;
+  /// Sum of all charges so far (sequential composition).
+  PrivacyParams spent{0.0, 0.0};
+  /// Number of successful charges.
+  std::size_t charges = 0;
+
+  /// total - spent, clamped at zero.
+  PrivacyParams Remaining() const;
+  /// True when spent exceeds total beyond rounding slack — an overdrawn
+  /// (hand-edited or corrupted) ledger that must not be served from.
+  bool Overdrawn() const;
+};
+
+class BudgetLedger {
+ public:
+  /// Ledger files live under <root>/ledger/.
+  explicit BudgetLedger(std::string root);
+
+  const std::string& root() const { return root_; }
+
+  /// Reads a dataset's entry; NotFound when it has never been charged.
+  Result<LedgerEntry> Read(const std::string& dataset) const;
+
+  /// Charges `request` against the dataset's budget and persists the new
+  /// state. The first charge creates the entry with `total` as the lifetime
+  /// budget; subsequent charges require the same total (mismatch is
+  /// InvalidArgument — the lifetime budget of a dataset is not
+  /// renegotiable). A request that would exceed the total in epsilon or
+  /// delta returns ResourceExhausted and records nothing. Returns the entry
+  /// state after the charge.
+  Result<LedgerEntry> Charge(const std::string& dataset,
+                             const PrivacyParams& total,
+                             const PrivacyParams& request);
+
+ private:
+  std::string PathFor(const std::string& dataset) const;
+
+  std::string root_;
+};
+
+}  // namespace serve
+}  // namespace dpmm
+
+#endif  // DPMM_SERVE_BUDGET_LEDGER_H_

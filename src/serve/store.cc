@@ -1,0 +1,268 @@
+#include "serve/store.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace dpmm {
+namespace serve {
+
+namespace internal {
+
+/// Racing creators are fine — EEXIST is success.
+Status EnsureDir(const std::string& path) {
+  std::string prefix;
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    std::size_t next = path.find('/', pos);
+    if (next == std::string::npos) next = path.size();
+    prefix = path.substr(0, next);
+    if (!prefix.empty() && prefix != "." && prefix != "..") {
+      if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+        return Status::IoError("cannot create directory " + prefix + ": " +
+                               std::strerror(errno));
+      }
+    }
+    pos = next + 1;
+  }
+  return Status::OK();
+}
+
+Status WriteViaRename(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for write: " + tmp);
+  }
+  const bool wrote =
+      bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                           bytes.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return Status::IoError("write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
+
+using internal::EnsureDir;
+using internal::WriteViaRename;
+
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+/// Release ids as fixed-width filenames so lexicographic directory order is
+/// numeric order.
+std::string IdName(std::size_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06zu.release", id);
+  return buf;
+}
+
+/// Parses "<digits>.release" (exactly the IdName format); false otherwise.
+bool ParseIdName(const char* name, std::size_t* id) {
+  const char* dot = std::strchr(name, '.');
+  if (dot == nullptr || std::strcmp(dot, ".release") != 0 || dot == name) {
+    return false;
+  }
+  std::size_t v = 0;
+  for (const char* p = name; p < dot; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    v = v * 10 + static_cast<std::size_t>(*p - '0');
+  }
+  *id = v;
+  return true;
+}
+
+}  // namespace
+
+std::string CanonicalSignature(const std::string& workload_spec,
+                               const Domain& domain) {
+  std::string sig = workload_spec + "@";
+  for (std::size_t a = 0; a < domain.num_attributes(); ++a) {
+    if (a > 0) sig += ',';
+    sig += std::to_string(domain.size(a));
+  }
+  return sig;
+}
+
+std::string StoreKey(const std::string& signature) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(serialize::Fnv1a64(signature)));
+  return buf;
+}
+
+// ---- StrategyStore
+
+StrategyStore::StrategyStore(std::string root) : root_(std::move(root)) {}
+
+std::string StrategyStore::PathFor(const std::string& signature) const {
+  return root_ + "/strategies/" + StoreKey(signature) + ".strategy";
+}
+
+Status StrategyStore::Put(const serialize::StrategyArtifact& artifact) {
+  if (artifact.signature.empty()) {
+    return Status::InvalidArgument("strategy artifact has no signature");
+  }
+  Status st = EnsureDir(root_ + "/strategies");
+  if (!st.ok()) return st;
+  st = WriteViaRename(PathFor(artifact.signature),
+                      serialize::EncodeStrategyArtifact(artifact));
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_[artifact.signature] =
+      std::make_shared<serialize::StrategyArtifact>(artifact);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const serialize::StrategyArtifact>> StrategyStore::Get(
+    const std::string& signature) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(signature);
+    if (it != cache_.end()) return it->second;
+  }
+  const std::string path = PathFor(signature);
+  if (!FileExists(path)) {
+    return Status::NotFound("no stored strategy for '" + signature +
+                            "' (expected " + path + ")");
+  }
+  auto loaded = serialize::LoadStrategyArtifact(path);
+  if (!loaded.ok()) return loaded.status();
+  auto artifact = std::make_shared<serialize::StrategyArtifact>(
+      std::move(loaded).ValueOrDie());
+  if (artifact->signature != signature) {
+    return Status::IoError("strategy at " + path + " is for '" +
+                           artifact->signature + "', not '" + signature +
+                           "' (renamed file or key collision)");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // A racing loader may have inserted already; keep the first (identical
+  // bytes either way).
+  auto [it, inserted] = cache_.emplace(signature, std::move(artifact));
+  (void)inserted;
+  return it->second;
+}
+
+bool StrategyStore::Contains(const std::string& signature) const {
+  return FileExists(PathFor(signature));
+}
+
+// ---- ReleaseStore
+
+ReleaseStore::ReleaseStore(std::string root) : root_(std::move(root)) {}
+
+std::string ReleaseStore::DirFor(const std::string& signature) const {
+  return root_ + "/releases/" + StoreKey(signature);
+}
+
+std::string ReleaseStore::PathFor(const std::string& signature,
+                                  std::size_t id) const {
+  return DirFor(signature) + "/" + IdName(id);
+}
+
+std::vector<std::size_t> ReleaseStore::List(const std::string& signature) const {
+  std::vector<std::size_t> ids;
+  DIR* dir = ::opendir(DirFor(signature).c_str());
+  if (dir == nullptr) return ids;
+  while (struct dirent* entry = ::readdir(dir)) {
+    std::size_t id = 0;
+    if (ParseIdName(entry->d_name, &id)) ids.push_back(id);
+  }
+  ::closedir(dir);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Result<std::size_t> ReleaseStore::LatestId(const std::string& signature) const {
+  const std::vector<std::size_t> ids = List(signature);
+  if (ids.empty()) {
+    return Status::NotFound("no stored releases for '" + signature + "'");
+  }
+  return ids.back();
+}
+
+Result<std::size_t> ReleaseStore::Put(
+    const serialize::ReleaseArtifact& artifact) {
+  if (artifact.signature.empty()) {
+    return Status::InvalidArgument("release artifact has no signature");
+  }
+  const std::string dir = DirFor(artifact.signature);
+  Status st = EnsureDir(dir);
+  if (!st.ok()) return st;
+
+  // Write the bytes to a process-unique temp file, then claim the next free
+  // id with link(2), which fails with EEXIST when a concurrent writer took
+  // that id first — a plain list-then-rename would let two racing Put calls
+  // pick the same id and silently clobber one paid-for release. The linked
+  // file is always complete (link is atomic on the finished temp file).
+  static std::atomic<unsigned> tmp_counter{0};
+  const std::string tmp = dir + "/put." + std::to_string(::getpid()) + "." +
+                          std::to_string(tmp_counter++) + ".claim";
+  st = WriteViaRename(tmp, serialize::EncodeReleaseArtifact(artifact));
+  if (!st.ok()) return st;
+  const std::vector<std::size_t> ids = List(artifact.signature);
+  std::size_t id = ids.empty() ? 0 : ids.back() + 1;
+  std::string path;
+  for (;;) {
+    path = PathFor(artifact.signature, id);
+    if (::link(tmp.c_str(), path.c_str()) == 0) break;
+    if (errno != EEXIST) {
+      const std::string err = std::strerror(errno);
+      std::remove(tmp.c_str());
+      return Status::IoError("cannot link " + tmp + " to " + path + ": " +
+                             err);
+    }
+    ++id;
+  }
+  std::remove(tmp.c_str());
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_[path] = std::make_shared<serialize::ReleaseArtifact>(artifact);
+  return id;
+}
+
+Result<std::shared_ptr<const serialize::ReleaseArtifact>> ReleaseStore::Get(
+    const std::string& signature, std::size_t id) {
+  const std::string path = PathFor(signature, id);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(path);
+    if (it != cache_.end()) return it->second;
+  }
+  if (!FileExists(path)) {
+    return Status::NotFound("no stored release " + std::to_string(id) +
+                            " for '" + signature + "' (expected " + path + ")");
+  }
+  auto loaded = serialize::LoadReleaseArtifact(path);
+  if (!loaded.ok()) return loaded.status();
+  auto artifact = std::make_shared<serialize::ReleaseArtifact>(
+      std::move(loaded).ValueOrDie());
+  if (artifact->signature != signature) {
+    return Status::IoError("release at " + path + " is for '" +
+                           artifact->signature + "', not '" + signature + "'");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.emplace(path, std::move(artifact));
+  (void)inserted;
+  return it->second;
+}
+
+}  // namespace serve
+}  // namespace dpmm

@@ -1,0 +1,118 @@
+// On-disk artifact registry for the store-and-serve pipeline. Strategies are
+// keyed by the canonical (domain, workload) signature; releases hang off the
+// same key with a monotonically assigned numeric id. The layout under one
+// store root is plain files, so a store can be rsynced, inspected and backed
+// up with ordinary tools:
+//
+//   <root>/strategies/<key>.strategy       serialize::StrategyArtifact
+//   <root>/releases/<key>/<id>.release     serialize::ReleaseArtifact
+//   <root>/ledger/<dataset-key>.ledger     serve::BudgetLedger (see
+//                                          budget_ledger.h)
+//
+// <key> is the 16-hex-digit FNV-1a hash of the signature; the signature
+// itself is stored inside every artifact and verified on load, so a hash
+// collision (or a renamed file) is detected instead of silently serving the
+// wrong strategy. Loads go through an in-memory load-once cache: a serving
+// process pays the disk read and decode once per artifact, then every
+// concurrent reader shares the same immutable object.
+#ifndef DPMM_SERVE_STORE_H_
+#define DPMM_SERVE_STORE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serialize/artifact.h"
+#include "util/status.h"
+
+namespace dpmm {
+namespace serve {
+
+namespace internal {
+
+/// mkdir -p: creates every component of `path` (POSIX). Shared by the
+/// store and the budget ledger.
+Status EnsureDir(const std::string& path);
+
+/// Writes a file atomically-ish: temp file in the destination directory,
+/// then rename — a concurrent reader never observes a half-written file.
+Status WriteViaRename(const std::string& path, const std::string& bytes);
+
+}  // namespace internal
+
+/// Canonical signature of a (workload spec, domain) pair, e.g.
+/// "allrange@8,16,16". Same spec + same domain => same signature; this is
+/// the identity under which design cost is paid once and reused forever.
+std::string CanonicalSignature(const std::string& workload_spec,
+                               const Domain& domain);
+
+/// The filename-safe store key of a signature (16 hex digits of FNV-1a 64).
+std::string StoreKey(const std::string& signature);
+
+/// Registry of designed strategies, one per signature.
+class StrategyStore {
+ public:
+  explicit StrategyStore(std::string root);
+
+  const std::string& root() const { return root_; }
+
+  /// Persists the artifact under its signature's key (creating the store
+  /// directories as needed) and refreshes the cache. Overwrites an existing
+  /// strategy for the same signature.
+  Status Put(const serialize::StrategyArtifact& artifact);
+
+  /// Loads the strategy for a signature — from the cache after the first
+  /// call. NotFound when no strategy is stored for it.
+  Result<std::shared_ptr<const serialize::StrategyArtifact>> Get(
+      const std::string& signature);
+
+  /// True when a strategy file exists for the signature (no decode).
+  bool Contains(const std::string& signature) const;
+
+ private:
+  std::string PathFor(const std::string& signature) const;
+
+  std::string root_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const serialize::StrategyArtifact>>
+      cache_;
+};
+
+/// Registry of stored releases, grouped by strategy signature.
+class ReleaseStore {
+ public:
+  explicit ReleaseStore(std::string root);
+
+  const std::string& root() const { return root_; }
+
+  /// Persists the release under the next free id for its signature and
+  /// returns that id.
+  Result<std::size_t> Put(const serialize::ReleaseArtifact& artifact);
+
+  /// Loads one release — cached after the first call (releases are
+  /// immutable once stored).
+  Result<std::shared_ptr<const serialize::ReleaseArtifact>> Get(
+      const std::string& signature, std::size_t id);
+
+  /// Ids stored for a signature, ascending (empty when none).
+  std::vector<std::size_t> List(const std::string& signature) const;
+
+  /// The highest stored id for a signature; NotFound when none exist.
+  Result<std::size_t> LatestId(const std::string& signature) const;
+
+ private:
+  std::string DirFor(const std::string& signature) const;
+  std::string PathFor(const std::string& signature, std::size_t id) const;
+
+  std::string root_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const serialize::ReleaseArtifact>>
+      cache_;  // keyed by file path
+};
+
+}  // namespace serve
+}  // namespace dpmm
+
+#endif  // DPMM_SERVE_STORE_H_

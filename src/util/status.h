@@ -19,6 +19,7 @@ enum class StatusCode {
   kNumericalError,
   kIoError,
   kNotFound,
+  kResourceExhausted,
 };
 
 /// Result of an operation that may fail in a recoverable way.
@@ -42,6 +43,13 @@ class Status {
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
+  /// A quota was hit — e.g. a release request exceeding the dataset's
+  /// remaining privacy budget. Distinct from InvalidArgument so callers (the
+  /// CLI's exit-code mapping) can tell "you asked wrong" from "nothing is
+  /// left to give".
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -64,6 +72,7 @@ class Status {
       case StatusCode::kNumericalError: return "NumericalError";
       case StatusCode::kIoError: return "IoError";
       case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
     }
     return "Unknown";
   }

@@ -1,0 +1,56 @@
+// Shared strict text parsing for user-authored inputs (histogram CSVs,
+// ledger files, the serve loop). Strictness is the point: every helper
+// consumes the whole token or reports failure, so "1x" or "3q" can never
+// half-parse into a silently wrong value the way raw strtod/strtoull (or
+// throwing std::stoull/std::stod) would.
+#ifndef DPMM_UTIL_TEXT_H_
+#define DPMM_UTIL_TEXT_H_
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstddef>
+#include <cstdlib>
+#include <string>
+
+namespace dpmm {
+namespace util {
+
+/// Strips ASCII whitespace — including the CR a CRLF file leaves at the
+/// end of every std::getline line — from both ends.
+inline std::string TrimAscii(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Strict finite double: the whole token must parse and the value must be
+/// finite (rejects "inf", "nan" and overflowing literals like "1e999").
+inline bool ParseFiniteDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size() || !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// Strict nonnegative integer: digits only, the whole token must parse.
+inline bool ParseSizeT(const std::string& s, std::size_t* out) {
+  if (s.empty() || s[0] == '-' || s[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+}  // namespace util
+}  // namespace dpmm
+
+#endif  // DPMM_UTIL_TEXT_H_

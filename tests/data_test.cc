@@ -95,5 +95,91 @@ TEST(Io, MalformedHeaderRejected) {
   std::remove(path.c_str());
 }
 
+// ---- Hardening against user-authored files (served deployments load
+// histograms written by hand or exported from other tools).
+
+namespace {
+
+/// Writes `content` verbatim and loads it back.
+Result<DataVector> LoadLiteral(const std::string& name,
+                               const std::string& content) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  auto result = data::LoadCsv(path);
+  std::remove(path.c_str());
+  return result;
+}
+
+}  // namespace
+
+TEST(IoHardening, CrlfLineEndingsLoadCleanly) {
+  auto r = LoadLiteral("crlf.csv",
+                       "# domain: 2,2\r\n0,1\r\n1,2\r\n2,3\r\n3,4\r\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.ValueOrDie().counts, (linalg::Vector{1, 2, 3, 4}));
+}
+
+TEST(IoHardening, TrailingBlankLinesAndStrayWhitespace) {
+  auto r = LoadLiteral("messy.csv",
+                       "  # domain: 2 , 2  \n"
+                       " 0 , 1.5 \n"
+                       "\t1,\t2\n"
+                       "\n"
+                       "3 , 4\n"
+                       "\n"
+                       "   \n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.ValueOrDie().counts, (linalg::Vector{1.5, 2, 0, 4}));
+}
+
+TEST(IoHardening, NonNumericCellIsStatusNotCrash) {
+  auto r = LoadLiteral("badcell.csv", "# domain: 2,2\nzero,1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  // The error names the offending line for the user.
+  EXPECT_NE(r.status().message().find(":2:"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(IoHardening, NonNumericCountIsStatusNotCrash) {
+  auto r = LoadLiteral("badcount.csv", "# domain: 2,2\n0,abc\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(IoHardening, PartiallyNumericFieldsRejected) {
+  // strtod/strtoull would happily stop at the junk; strict parsing must not.
+  EXPECT_FALSE(LoadLiteral("trail1.csv", "# domain: 4\n1x,3\n").ok());
+  EXPECT_FALSE(LoadLiteral("trail2.csv", "# domain: 4\n1,3q\n").ok());
+  EXPECT_FALSE(LoadLiteral("neg.csv", "# domain: 4\n-1,3\n").ok());
+}
+
+TEST(IoHardening, NonFiniteCountRejected) {
+  EXPECT_FALSE(LoadLiteral("inf.csv", "# domain: 4\n0,inf\n").ok());
+  EXPECT_FALSE(LoadLiteral("nan.csv", "# domain: 4\n0,nan\n").ok());
+  EXPECT_FALSE(LoadLiteral("huge.csv", "# domain: 4\n0,1e999\n").ok());
+}
+
+TEST(IoHardening, NonNumericDomainHeaderIsStatusNotCrash) {
+  auto r = LoadLiteral("badhdr.csv", "# domain: 2,two\n0,1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_FALSE(LoadLiteral("zerohdr.csv", "# domain: 2,0\n0,1\n").ok());
+}
+
+TEST(IoHardening, OutOfRangeCellNamesTheLine) {
+  auto r = LoadLiteral("range.csv", "# domain: 2,2\n0,1\n9,1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("out of range"), std::string::npos);
+  EXPECT_NE(r.status().message().find(":3:"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(IoHardening, MissingCommaRejected) {
+  EXPECT_FALSE(LoadLiteral("nocomma.csv", "# domain: 4\n0 1\n").ok());
+}
+
 }  // namespace
 }  // namespace dpmm

@@ -1,0 +1,479 @@
+// Tests for the query-serving subsystem: the artifact stores, the budget
+// ledger's persistent accounting, and the answer engine's exactness
+// contract — served answers bit-identical to Workload answers on the stored
+// x_hat, error bars bit-identical to release::QueryErrorProfile, through
+// the root-cache hit path, the batch path, and concurrent readers (this
+// suite runs under DPMM_THREADS=4 and in the TSan CI pass).
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "optimize/eigen_design.h"
+#include "query/predicate.h"
+#include "release/release.h"
+#include "serve/answer_engine.h"
+#include "serve/budget_ledger.h"
+#include "serve/store.h"
+#include "util/rng.h"
+#include "workload/marginal_workloads.h"
+#include "workload/range_workloads.h"
+
+namespace dpmm {
+namespace {
+
+using serialize::ReleaseArtifact;
+using serialize::StrategyArtifact;
+using serve::AnswerEngine;
+using serve::BudgetLedger;
+using serve::ReleaseStore;
+using serve::StrategyStore;
+
+/// A fresh store root per test, so release ids and ledger state never leak
+/// between tests (or between repeated runs against one TempDir).
+std::string FreshRoot() {
+  std::string tmpl = ::testing::TempDir() + "/dpmm_serve_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return tmpl;
+}
+
+std::shared_ptr<const StrategyArtifact> DesignArtifact(const Workload& w,
+                                                       std::string spec) {
+  auto design = optimize::EigenDesignKronForWorkload(w);
+  EXPECT_TRUE(design.ok()) << design.status().ToString();
+  auto& d = design.ValueOrDie();
+  auto artifact = std::make_shared<StrategyArtifact>();
+  artifact->signature = serve::CanonicalSignature(spec, w.domain());
+  artifact->domain_sizes = w.domain().sizes();
+  artifact->strategy = std::move(d.strategy);
+  artifact->solver_report = d.solver_report;
+  artifact->duality_gap = d.duality_gap;
+  artifact->rank = d.rank;
+  return artifact;
+}
+
+/// One designed strategy + one stored release over deterministic data.
+struct Fixture {
+  Domain domain{std::vector<std::size_t>{4, 4}};
+  PrivacyParams budget{0.5, 1e-4};
+  std::shared_ptr<const StrategyArtifact> strategy;
+  std::shared_ptr<const ReleaseArtifact> release;
+  linalg::Vector data;
+};
+
+Fixture MakeFixture(bool marginals = false) {
+  Fixture f;
+  std::unique_ptr<Workload> w;
+  std::string spec;
+  if (marginals) {
+    w.reset(new MarginalsWorkload(MarginalsWorkload::AllKWay(f.domain, 1)));
+    spec = "marginals:1";
+  } else {
+    w.reset(new AllRangeWorkload(f.domain));
+    spec = "allrange";
+  }
+  f.strategy = DesignArtifact(*w, spec);
+
+  f.data.resize(f.domain.NumCells());
+  Rng data_rng(99);
+  for (auto& v : f.data) v = static_cast<double>(data_rng.UniformInt(50));
+
+  Rng rng(11);
+  auto batch =
+      release::ReleaseBatch(f.strategy->strategy, f.data, {f.budget}, &rng);
+  auto rel = std::make_shared<ReleaseArtifact>();
+  rel->signature = f.strategy->signature;
+  rel->domain_sizes = f.domain.sizes();
+  rel->budget = f.budget;
+  rel->dataset = "unit-test";
+  rel->seed = 11;
+  rel->batch_index = 0;
+  rel->x_hat = batch.x_hats[0];
+  f.release = rel;
+  return f;
+}
+
+AnswerEngine MakeEngine(const Fixture& f) {
+  auto engine = AnswerEngine::Create(f.strategy, f.release, f.domain);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(engine).ValueOrDie();
+}
+
+const char* const kPredicates[] = {
+    "*",
+    "A1 >= 2",
+    "A2 IN [1, 2]",
+    "A1 = 0 AND A2 <= 1",
+    "A1 != 3",
+    "A1 IN [1, 2] AND A2 >= 2",
+};
+
+std::vector<query::Predicate> ParseAll(const Domain& domain) {
+  std::vector<query::Predicate> preds;
+  for (const char* text : kPredicates) {
+    auto parsed = query::ParsePredicate(text, domain);
+    EXPECT_TRUE(parsed.ok()) << text;
+    preds.push_back(std::move(parsed).ValueOrDie());
+  }
+  return preds;
+}
+
+// ---- Stores
+
+TEST(StrategyStore, PutGetCachesAndDetectsMismatch) {
+  const std::string root = FreshRoot();
+  Fixture f = MakeFixture();
+  StrategyStore store(root);
+  EXPECT_FALSE(store.Contains(f.strategy->signature));
+  ASSERT_TRUE(store.Put(*f.strategy).ok());
+  EXPECT_TRUE(store.Contains(f.strategy->signature));
+
+  auto got = store.Get(f.strategy->signature);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  auto again = store.Get(f.strategy->signature);
+  ASSERT_TRUE(again.ok());
+  // Load-once cache: the same immutable object is shared.
+  EXPECT_EQ(got.ValueOrDie().get(), again.ValueOrDie().get());
+  EXPECT_EQ(got.ValueOrDie()->duality_gap, f.strategy->duality_gap);
+
+  auto missing = store.Get("allrange@9,9");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  // A renamed (or hash-colliding) file is detected, not served.
+  const std::string src =
+      root + "/strategies/" + serve::StoreKey(f.strategy->signature) +
+      ".strategy";
+  const std::string dst =
+      root + "/strategies/" + serve::StoreKey("allrange@9,9") + ".strategy";
+  ASSERT_EQ(std::rename(src.c_str(), dst.c_str()), 0);
+  StrategyStore fresh_store(root);
+  auto wrong = fresh_store.Get("allrange@9,9");
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_NE(wrong.status().message().find("renamed file or key collision"),
+            std::string::npos);
+}
+
+TEST(ReleaseStore, AssignsMonotonicIdsAndListsThem) {
+  const std::string root = FreshRoot();
+  Fixture f = MakeFixture();
+  ReleaseStore store(root);
+  EXPECT_TRUE(store.List(f.release->signature).empty());
+  EXPECT_EQ(store.LatestId(f.release->signature).status().code(),
+            StatusCode::kNotFound);
+
+  ReleaseArtifact rel = *f.release;
+  for (std::size_t b = 0; b < 3; ++b) {
+    rel.batch_index = b;
+    auto id = store.Put(rel);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_EQ(id.ValueOrDie(), b);
+  }
+  EXPECT_EQ(store.List(f.release->signature),
+            (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(store.LatestId(f.release->signature).ValueOrDie(), 2u);
+
+  auto got = store.Get(f.release->signature, 1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.ValueOrDie()->batch_index, 1u);
+  EXPECT_EQ(got.ValueOrDie()->x_hat, f.release->x_hat);
+  EXPECT_EQ(store.Get(f.release->signature, 9).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(StoreKey, IsStableAndFilenameSafe) {
+  const std::string key = serve::StoreKey("allrange@8,16,16");
+  EXPECT_EQ(key.size(), 16u);
+  EXPECT_EQ(key, serve::StoreKey("allrange@8,16,16"));
+  EXPECT_NE(key, serve::StoreKey("allrange@8,16,17"));
+  Domain d({8, 16, 16});
+  EXPECT_EQ(serve::CanonicalSignature("allrange", d), "allrange@8,16,16");
+}
+
+// ---- Budget ledger
+
+TEST(BudgetLedger, ChargesAccumulateAndPersist) {
+  const std::string root = FreshRoot();
+  const PrivacyParams total{1.0, 2e-4};
+  {
+    BudgetLedger ledger(root);
+    auto first = ledger.Charge("census", total, {0.5, 1e-4});
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    EXPECT_EQ(first.ValueOrDie().charges, 1u);
+    EXPECT_DOUBLE_EQ(first.ValueOrDie().spent.epsilon, 0.5);
+    EXPECT_DOUBLE_EQ(first.ValueOrDie().Remaining().epsilon, 0.5);
+  }
+  // A separate ledger instance (a new process) sees the same state.
+  BudgetLedger ledger(root);
+  auto read = ledger.Read("census");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_DOUBLE_EQ(read.ValueOrDie().spent.epsilon, 0.5);
+  EXPECT_FALSE(read.ValueOrDie().Overdrawn());
+
+  auto second = ledger.Charge("census", total, {0.5, 1e-4});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.ValueOrDie().charges, 2u);
+  EXPECT_DOUBLE_EQ(second.ValueOrDie().Remaining().epsilon, 0.0);
+}
+
+TEST(BudgetLedger, RefusesOverBudgetWithoutRecording) {
+  const std::string root = FreshRoot();
+  BudgetLedger ledger(root);
+  const PrivacyParams total{1.0, 1e-4};
+  ASSERT_TRUE(ledger.Charge("d", total, {0.75, 5e-5}).ok());
+
+  // Over in epsilon.
+  auto refused = ledger.Charge("d", total, {0.5, 1e-6});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  // Over in delta only.
+  auto refused2 = ledger.Charge("d", total, {0.1, 9e-5});
+  ASSERT_FALSE(refused2.ok());
+  EXPECT_EQ(refused2.status().code(), StatusCode::kResourceExhausted);
+
+  // The refused charges must not have been recorded.
+  auto read = ledger.Read("d");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.ValueOrDie().charges, 1u);
+  EXPECT_DOUBLE_EQ(read.ValueOrDie().spent.epsilon, 0.75);
+
+  // A request that still fits goes through.
+  EXPECT_TRUE(ledger.Charge("d", total, {0.25, 5e-5}).ok());
+}
+
+TEST(BudgetLedger, ExactSplitConsumesTheWholeBudget) {
+  // The CLI splits one budget into B equal parts by sequential composition;
+  // charging all parts must succeed despite floating accumulation, and the
+  // next smallest request must be refused.
+  const std::string root = FreshRoot();
+  BudgetLedger ledger(root);
+  const PrivacyParams total{0.7, 7e-5};
+  const auto parts = release::SplitBudget(total, std::vector<double>(8, 1.0));
+  for (const auto& part : parts) {
+    ASSERT_TRUE(ledger.Charge("d", total, part).ok());
+  }
+  auto refused = ledger.Charge("d", total, {1e-6, 1e-12});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BudgetLedger, TotalIsNotRenegotiable) {
+  const std::string root = FreshRoot();
+  BudgetLedger ledger(root);
+  ASSERT_TRUE(ledger.Charge("d", {1.0, 1e-4}, {0.1, 1e-5}).ok());
+  auto changed = ledger.Charge("d", {2.0, 1e-4}, {0.1, 1e-5});
+  ASSERT_FALSE(changed.ok());
+  EXPECT_EQ(changed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BudgetLedger, MissingAndMalformedEntries) {
+  const std::string root = FreshRoot();
+  BudgetLedger ledger(root);
+  EXPECT_EQ(ledger.Read("ghost").status().code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(ledger.Charge("d", {1.0, 1e-4}, {0.1, 1e-5}).ok());
+  const std::string path =
+      root + "/ledger/" + serve::StoreKey("d") + ".ledger";
+  FILE* file = std::fopen(path.c_str(), "w");
+  std::fputs("# dpmm-ledger 1\ndataset d\ntotal nope 1e-4\n", file);
+  std::fclose(file);
+  EXPECT_EQ(ledger.Read("d").status().code(), StatusCode::kIoError);
+}
+
+// ---- Answer engine
+
+TEST(AnswerEngine, RejectsMismatchedArtifacts) {
+  Fixture f = MakeFixture();
+  auto wrong_release = std::make_shared<ReleaseArtifact>(*f.release);
+  wrong_release->signature = "other@4,4";
+  EXPECT_FALSE(
+      AnswerEngine::Create(f.strategy, wrong_release, f.domain).ok());
+  EXPECT_FALSE(
+      AnswerEngine::Create(f.strategy, f.release, Domain({2, 8})).ok());
+  EXPECT_FALSE(AnswerEngine::Create(nullptr, f.release, f.domain).ok());
+}
+
+/// Served answers and error bars must be bit-identical to the library's
+/// reference computations: Workload::Answer on the stored x_hat, and
+/// release::QueryErrorProfile for the same (workload, strategy, budget).
+void CheckExactness(bool marginals) {
+  Fixture f = MakeFixture(marginals);
+  // The two fixtures pin the two normal-solve paths: the all-range design
+  // carries completion rows (PCG solve), the 1-way marginals design does
+  // not (diagonal solve in the eigenbasis).
+  EXPECT_EQ(f.strategy->strategy.has_completion(), !marginals);
+  AnswerEngine engine = MakeEngine(f);
+  const std::vector<query::Predicate> preds = ParseAll(f.domain);
+
+  linalg::Matrix rows(preds.size(), f.domain.NumCells());
+  for (std::size_t q = 0; q < preds.size(); ++q) {
+    rows.SetRow(q, preds[q].ToRow(f.domain));
+  }
+  ExplicitWorkload reference(f.domain, rows, "adhoc");
+  const linalg::Vector values = reference.Answer(f.release->x_hat);
+  const linalg::Vector profile =
+      release::QueryErrorProfile(reference, f.strategy->strategy, f.budget);
+
+  // Scalar path (cold cache).
+  for (std::size_t q = 0; q < preds.size(); ++q) {
+    const AnswerEngine::Answer a = engine.AnswerPredicate(preds[q]);
+    EXPECT_EQ(a.value, values[q]) << kPredicates[q];
+    EXPECT_EQ(a.stddev, profile[q]) << kPredicates[q];
+  }
+  EXPECT_EQ(engine.root_cache_size(), preds.size());
+  EXPECT_EQ(engine.root_cache_hits(), 0u);
+
+  // Cache-hit path: identical answers, hits counted.
+  for (std::size_t q = 0; q < preds.size(); ++q) {
+    const AnswerEngine::Answer a = engine.AnswerPredicate(preds[q]);
+    EXPECT_EQ(a.value, values[q]);
+    EXPECT_EQ(a.stddev, profile[q]);
+  }
+  EXPECT_EQ(engine.root_cache_size(), preds.size());
+  EXPECT_EQ(engine.root_cache_hits(), preds.size());
+
+  // Batch path on a fresh engine (cold cache, block solve), including a
+  // duplicate inside the batch.
+  AnswerEngine cold = MakeEngine(f);
+  std::vector<query::Predicate> batch = preds;
+  batch.push_back(preds[1]);
+  const auto answers = cold.AnswerBatch(batch);
+  ASSERT_EQ(answers.size(), preds.size() + 1);
+  for (std::size_t q = 0; q < preds.size(); ++q) {
+    EXPECT_EQ(answers[q].value, values[q]) << kPredicates[q];
+    EXPECT_EQ(answers[q].stddev, profile[q]) << kPredicates[q];
+  }
+  EXPECT_EQ(answers.back().value, values[1]);
+  EXPECT_EQ(answers.back().stddev, profile[1]);
+  // The duplicate solved once.
+  EXPECT_EQ(cold.root_cache_size(), preds.size());
+
+  // Batch path over a warm cache: pure hits, same bits.
+  const auto warm = cold.AnswerBatch(batch);
+  for (std::size_t q = 0; q < preds.size(); ++q) {
+    EXPECT_EQ(warm[q].value, values[q]);
+    EXPECT_EQ(warm[q].stddev, profile[q]);
+  }
+}
+
+// Covers the PCG normal-solve path (the 4x4 all-range design completes 12
+// deficient columns).
+TEST(AnswerEngine, ExactlyMatchesReferenceAllRange) { CheckExactness(false); }
+
+// Covers the diagonal normal-solve path (no completion rows).
+TEST(AnswerEngine, ExactlyMatchesReferenceMarginals) { CheckExactness(true); }
+
+TEST(AnswerEngine, AnswerTextParsesAndAnswers) {
+  Fixture f = MakeFixture();
+  AnswerEngine engine = MakeEngine(f);
+  auto ok = engine.AnswerText("A1 >= 2");
+  ASSERT_TRUE(ok.ok());
+  auto pred = query::ParsePredicate("A1 >= 2", f.domain);
+  EXPECT_EQ(ok.ValueOrDie().value,
+            engine.AnswerPredicate(pred.ValueOrDie()).value);
+  EXPECT_FALSE(engine.AnswerText("A9 = 1").ok());
+  EXPECT_FALSE(engine.AnswerText("A1 @@ 1").ok());
+}
+
+TEST(AnswerEngine, SemanticallyEqualPredicatesShareOneRoot) {
+  Fixture f = MakeFixture();
+  AnswerEngine engine = MakeEngine(f);
+  // Same selected buckets, different syntax: one cache entry, one solve.
+  auto a = engine.AnswerText("A1 >= 2");
+  auto b = engine.AnswerText("A1 IN [2, 3]");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.ValueOrDie().value, b.ValueOrDie().value);
+  EXPECT_EQ(a.ValueOrDie().stddev, b.ValueOrDie().stddev);
+  EXPECT_EQ(engine.root_cache_size(), 1u);
+  EXPECT_EQ(engine.root_cache_hits(), 1u);
+}
+
+TEST(AnswerEngine, BatchesLargerThanOneChunkMatchScalarPath) {
+  // AnswerBatch processes 32-query chunks (bounded memory); a batch
+  // spanning several chunks — with duplicates landing in later chunks —
+  // must still be bit-identical to the scalar path.
+  Fixture f = MakeFixture();
+  std::vector<query::Predicate> batch;
+  Rng rng(17);
+  for (std::size_t i = 0; i < 70; ++i) {
+    std::vector<query::Condition> conjuncts;
+    for (std::size_t a = 0; a < f.domain.num_attributes(); ++a) {
+      std::size_t lo = rng.UniformInt(f.domain.size(a));
+      std::size_t hi = rng.UniformInt(f.domain.size(a));
+      if (lo > hi) std::swap(lo, hi);
+      query::Condition c;
+      c.attr = a;
+      c.op = query::Condition::Op::kBetween;
+      c.value = lo;
+      c.value2 = hi;
+      conjuncts.push_back(c);
+    }
+    batch.emplace_back(std::move(conjuncts));
+  }
+  AnswerEngine scalar = MakeEngine(f);
+  AnswerEngine batched = MakeEngine(f);
+  const auto answers = batched.AnswerBatch(batch);
+  ASSERT_EQ(answers.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const AnswerEngine::Answer ref = scalar.AnswerPredicate(batch[i]);
+    EXPECT_EQ(answers[i].value, ref.value) << i;
+    EXPECT_EQ(answers[i].stddev, ref.stddev) << i;
+  }
+  EXPECT_EQ(batched.root_cache_size(), scalar.root_cache_size());
+}
+
+TEST(AnswerEngine, ConcurrentReadersAgreeWithSerialReference) {
+  Fixture f = MakeFixture(true);
+  AnswerEngine serial = MakeEngine(f);
+  const std::vector<query::Predicate> preds = ParseAll(f.domain);
+  std::vector<AnswerEngine::Answer> reference;
+  for (const auto& p : preds) reference.push_back(serial.AnswerPredicate(p));
+
+  // Many readers hammer one shared engine — mixed scalar and batch calls,
+  // overlapping keys, cold cache. Run under DPMM_THREADS=4 and TSan in CI.
+  AnswerEngine shared_engine = MakeEngine(f);
+  constexpr int kReaders = 4;
+  constexpr int kRounds = 8;
+  std::vector<std::vector<AnswerEngine::Answer>> got(kReaders);
+  {
+    std::vector<std::thread> readers;
+    for (int t = 0; t < kReaders; ++t) {
+      readers.emplace_back([&, t] {
+        for (int round = 0; round < kRounds; ++round) {
+          if ((t + round) % 2 == 0) {
+            for (std::size_t q = 0; q < preds.size(); ++q) {
+              got[t].push_back(shared_engine.AnswerPredicate(
+                  preds[(q + static_cast<std::size_t>(t)) % preds.size()]));
+            }
+          } else {
+            const auto answers = shared_engine.AnswerBatch(preds);
+            got[t].insert(got[t].end(), answers.begin(), answers.end());
+          }
+        }
+      });
+    }
+    for (auto& reader : readers) reader.join();
+  }
+  for (int t = 0; t < kReaders; ++t) {
+    std::size_t i = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      for (std::size_t q = 0; q < preds.size(); ++q, ++i) {
+        const std::size_t which =
+            (t + round) % 2 == 0
+                ? (q + static_cast<std::size_t>(t)) % preds.size()
+                : q;
+        EXPECT_EQ(got[t][i].value, reference[which].value);
+        EXPECT_EQ(got[t][i].stddev, reference[which].stddev);
+      }
+    }
+  }
+  EXPECT_EQ(shared_engine.root_cache_size(), preds.size());
+}
+
+}  // namespace
+}  // namespace dpmm

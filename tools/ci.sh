@@ -28,6 +28,10 @@ echo "==== solver: Program-1 convergence regressions (ctest -L solver) ===="
 # time on unrelated suites.
 ctest --test-dir build --output-on-failure -L solver
 
+echo "==== serve: store-and-serve subsystem (ctest -L serve) ===="
+# Artifact round-trips, stores, budget ledger, answer-engine exactness.
+ctest --test-dir build --output-on-failure -L serve
+
 ctest --test-dir build --output-on-failure -j4
 
 if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
@@ -35,8 +39,10 @@ if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
   exit 0
 fi
 
-echo "==== tsan: thread pool + kron batching under ThreadSanitizer ===="
-TSAN_TESTS=(threading_test util_test linalg_kron_test kron_design_test)
+echo "==== tsan: thread pool + kron batching + serve engine under ThreadSanitizer ===="
+# serve_test rides along: the answer engine's root cache serves concurrent
+# readers that share one strategy (lazy eigenbasis variants + pool).
+TSAN_TESTS=(threading_test util_test linalg_kron_test kron_design_test serve_test)
 if [[ "${HAVE_PRESETS}" == "1" ]]; then
   cmake --preset tsan
 else
@@ -50,6 +56,6 @@ cmake --build build-tsan -j --target "${TSAN_TESTS[@]}"
 # serial-path suite.
 (cd build-tsan && \
  DPMM_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
- ctest --output-on-failure -R '^(threading|util|linalg_kron|kron_design)')
+ ctest --output-on-failure -R '^(threading|util|linalg_kron|kron_design|serve)')
 
 echo "==== ci.sh: all green ===="

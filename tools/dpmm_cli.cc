@@ -17,25 +17,46 @@
 //            [--strategy strategy.txt] [--out synth.csv]
 //            Private synthetic histogram (designed for the all-range
 //            workload, then post-processed to nonnegative integers).
+//   serve    --store DIR --domain 8,16,16 [--workload allrange]
+//            [--release N]
+//            Line-oriented query loop over a stored release: one predicate
+//            per line in ("A1 >= 3 AND A3 IN [4, 9]", or "*" for the total
+//            query; ';'-separated predicates answer as one batch), answer
+//            "value ± stddev" out. No design, no data access, no budget
+//            spent — everything is post-processing of the stored estimate.
+//
+// The store-and-serve pipeline ("design once, serve many"):
+//   design  --save DIR   persists the designed implicit strategy under the
+//                        canonical (domain, workload) key;
+//   release --store DIR  reuses the stored strategy (designing it on first
+//                        use), charges the dataset's persistent budget
+//                        ledger, and stores the released estimate(s);
+//   serve   --store DIR  answers ad-hoc predicate queries from the stored
+//                        artifacts in a fresh process.
 //
 // Option parsing is strict: unknown or misspelled options, missing values,
 // malformed numeric/boolean values and out-of-range --solver/--gap-tol
 // values are hard errors (exit 2), never silently-ignored fallbacks.
+// A release refused by the budget ledger (it would exceed the dataset's
+// lifetime (eps, delta)) exits with the distinct code 3.
 // Commands that run a design accept --solver ascent|fista|lbfgs and
 // --gap-tol G; release output reports the achieved duality gap and
 // iteration count.
 //
 // Workload specs: allrange | cdf | marginals:K | rangemarginals:K
 // Histogram CSV format: see data::SaveCsv (header "# domain: d1,d2,...").
+#include <cctype>
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "dpmm/dpmm.h"
 
@@ -48,18 +69,27 @@ struct Args {
   std::map<std::string, std::string> options;
 };
 
+/// Exit codes: 2 for every usage/parse/IO error (strict-parsing contract),
+/// 3 — and only 3 — when the persistent budget ledger refuses a release
+/// that would exceed the dataset's lifetime (eps, delta). Scripts can tell
+/// "you asked wrong" from "the budget is gone".
+constexpr int kExitUsage = 2;
+constexpr int kExitBudget = 3;
+
 /// Known options per command — anything else is a hard error, so a typo
 /// cannot silently fall back to a default.
 const std::map<std::string, std::set<std::string>>& KnownOptions() {
   static const auto* kKnown = new std::map<std::string, std::set<std::string>>{
       {"error", {"domain", "workload", "epsilon", "delta", "solver", "gap-tol"}},
-      {"design", {"domain", "workload", "out", "solver", "gap-tol"}},
+      {"design", {"domain", "workload", "out", "save", "solver", "gap-tol"}},
       {"release",
        {"data", "workload", "epsilon", "delta", "seed", "strategy", "out",
-        "dense", "batch", "solver", "gap-tol"}},
+        "dense", "batch", "solver", "gap-tol", "store", "dataset",
+        "total-epsilon", "total-delta"}},
       {"synth",
        {"data", "workload", "epsilon", "delta", "seed", "strategy", "out",
         "dense", "solver", "gap-tol"}},
+      {"serve", {"store", "domain", "workload", "release"}},
   };
   return *kKnown;
 }
@@ -330,28 +360,85 @@ int CmdDesign(const Args& args) {
   auto domain = ParseDomain(Opt(args, "domain"));
   if (!domain.ok()) {
     std::fprintf(stderr, "%s\n", domain.status().ToString().c_str());
-    return 2;
+    return kExitUsage;
   }
-  auto workload = ParseWorkload(Opt(args, "workload", "allrange"),
-                                domain.ValueOrDie());
+  const std::string spec = Opt(args, "workload", "allrange");
+  auto workload = ParseWorkload(spec, domain.ValueOrDie());
   if (!workload.ok()) {
     std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
-    return 2;
+    return kExitUsage;
   }
   const std::string out = Opt(args, "out");
-  if (out.empty()) {
-    std::fprintf(stderr, "design requires --out <strategy file>\n");
-    return 2;
+  const std::string save_root = Opt(args, "save");
+  if (out.empty() && save_root.empty()) {
+    std::fprintf(stderr,
+                 "design requires --out <strategy file> and/or "
+                 "--save <store dir>\n");
+    return kExitUsage;
   }
   optimize::EigenDesignOptions design_options;
-  if (!ParseSolverOptions(args, &design_options)) return 2;
+  if (!ParseSolverOptions(args, &design_options)) return kExitUsage;
   const Workload& w = *workload.ValueOrDie();
+
+  if (!save_root.empty()) {
+    // The store holds implicit Kronecker strategies — the form whose design
+    // is worth persisting (it reaches domain sizes the dense path cannot)
+    // and whose artifact is a few small factors instead of a p x n matrix.
+    if (!w.ImplicitEigen().has_value()) {
+      std::fprintf(stderr,
+                   "workload '%s' exposes no Kronecker eigenstructure; "
+                   "--save needs the implicit pipeline (use --out for a "
+                   "dense strategy file)\n",
+                   spec.c_str());
+      return kExitUsage;
+    }
+    Stopwatch sw;
+    auto design = optimize::EigenDesignKronForWorkload(w, design_options);
+    if (!design.ok()) {
+      std::fprintf(stderr, "%s\n", design.status().ToString().c_str());
+      return kExitUsage;
+    }
+    auto& d = design.ValueOrDie();
+    serialize::StrategyArtifact artifact;
+    artifact.signature =
+        serve::CanonicalSignature(spec, w.domain());
+    artifact.domain_sizes = w.domain().sizes();
+    artifact.strategy = d.strategy;
+    artifact.solver_report = d.solver_report;
+    artifact.duality_gap = d.duality_gap;
+    artifact.rank = d.rank;
+    serve::StrategyStore store(save_root);
+    Status st = store.Put(artifact);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return kExitUsage;
+    }
+    std::printf("designed strategy for %s in %.1fs (rank %zu, solver %s, "
+                "gap %.1e in %d iterations); stored as %s (key %s)\n",
+                w.Name().c_str(), sw.Seconds(), d.rank,
+                optimize::SolverMethodName(d.solver_report.method),
+                d.duality_gap, d.solver_iterations,
+                artifact.signature.c_str(),
+                serve::StoreKey(artifact.signature).c_str());
+    if (!out.empty()) {
+      // One design serves both sinks: the text file gets the materialized
+      // form of the same strategy.
+      st = strategy_io::SaveStrategy(d.strategy.Materialize(), out);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return kExitUsage;
+      }
+      std::printf("wrote %s\n", out.c_str());
+    }
+    return 0;
+  }
+
   Stopwatch sw;
   auto design = optimize::EigenDesign(w.Gram(), design_options).ValueOrDie();
   Status st = strategy_io::SaveStrategy(design.strategy, out);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 2;
+    return kExitUsage;
   }
   std::printf("designed strategy for %s in %.1fs (rank %zu, solver %s, "
               "gap %.1e in %d iterations); wrote %s\n",
@@ -424,7 +511,141 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
     }
   };
   const std::string strategy_path = Opt(args, "strategy");
-  if (!strategy_path.empty()) {
+  const std::string store_root = Opt(args, "store");
+  if (!store_root.empty() && !strategy_path.empty()) {
+    std::fprintf(stderr,
+                 "--store and --strategy are mutually exclusive (the store "
+                 "keys strategies by workload signature itself)\n");
+    return kExitUsage;
+  }
+  if (!store_root.empty()) {
+    // Store-backed release: reuse the stored implicit strategy (designing
+    // and storing it on first use), charge the dataset's persistent budget
+    // ledger before any noise is drawn, and persist every released
+    // estimate for later `serve` processes.
+    const std::string spec = Opt(args, "workload", "allrange");
+    const std::string signature =
+        serve::CanonicalSignature(spec, data_vec.domain);
+    serve::StrategyStore sstore(store_root);
+    std::shared_ptr<const serialize::StrategyArtifact> artifact;
+    auto stored = sstore.Get(signature);
+    if (stored.ok()) {
+      artifact = std::move(stored).ValueOrDie();
+      char note[160];
+      std::snprintf(note, sizeof(note),
+                    ", stored strategy (design solver=%s gap=%.3e)",
+                    optimize::SolverMethodName(
+                        artifact->solver_report.method),
+                    artifact->duality_gap);
+      solver_note = note;
+      std::fprintf(stderr,
+                   "reusing stored strategy for %s (key %s) — no "
+                   "eigen-design run\n",
+                   signature.c_str(), serve::StoreKey(signature).c_str());
+    } else if (stored.status().code() == StatusCode::kNotFound) {
+      if (!w.ImplicitEigen().has_value()) {
+        std::fprintf(stderr,
+                     "workload '%s' exposes no Kronecker eigenstructure; "
+                     "--store needs the implicit pipeline\n",
+                     spec.c_str());
+        return kExitUsage;
+      }
+      auto design = optimize::EigenDesignKronForWorkload(w, design_options);
+      if (!design.ok()) {
+        std::fprintf(stderr, "%s\n", design.status().ToString().c_str());
+        return kExitUsage;
+      }
+      auto& d = design.ValueOrDie();
+      auto fresh = std::make_shared<serialize::StrategyArtifact>();
+      fresh->signature = signature;
+      fresh->domain_sizes = data_vec.domain.sizes();
+      fresh->strategy = std::move(d.strategy);
+      fresh->solver_report = d.solver_report;
+      fresh->duality_gap = d.duality_gap;
+      fresh->rank = d.rank;
+      Status st = sstore.Put(*fresh);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return kExitUsage;
+      }
+      char note[128];
+      std::snprintf(note, sizeof(note), ", solver=%s gap=%.3e iterations=%d",
+                    optimize::SolverMethodName(d.solver_report.method),
+                    d.duality_gap, d.solver_report.iterations);
+      solver_note = note;
+      std::fprintf(stderr,
+                   "designed and stored strategy for %s (key %s, rank %zu)\n",
+                   signature.c_str(), serve::StoreKey(signature).c_str(),
+                   d.rank);
+      artifact = std::move(fresh);
+    } else {
+      std::fprintf(stderr, "%s\n", stored.status().ToString().c_str());
+      return kExitUsage;
+    }
+
+    // Persistent accounting: the whole run's (eps, delta) is charged
+    // against the dataset's lifetime budget before any noise is drawn. The
+    // lifetime total is fixed by the first charge — explicitly via
+    // --total-epsilon/--total-delta, else that first run's budget. Later
+    // runs inherit the recorded total per component, so an unspecified
+    // component can never masquerade as a renegotiation attempt; an
+    // explicitly passed component must match the record (the ledger
+    // refuses renegotiation).
+    const std::string dataset = Opt(args, "dataset", Opt(args, "data"));
+    serve::BudgetLedger ledger(store_root);
+    PrivacyParams total = privacy;
+    {
+      auto existing = ledger.Read(dataset);
+      if (existing.ok()) total = existing.ValueOrDie().total;
+    }
+    if (!DoubleOpt(args, "total-epsilon", total.epsilon, &total.epsilon) ||
+        !DoubleOpt(args, "total-delta", total.delta, &total.delta)) {
+      return kExitUsage;
+    }
+    if (!std::isfinite(total.epsilon) || !std::isfinite(total.delta) ||
+        total.epsilon <= 0.0 || total.delta <= 0.0) {
+      std::fprintf(stderr,
+                   "--total-epsilon and --total-delta must be positive and "
+                   "finite\n");
+      return kExitUsage;
+    }
+    auto charged = ledger.Charge(dataset, total, privacy);
+    if (!charged.ok()) {
+      std::fprintf(stderr, "%s\n", charged.status().ToString().c_str());
+      return charged.status().code() == StatusCode::kResourceExhausted
+                 ? kExitBudget
+                 : kExitUsage;
+    }
+    const auto& entry = charged.ValueOrDie();
+    std::fprintf(stderr,
+                 "budget ledger '%s': spent (eps=%g, delta=%g) of lifetime "
+                 "(eps=%g, delta=%g) across %zu release runs\n",
+                 dataset.c_str(), entry.spent.epsilon, entry.spent.delta,
+                 entry.total.epsilon, entry.total.delta, entry.charges);
+
+    x_hats = release::ReleaseBatch(artifact->strategy, data_vec.counts,
+                                   budgets, &rng)
+                 .x_hats;
+
+    serve::ReleaseStore rstore(store_root);
+    for (std::size_t b = 0; b < x_hats.size(); ++b) {
+      serialize::ReleaseArtifact rel;
+      rel.signature = signature;
+      rel.domain_sizes = data_vec.domain.sizes();
+      rel.budget = budgets[b];
+      rel.dataset = dataset;
+      rel.seed = seed;
+      rel.batch_index = b;
+      rel.x_hat = x_hats[b];
+      auto id = rstore.Put(rel);
+      if (!id.ok()) {
+        std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+        return kExitUsage;
+      }
+      std::fprintf(stderr, "stored release %zu of %s\n", id.ValueOrDie(),
+                   signature.c_str());
+    }
+  } else if (!strategy_path.empty()) {
     auto loaded_strategy = strategy_io::LoadStrategy(strategy_path);
     if (!loaded_strategy.ok()) {
       std::fprintf(stderr, "%s\n",
@@ -529,9 +750,162 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
   return 0;
 }
 
+int CmdServe(const Args& args) {
+  const std::string store_root = Opt(args, "store");
+  if (store_root.empty()) {
+    std::fprintf(stderr, "serve requires --store <store dir>\n");
+    return kExitUsage;
+  }
+  auto domain = ParseDomain(Opt(args, "domain"));
+  if (!domain.ok()) {
+    std::fprintf(stderr, "%s\n", domain.status().ToString().c_str());
+    return kExitUsage;
+  }
+  const std::string spec = Opt(args, "workload", "allrange");
+  const std::string signature =
+      serve::CanonicalSignature(spec, domain.ValueOrDie());
+
+  serve::StrategyStore sstore(store_root);
+  auto strategy = sstore.Get(signature);
+  if (!strategy.ok()) {
+    std::fprintf(stderr, "%s\nrun `dpmm_cli design --save %s` first\n",
+                 strategy.status().ToString().c_str(), store_root.c_str());
+    return kExitUsage;
+  }
+
+  serve::ReleaseStore rstore(store_root);
+  unsigned long long release_id = 0;
+  const bool explicit_release = args.options.count("release") != 0;
+  if (!U64Opt(args, "release", 0, &release_id)) return kExitUsage;
+  if (!explicit_release) {
+    auto latest = rstore.LatestId(signature);
+    if (!latest.ok()) {
+      std::fprintf(stderr,
+                   "%s\nrun `dpmm_cli release --store %s` first\n",
+                   latest.status().ToString().c_str(), store_root.c_str());
+      return kExitUsage;
+    }
+    release_id = latest.ValueOrDie();
+  }
+  auto release =
+      rstore.Get(signature, static_cast<std::size_t>(release_id));
+  if (!release.ok()) {
+    std::fprintf(stderr, "%s\n", release.status().ToString().c_str());
+    return kExitUsage;
+  }
+
+  // Serving is pure post-processing, but an overdrawn ledger means the
+  // accounting behind this release is broken — refuse with the budget exit
+  // code rather than serve answers whose privacy story no longer holds.
+  serve::BudgetLedger ledger(store_root);
+  auto entry = ledger.Read(release.ValueOrDie()->dataset);
+  if (entry.ok()) {
+    if (entry.ValueOrDie().Overdrawn()) {
+      std::fprintf(stderr,
+                   "budget ledger for dataset '%s' is overdrawn "
+                   "(spent eps=%g delta=%g of eps=%g delta=%g); refusing to "
+                   "serve\n",
+                   entry.ValueOrDie().dataset.c_str(),
+                   entry.ValueOrDie().spent.epsilon,
+                   entry.ValueOrDie().spent.delta,
+                   entry.ValueOrDie().total.epsilon,
+                   entry.ValueOrDie().total.delta);
+      return kExitBudget;
+    }
+  } else if (entry.status().code() != StatusCode::kNotFound) {
+    std::fprintf(stderr, "%s\n", entry.status().ToString().c_str());
+    return kExitUsage;
+  } else {
+    std::fprintf(stderr,
+                 "warning: no ledger entry for dataset '%s' (release stored "
+                 "by an older flow, or ledger deleted)\n",
+                 release.ValueOrDie()->dataset.c_str());
+  }
+
+  auto engine =
+      serve::AnswerEngine::Create(strategy.ValueOrDie(),
+                                  release.ValueOrDie(), domain.ValueOrDie());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return kExitUsage;
+  }
+  const serve::AnswerEngine& eng = engine.ValueOrDie();
+  const auto& rel = eng.release_artifact();
+  std::fprintf(stderr,
+               "serving %s release %llu (dataset '%s', eps=%g, delta=%g, "
+               "seed=%llu, batch index %llu) over %zu cells\n",
+               signature.c_str(), release_id, rel.dataset.c_str(),
+               rel.budget.epsilon, rel.budget.delta,
+               static_cast<unsigned long long>(rel.seed),
+               static_cast<unsigned long long>(rel.batch_index),
+               eng.domain().NumCells());
+  std::fprintf(stderr,
+               "one predicate per line (e.g. \"A1 >= 3 AND A2 IN [0, 7]\", "
+               "\"*\" for the total; ';' separates a batch; \"quit\" "
+               "exits)\n");
+
+  std::string line;
+  std::size_t served = 0;
+  while (std::getline(std::cin, line)) {
+    const std::string text = util::TrimAscii(line);
+    if (text.empty() || text[0] == '#') continue;
+    if (text == "quit" || text == "exit") break;
+
+    // ';'-separated predicates answer as one batch through the block
+    // normal solve; a single predicate takes the scalar path. Either way
+    // each answer line is "value ± stddev" in input order.
+    std::vector<std::string> parts;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+      std::size_t next = text.find(';', pos);
+      if (next == std::string::npos) next = text.size();
+      const std::string part = util::TrimAscii(text.substr(pos, next - pos));
+      if (!part.empty()) parts.push_back(part);
+      pos = next + 1;
+    }
+    if (parts.empty()) continue;
+
+    if (parts.size() == 1) {
+      auto answer = eng.AnswerText(parts[0]);
+      if (!answer.ok()) {
+        std::printf("error: %s\n", answer.status().message().c_str());
+      } else {
+        std::printf("%.6f ± %.6f\n", answer.ValueOrDie().value,
+                    answer.ValueOrDie().stddev);
+        ++served;
+      }
+    } else {
+      std::vector<query::Predicate> batch;
+      bool parse_ok = true;
+      for (const auto& part : parts) {
+        auto parsed = query::ParsePredicate(part, eng.domain());
+        if (!parsed.ok()) {
+          std::printf("error: %s\n", parsed.status().message().c_str());
+          parse_ok = false;
+          break;
+        }
+        batch.push_back(std::move(parsed).ValueOrDie());
+      }
+      if (!parse_ok) continue;
+      const auto answers = eng.AnswerBatch(batch);
+      for (const auto& a : answers) {
+        std::printf("%.6f ± %.6f\n", a.value, a.stddev);
+      }
+      served += answers.size();
+    }
+    std::fflush(stdout);
+  }
+  std::fprintf(stderr,
+               "served %zu queries (root cache: %zu entries, %llu hits)\n",
+               served, eng.root_cache_size(),
+               static_cast<unsigned long long>(eng.root_cache_hits()));
+  return 0;
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: dpmm_cli <error|design|release|synth> [--domain 8,16,16]\n"
+               "usage: dpmm_cli <error|design|release|synth|serve> "
+               "[--domain 8,16,16]\n"
                "                [--workload allrange|cdf|marginals:K|"
                "rangemarginals:K]\n"
                "                [--data hist.csv] [--epsilon E] [--delta D]\n"
@@ -549,9 +923,24 @@ void Usage() {
                "                (0, 1); defaults to 1e-6 (ascent) or 1e-10\n"
                "                (fista/lbfgs); release output reports the\n"
                "                achieved gap and iteration count\n"
+               "store-and-serve (design once, serve many):\n"
+               "                [--save DIR]   design: persist the implicit\n"
+               "                strategy in the artifact store at DIR\n"
+               "                [--store DIR]  release: reuse the stored\n"
+               "                strategy (design on first use), charge the\n"
+               "                dataset's budget ledger, store the estimate;\n"
+               "                serve: answer predicate queries from the\n"
+               "                store, one per line, \"value ± stddev\" out\n"
+               "                [--dataset NAME]      ledger key (default:\n"
+               "                the --data path)\n"
+               "                [--total-epsilon E --total-delta D]  the\n"
+               "                dataset's lifetime budget, fixed at first\n"
+               "                release (default: this run's budget)\n"
+               "                [--release N]  serve: release id (default:\n"
+               "                latest)\n"
                "Unknown options, missing values, malformed numbers and\n"
                "out-of-range --solver/--gap-tol values are hard errors\n"
-               "(exit 2).\n");
+               "(exit 2). A release the budget ledger refuses exits 3.\n");
 }
 
 }  // namespace
@@ -563,9 +952,10 @@ int main(int argc, char** argv) {
     Usage();
     return 1;
   }
-  if (!ParseOptions(argc, argv, &args)) return 2;
+  if (!ParseOptions(argc, argv, &args)) return kExitUsage;
   if (args.command == "error") return CmdError(args);
   if (args.command == "design") return CmdDesign(args);
+  if (args.command == "serve") return CmdServe(args);
   if (args.command == "release") return CmdReleaseOrSynth(args, false);
   return CmdReleaseOrSynth(args, true);
 }

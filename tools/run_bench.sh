@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Builds and runs the micro/scaling/throughput/convergence benches, leaving
-# BENCH_kron_scaling.json, BENCH_release_throughput.json and
-# BENCH_solver_convergence.json in the repo root as the perf-trajectory
-# record for future PRs.
+# Builds and runs the micro/scaling/throughput/convergence/serving benches,
+# leaving BENCH_kron_scaling.json, BENCH_release_throughput.json,
+# BENCH_solver_convergence.json and BENCH_serve_throughput.json in the repo
+# root as the perf-trajectory record for future PRs.
 #
 # Usage: tools/run_bench.sh [--small] [--skip-scale]
 #   --small       reduced domain sizes (smoke run)
@@ -16,9 +16,10 @@ build_dir="${repo_root}/build"
 cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
 cmake --build "${build_dir}" -j --target \
   bench_kron_scaling bench_release_throughput bench_solver_convergence \
-  bench_micro_linalg bench_micro_solver 2>/dev/null \
+  bench_serve_throughput bench_micro_linalg bench_micro_solver 2>/dev/null \
   || cmake --build "${build_dir}" -j --target bench_kron_scaling \
-       bench_release_throughput bench_solver_convergence
+       bench_release_throughput bench_solver_convergence \
+       bench_serve_throughput
 
 echo "== bench_kron_scaling =="
 # Default --out first so a user-supplied --out= (last one parsed wins) can
@@ -33,6 +34,10 @@ echo "== bench_solver_convergence =="
 "${build_dir}/bench_solver_convergence" \
   --out="${repo_root}/BENCH_solver_convergence.json" "$@"
 
+echo "== bench_serve_throughput =="
+"${build_dir}/bench_serve_throughput" \
+  --out="${repo_root}/BENCH_serve_throughput.json" "$@"
+
 # The Google-Benchmark micro benches are optional (skipped when the library
 # is not installed); run them when present for a fuller picture.
 for b in bench_micro_linalg bench_micro_solver; do
@@ -45,3 +50,4 @@ done
 echo "perf record: ${repo_root}/BENCH_kron_scaling.json"
 echo "perf record: ${repo_root}/BENCH_release_throughput.json"
 echo "perf record: ${repo_root}/BENCH_solver_convergence.json"
+echo "perf record: ${repo_root}/BENCH_serve_throughput.json"

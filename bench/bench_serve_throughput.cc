@@ -44,6 +44,17 @@ struct ServeBenchResult {
   bool exact_match = false;
 };
 
+/// The dense-engine serve path (format v2): a forced-dense design stored
+/// and served through the same store/engine stack as the kron path.
+struct DenseServeResult {
+  std::size_t n = 0;
+  double design_seconds = 0;
+  double cold_load_seconds = 0;
+  double cold_qps = 0;  // distinct predicates, Gram-pinv root solves
+  double hit_qps = 0;   // same stream again, cache hits
+  bool exact_match = false;
+};
+
 std::vector<query::Predicate> RandomBoxes(const Domain& domain,
                                           std::size_t count, Rng* rng) {
   std::vector<query::Predicate> preds;
@@ -121,7 +132,7 @@ ServeBenchResult Run(std::size_t side, std::size_t num_queries) {
     serialize::StrategyArtifact sa;
     sa.signature = signature;
     sa.domain_sizes = domain.sizes();
-    sa.strategy = d.strategy;
+    sa.strategy = std::make_shared<KronStrategy>(d.strategy);
     sa.solver_report = d.solver_report;
     sa.duality_gap = d.duality_gap;
     sa.rank = d.rank;
@@ -235,7 +246,107 @@ ServeBenchResult Run(std::size_t side, std::size_t num_queries) {
   return res;
 }
 
-void WriteJson(const std::string& path, const ServeBenchResult& r) {
+DenseServeResult RunDense(std::size_t side, std::size_t num_queries) {
+  DenseServeResult res;
+  Domain domain({side, side});
+  AllRangeWorkload w(domain);
+  res.n = w.num_cells();
+  const PrivacyParams budget{0.5, 1e-4};
+  const std::string signature =
+      serve::CanonicalSignature("allrange-dense", domain);
+
+  std::string root = "/tmp/dpmm_serve_bench_dense_XXXXXX";
+  DPMM_CHECK_MSG(::mkdtemp(root.data()) != nullptr, "mkdtemp failed");
+
+  std::printf("\n[5] dense engine: 2D all-range %zu^2 (n = %zu), forced "
+              "--engine dense\n",
+              side, res.n);
+  optimize::DesignOptions options;
+  options.engine = optimize::EngineSelection::kDense;
+  options.solver.max_iterations = 600;
+  Stopwatch sw;
+  auto design = optimize::Design(w, options);
+  res.design_seconds = sw.Seconds();
+  DPMM_CHECK_MSG(design.ok(), "dense design failed");
+  auto& d = design.ValueOrDie();
+  DPMM_CHECK_MSG(d.engine == StrategyEngine::kDense, "engine not dense");
+
+  linalg::Vector x(res.n);
+  {
+    Rng data_rng(99);
+    for (auto& v : x) v = static_cast<double>(data_rng.UniformInt(100));
+  }
+  Rng rng(20260728);
+  auto batch = release::ReleaseBatch(*d.strategy, x, {budget}, &rng);
+  {
+    serialize::StrategyArtifact sa;
+    sa.signature = signature;
+    sa.domain_sizes = domain.sizes();
+    sa.strategy = d.strategy;
+    sa.solver_report = d.solver_report;
+    sa.duality_gap = d.duality_gap;
+    sa.rank = d.rank;
+    DPMM_CHECK_MSG(serve::StrategyStore(root).Put(sa).ok(),
+                   "dense strategy store put failed");
+    serialize::ReleaseArtifact ra;
+    ra.signature = signature;
+    ra.domain_sizes = domain.sizes();
+    ra.budget = budget;
+    ra.dataset = "bench-dense";
+    ra.seed = 20260728;
+    ra.batch_index = 0;
+    ra.x_hat = batch.x_hats[0];
+    DPMM_CHECK_MSG(serve::ReleaseStore(root).Put(ra).ok(),
+                   "dense release store put failed");
+  }
+
+  sw.Restart();
+  serve::StrategyStore sstore(root);
+  serve::ReleaseStore rstore(root);
+  serve::AnswerEngine engine = FreshEngine(&sstore, &rstore, signature, domain);
+  res.cold_load_seconds = sw.Seconds();
+  std::printf("  designed in %.3f s, cold-loaded dense artifact + engine in "
+              "%.4f s\n",
+              res.design_seconds, res.cold_load_seconds);
+
+  {
+    Rng check_rng(5);
+    const auto preds = RandomBoxes(domain, 8, &check_rng);
+    linalg::Matrix rows(preds.size(), domain.NumCells());
+    for (std::size_t q = 0; q < preds.size(); ++q) {
+      rows.SetRow(q, preds[q].ToRow(domain));
+    }
+    ExplicitWorkload reference(domain, rows, "bench-adhoc-dense");
+    const linalg::Vector values = reference.Answer(batch.x_hats[0]);
+    const linalg::Vector profile =
+        release::QueryErrorProfile(reference, *d.strategy, budget);
+    res.exact_match = true;
+    const auto answers = engine.AnswerBatch(preds);
+    for (std::size_t q = 0; q < preds.size(); ++q) {
+      if (std::memcmp(&answers[q].value, &values[q], sizeof(double)) != 0 ||
+          std::memcmp(&answers[q].stddev, &profile[q], sizeof(double)) != 0) {
+        res.exact_match = false;
+      }
+    }
+    std::printf("  exactness vs Workload::Answer + QueryErrorProfile: %s\n",
+                res.exact_match ? "bit-identical" : "MISMATCH");
+  }
+
+  Rng qrng(4242);
+  const auto preds = RandomBoxes(domain, num_queries, &qrng);
+  sw.Restart();
+  engine.AnswerBatch(preds);
+  res.cold_qps = static_cast<double>(preds.size()) / sw.Seconds();
+  sw.Restart();
+  engine.AnswerBatch(preds);
+  res.hit_qps = static_cast<double>(preds.size()) / sw.Seconds();
+  std::printf("  %9.1f q/s cold roots, %11.1f q/s cache hits\n", res.cold_qps,
+              res.hit_qps);
+  return res;
+}
+
+void WriteJson(const std::string& path, const ServeBenchResult& r,
+               const DenseServeResult& dense) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::printf("could not open %s for writing\n", path.c_str());
@@ -262,7 +373,17 @@ void WriteJson(const std::string& path, const ServeBenchResult& r) {
                  i + 1 < r.points.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"exact_match\": %s\n", r.exact_match ? "true" : "false");
+  std::fprintf(f, "  \"exact_match\": %s,\n", r.exact_match ? "true" : "false");
+  std::fprintf(f, "  \"dense\": {\n");
+  std::fprintf(f, "    \"n\": %zu,\n", dense.n);
+  std::fprintf(f, "    \"design_seconds\": %.6f,\n", dense.design_seconds);
+  std::fprintf(f, "    \"cold_load_seconds\": %.6f,\n",
+               dense.cold_load_seconds);
+  std::fprintf(f, "    \"cold_qps\": %.1f,\n", dense.cold_qps);
+  std::fprintf(f, "    \"hit_qps\": %.1f,\n", dense.hit_qps);
+  std::fprintf(f, "    \"exact_match\": %s\n",
+               dense.exact_match ? "true" : "false");
+  std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path.c_str());
@@ -280,6 +401,7 @@ int main(int argc, char** argv) {
     if (arg.rfind("--out=", 0) == 0) out = arg.substr(6);
   }
   const ServeBenchResult r = small ? Run(16, 64) : Run(32, 256);
-  WriteJson(out, r);
-  return r.exact_match && r.speedup >= 10.0 ? 0 : 1;
+  const DenseServeResult dense = small ? RunDense(8, 64) : RunDense(16, 256);
+  WriteJson(out, r, dense);
+  return r.exact_match && dense.exact_match && r.speedup >= 10.0 ? 0 : 1;
 }

@@ -4,17 +4,27 @@
 // selection algorithm, the competing strategies of the paper's evaluation,
 // and the supporting linear algebra.
 //
-// Quickstart:
+// Quickstart — the unified API. Design() picks the right strategy engine
+// for the workload (the implicit Kronecker pipeline when the workload has
+// Kronecker eigenstructure, the dense pipeline otherwise; overridable via
+// DesignOptions::engine), and Mechanism releases through whichever engine
+// the strategy uses:
 //
 //   using namespace dpmm;
 //   auto w = ExplicitWorkload::FromMatrix(builders::Fig1Matrix(), "Fig1");
-//   auto design = optimize::EigenDesignForWorkload(w).ValueOrDie();
-//   ErrorOptions opts;                       // eps = 0.5, delta = 1e-4
-//   double err = StrategyError(w, design.strategy, opts);
-//   auto mech = MatrixMechanism::Prepare(design.strategy, opts.privacy)
-//                   .ValueOrDie();
+//   auto design = optimize::Design(w).ValueOrDie();
+//   PrivacyParams budget;                        // eps = 0.5, delta = 1e-4
+//   auto mech = Mechanism::Prepare(design.strategy, budget).ValueOrDie();
 //   Rng rng(42);
-//   linalg::Vector answers = mech.Run(w, x, &rng);   // private answers
+//   linalg::Vector x_hat = mech.Release(x, &rng);    // private estimate
+//   linalg::Vector answers = w.Answer(x_hat);        // workload answers
+//   linalg::Vector sd = release::QueryErrorProfile(  // per-query stddev
+//       w, *design.strategy, budget);
+//
+// Any designed strategy — either engine — can be persisted and served:
+// serialize::StrategyArtifact + serve::StrategyStore store it,
+// release::ReleaseBatch releases against it, serve::AnswerEngine answers
+// ad-hoc predicate queries from a stored release (see README).
 #ifndef DPMM_DPMM_H_
 #define DPMM_DPMM_H_
 
@@ -58,6 +68,7 @@
 #include "strategy/hierarchical.h"
 #include "strategy/io.h"
 #include "strategy/kron_strategy.h"
+#include "strategy/linear_strategy.h"
 #include "strategy/strategy.h"
 #include "strategy/wavelet.h"
 #include "util/rng.h"

@@ -137,34 +137,84 @@ std::vector<Vector> KronMatrixMechanism::ReleaseBatch(const Workload& workload,
   return answers;
 }
 
-Result<DesignedMechanism> DesignMechanism(
-    const Workload& workload, PrivacyParams privacy,
-    const optimize::EigenDesignOptions& options, bool force_dense) {
-  DesignedMechanism out;
-  if (!force_dense) {
-    auto keig = workload.ImplicitEigen();
-    if (keig.has_value()) {
-      auto design = optimize::EigenDesignFromKronEigen(*keig, options);
-      if (!design.ok()) return design.status();
-      auto& d = design.ValueOrDie();
-      out.solver_report = std::move(d.solver_report);
-      out.duality_gap = d.duality_gap;
-      out.rank = d.rank;
-      auto mech = KronMatrixMechanism::Prepare(std::move(d.strategy), privacy);
-      if (!mech.ok()) return mech.status();
-      out.kron = std::move(mech).ValueOrDie();
-      return out;
-    }
+Result<Mechanism> Mechanism::Prepare(Strategy strategy, PrivacyParams privacy,
+                                     NoiseKind noise) {
+  auto mech = MatrixMechanism::Prepare(std::move(strategy), privacy, noise);
+  if (!mech.ok()) return mech.status();
+  Mechanism out;
+  out.dense_ = std::move(mech).ValueOrDie();
+  return out;
+}
+
+Result<Mechanism> Mechanism::Prepare(KronStrategy strategy,
+                                     PrivacyParams privacy, NoiseKind noise) {
+  auto mech = KronMatrixMechanism::Prepare(std::move(strategy), privacy, noise);
+  if (!mech.ok()) return mech.status();
+  Mechanism out;
+  out.kron_ = std::move(mech).ValueOrDie();
+  return out;
+}
+
+Result<Mechanism> Mechanism::Prepare(
+    std::shared_ptr<const LinearStrategy> strategy, PrivacyParams privacy,
+    NoiseKind noise) {
+  if (strategy == nullptr) {
+    return Status::InvalidArgument("Mechanism::Prepare: null strategy");
   }
-  auto design = optimize::EigenDesignForWorkload(workload, options);
+  if (const auto* kron = dynamic_cast<const KronStrategy*>(strategy.get())) {
+    return Prepare(*kron, privacy, noise);
+  }
+  if (const auto* dense = dynamic_cast<const Strategy*>(strategy.get())) {
+    return Prepare(*dense, privacy, noise);
+  }
+  return Status::InvalidArgument(
+      "Mechanism::Prepare: unknown strategy engine '" +
+      std::string(StrategyEngineName(strategy->engine())) + "'");
+}
+
+const LinearStrategy& Mechanism::strategy() const {
+  return kron_.has_value()
+             ? static_cast<const LinearStrategy&>(kron_->strategy())
+             : static_cast<const LinearStrategy&>(dense_->strategy());
+}
+
+double Mechanism::noise_scale() const {
+  return kron_.has_value() ? kron_->noise_scale() : dense_->noise_scale();
+}
+
+Vector Mechanism::Release(const Vector& x, Rng* rng) const {
+  return kron_.has_value() ? kron_->InferX(x, rng) : dense_->InferX(x, rng);
+}
+
+Vector Mechanism::Run(const Workload& workload, const Vector& x,
+                      Rng* rng) const {
+  return workload.Answer(Release(x, rng));
+}
+
+std::vector<Vector> Mechanism::ReleaseBatch(const Vector& x, std::size_t batch,
+                                            Rng* rng) const {
+  DPMM_CHECK_GT(batch, 0u);
+  if (kron_.has_value()) return kron_->InferXBatch(x, batch, rng);
+  // The dense engine draws release by release off the shared factorization
+  // — the same noise order as sequential Release calls by construction.
+  std::vector<Vector> out;
+  out.reserve(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    out.push_back(dense_->InferX(x, rng));
+  }
+  return out;
+}
+
+Result<Mechanism> DesignMechanism(const Workload& workload,
+                                  PrivacyParams privacy,
+                                  const optimize::DesignOptions& options) {
+  auto design = optimize::Design(workload, options);
   if (!design.ok()) return design.status();
   auto& d = design.ValueOrDie();
-  out.solver_report = std::move(d.solver_report);
-  out.duality_gap = d.duality_gap;
-  out.rank = d.rank;
-  auto mech = MatrixMechanism::Prepare(std::move(d.strategy), privacy);
+  auto mech = Mechanism::Prepare(d.strategy, privacy);
   if (!mech.ok()) return mech.status();
-  out.dense = std::move(mech).ValueOrDie();
+  Mechanism out = std::move(mech).ValueOrDie();
+  out.AttachCertificate(std::move(d.solver_report), d.duality_gap, d.rank);
   return out;
 }
 

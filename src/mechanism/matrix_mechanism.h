@@ -153,25 +153,87 @@ std::vector<linalg::Vector> KronInferXBatch(
     MatrixMechanism::NoiseKind noise,
     const std::vector<double>& noise_scales, Rng* rng);
 
-/// Strategy selection and mechanism preparation in one step, with the
-/// Program-1 solver's convergence diagnostics surfaced to the caller (the
-/// CLI prints the achieved duality gap and iteration count with every
-/// release). Workloads exposing Kronecker eigenstructure ride the implicit
-/// pipeline unless `force_dense`; everything else designs densely (with the
-/// Sec. 4.1 low-rank shortcut where it applies). Exactly one of `kron` /
-/// `dense` is set on success.
-struct DesignedMechanism {
-  std::optional<KronMatrixMechanism> kron;
-  std::optional<MatrixMechanism> dense;
-  optimize::SolverReport solver_report;
-  double duality_gap = 0;
-  std::size_t rank = 0;
+/// The unified mechanism: one prepared mechanism over any LinearStrategy,
+/// dispatching to the engine the strategy uses. The per-engine arithmetic
+/// is exactly MatrixMechanism / KronMatrixMechanism — fixed-seed releases
+/// through a Mechanism are byte-identical to the corresponding per-engine
+/// mechanism — so clients write engine-agnostic code without giving up the
+/// bitwise reproducibility contracts of either path.
+class Mechanism {
+ public:
+  using NoiseKind = MatrixMechanism::NoiseKind;
+
+  /// Prepares the engine behind the strategy's representation. The strategy
+  /// must be a Strategy (dense) or KronStrategy (implicit); anything else
+  /// is InvalidArgument.
+  static Result<Mechanism> Prepare(
+      std::shared_ptr<const LinearStrategy> strategy, PrivacyParams privacy,
+      NoiseKind noise = NoiseKind::kGaussian);
+  /// Value-type conveniences (copy the strategy into the mechanism).
+  static Result<Mechanism> Prepare(Strategy strategy, PrivacyParams privacy,
+                                   NoiseKind noise = NoiseKind::kGaussian);
+  static Result<Mechanism> Prepare(KronStrategy strategy,
+                                   PrivacyParams privacy,
+                                   NoiseKind noise = NoiseKind::kGaussian);
+
+  StrategyEngine engine() const {
+    return kron_.has_value() ? StrategyEngine::kKron : StrategyEngine::kDense;
+  }
+  const LinearStrategy& strategy() const;
+  double noise_scale() const;
+
+  /// One private release: the least-squares estimate x_hat of the data
+  /// vector (all workload answers derive from it by post-processing).
+  linalg::Vector Release(const linalg::Vector& x, Rng* rng) const;
+
+  /// One private release of the workload answers W x_hat.
+  linalg::Vector Run(const Workload& workload, const linalg::Vector& x,
+                     Rng* rng) const;
+
+  /// `batch` private releases of this mechanism's budget each. The kron
+  /// engine shares the strategy answers and the block normal solve across
+  /// the batch (bit-identical to sequential releases, at a fraction of the
+  /// wall-clock); the dense engine reuses the one factorization. Entry b
+  /// is byte-identical to the b-th of `batch` sequential Release calls on
+  /// either engine.
+  std::vector<linalg::Vector> ReleaseBatch(const linalg::Vector& x,
+                                           std::size_t batch, Rng* rng) const;
+
+  /// The Program-1 certificate of the design that produced this mechanism
+  /// (attached by DesignMechanism; default-empty for mechanisms prepared
+  /// from a bare strategy — no solve happened).
+  const optimize::SolverReport& solver_report() const {
+    return solver_report_;
+  }
+  double duality_gap() const { return duality_gap_; }
+  std::size_t rank() const { return rank_; }
+  void AttachCertificate(optimize::SolverReport report, double duality_gap,
+                         std::size_t rank) {
+    solver_report_ = std::move(report);
+    duality_gap_ = duality_gap;
+    rank_ = rank;
+  }
+
+ private:
+  Mechanism() = default;
+
+  // Exactly one engine is set; the mechanism owns its strategy copy through
+  // the engine (MatrixMechanism / KronMatrixMechanism hold it by value).
+  std::optional<MatrixMechanism> dense_;
+  std::optional<KronMatrixMechanism> kron_;
+  optimize::SolverReport solver_report_;
+  double duality_gap_ = 0;
+  std::size_t rank_ = 0;
 };
 
-Result<DesignedMechanism> DesignMechanism(
-    const Workload& workload, PrivacyParams privacy,
-    const optimize::EigenDesignOptions& options = {},
-    bool force_dense = false);
+/// Strategy selection and mechanism preparation in one step: Design() with
+/// the options' engine selection (kAuto = the ROADMAP decision rule), then
+/// Mechanism::Prepare, with the Program-1 convergence certificate attached
+/// (the CLI prints the achieved duality gap and iteration count with every
+/// release).
+Result<Mechanism> DesignMechanism(const Workload& workload,
+                                  PrivacyParams privacy,
+                                  const optimize::DesignOptions& options = {});
 
 /// Options for Monte-Carlo relative-error evaluation (Sec. 3.4 / Fig. 3b,d).
 struct RelativeErrorOptions {

@@ -329,5 +329,71 @@ Result<EigenDesignResult> EigenDesignForWorkload(
   return EigenDesign(workload.Gram(), options);
 }
 
+std::optional<EngineSelection> ParseEngineSelection(const std::string& name) {
+  if (name == "auto") return EngineSelection::kAuto;
+  if (name == "dense") return EngineSelection::kDense;
+  if (name == "kron") return EngineSelection::kKron;
+  return std::nullopt;
+}
+
+const char* EngineSelectionName(EngineSelection selection) {
+  switch (selection) {
+    case EngineSelection::kAuto:
+      return "auto";
+    case EngineSelection::kDense:
+      return "dense";
+    case EngineSelection::kKron:
+      return "kron";
+  }
+  return "auto";
+}
+
+Result<DesignResult> Design(const Workload& workload,
+                            const DesignOptions& options) {
+  DesignResult out;
+  // Compute the (uncached, O(sum d_i^3)) factored eigendecomposition once
+  // and feed it straight into the kron design — probing has_value() and
+  // then letting EigenDesignKronForWorkload re-derive it would double the
+  // design cost on exactly the large-domain path the engine exists for.
+  std::optional<linalg::KronEigenResult> keig;
+  if (options.engine != EngineSelection::kDense) {
+    keig = workload.ImplicitEigen();
+  }
+  if (options.engine == EngineSelection::kKron && !keig.has_value()) {
+    // Delegate so the nullopt disambiguation ("no structure" vs a failed
+    // factor eigensolve) lives in exactly one place; ImplicitEigen() is
+    // deterministic, so the re-probe fails too and only this error path
+    // pays it.
+    auto design = EigenDesignKronForWorkload(workload, options);
+    DPMM_CHECK_MSG(!design.ok(),
+                   "ImplicitEigen() nullopt but the kron design succeeded");
+    return design.status();
+  }
+  if (keig.has_value()) {
+    auto design = EigenDesignFromKronEigen(*keig, options);
+    if (!design.ok()) return design.status();
+    auto& d = design.ValueOrDie();
+    out.strategy = std::make_shared<KronStrategy>(std::move(d.strategy));
+    out.engine = StrategyEngine::kKron;
+    out.predicted_objective = d.predicted_objective;
+    out.duality_gap = d.duality_gap;
+    out.solver_iterations = d.solver_iterations;
+    out.rank = d.rank;
+    out.solver_report = std::move(d.solver_report);
+    return out;
+  }
+  auto design = EigenDesignForWorkload(workload, options);
+  if (!design.ok()) return design.status();
+  auto& d = design.ValueOrDie();
+  out.strategy = std::make_shared<Strategy>(std::move(d.strategy));
+  out.engine = StrategyEngine::kDense;
+  out.predicted_objective = d.predicted_objective;
+  out.duality_gap = d.duality_gap;
+  out.solver_iterations = d.solver_iterations;
+  out.rank = d.rank;
+  out.solver_report = std::move(d.solver_report);
+  return out;
+}
+
 }  // namespace optimize
 }  // namespace dpmm

@@ -11,10 +11,15 @@
 #ifndef DPMM_OPTIMIZE_EIGEN_DESIGN_H_
 #define DPMM_OPTIMIZE_EIGEN_DESIGN_H_
 
+#include <memory>
+#include <optional>
+#include <string>
+
 #include "linalg/eigen_sym.h"
 #include "linalg/kron_operator.h"
 #include "optimize/dual_solver.h"
 #include "strategy/kron_strategy.h"
+#include "strategy/linear_strategy.h"
 #include "strategy/strategy.h"
 #include "util/status.h"
 #include "workload/workload.h"
@@ -102,6 +107,56 @@ Result<KronEigenDesignResult> EigenDesignKron(
 /// (use EigenDesignForWorkload for the dense path in that case).
 Result<KronEigenDesignResult> EigenDesignKronForWorkload(
     const Workload& workload, const EigenDesignOptions& options = {});
+
+// ---- The unified entry point. Design() runs Program 2 for any workload and
+// returns the strategy behind the engine-agnostic LinearStrategy interface;
+// EigenDesignForWorkload / EigenDesignKronForWorkload remain as the
+// per-engine layers underneath it (Design adds only the engine decision and
+// the polymorphic wrapping — the arithmetic per engine is identical).
+
+/// Which engine Design() selects. kAuto encodes the ROADMAP decision rule:
+/// implicit (Kronecker) whenever the workload exposes Kronecker
+/// eigenstructure — it is strictly faster from n ~ 500 up and the only
+/// option past n ~ 2^14 — dense fallback for unstructured/explicit
+/// workloads (which keep the Sec. 4.1 low-rank m << n shortcut).
+enum class EngineSelection {
+  kAuto,
+  kDense,  // force the dense pipeline
+  kKron,   // require the implicit pipeline (error when unavailable)
+};
+
+/// "auto" | "dense" | "kron" (the CLI's --engine vocabulary); nullopt for
+/// anything else — callers decide whether that is a hard error.
+std::optional<EngineSelection> ParseEngineSelection(const std::string& name);
+const char* EngineSelectionName(EngineSelection selection);
+
+struct DesignOptions : EigenDesignOptions {
+  EngineSelection engine = EngineSelection::kAuto;
+};
+
+/// The engine-agnostic design result: the common subset of
+/// EigenDesignResult / KronEigenDesignResult, with the strategy behind the
+/// interface. `strategy` is shared (immutable) so a StrategyArtifact and
+/// concurrent serving readers can hold it without copies (Mechanism's
+/// per-engine preparation still copies it into the mechanism it builds).
+struct DesignResult {
+  std::shared_ptr<const LinearStrategy> strategy;
+  StrategyEngine engine = StrategyEngine::kDense;
+  /// Predicted trace term sum c_i/u_i at sensitivity 1 (before completion).
+  double predicted_objective = 0;
+  double duality_gap = 0;
+  int solver_iterations = 0;
+  std::size_t rank = 0;
+  SolverReport solver_report;
+};
+
+/// Runs Program 2 for the workload through the engine the options select
+/// (kAuto applies the decision rule above). EngineSelection::kKron on a
+/// workload without Kronecker eigenstructure is InvalidArgument. The
+/// per-engine results are bit-identical to calling the corresponding
+/// EigenDesign*ForWorkload directly.
+Result<DesignResult> Design(const Workload& workload,
+                            const DesignOptions& options = {});
 
 /// Steps 4-5 completion scales from the squared column norms of the
 /// weighted design: entry j is sqrt(max(col2) - col2[j]) where the deficit

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "linalg/blas.h"
-#include "linalg/svd.h"
 #include "mechanism/matrix_mechanism.h"
 
 namespace dpmm {
@@ -61,29 +61,14 @@ std::vector<PrivacyParams> SplitBudget(const PrivacyParams& total,
 }
 
 linalg::Vector QueryErrorProfile(const ExplicitWorkload& workload,
-                                 const Strategy& strategy,
+                                 const LinearStrategy& strategy,
                                  const PrivacyParams& privacy) {
   const linalg::Matrix& w = *workload.matrix();
   DPMM_CHECK_EQ(w.cols(), strategy.num_cells());
   const double sigma = GaussianNoiseScale(privacy, strategy.L2Sensitivity());
-  // Var(q) = sigma^2 * w_q (A^T A)^+ w_q^T. Computed through the
-  // pseudo-inverse so rank-deficient strategies are handled uniformly.
-  linalg::Matrix gram_pinv = linalg::PseudoInverse(strategy.Gram());
-  linalg::Vector out(w.rows());
-  for (std::size_t q = 0; q < w.rows(); ++q) {
-    const linalg::Vector wq = w.Row(q);
-    const linalg::Vector gw = linalg::MatVec(gram_pinv, wq);
-    out[q] = sigma * std::sqrt(std::max(0.0, linalg::Dot(wq, gw)));
-  }
-  return out;
-}
-
-linalg::Vector QueryErrorProfile(const ExplicitWorkload& workload,
-                                 const KronStrategy& strategy,
-                                 const PrivacyParams& privacy) {
-  const linalg::Matrix& w = *workload.matrix();
-  DPMM_CHECK_EQ(w.cols(), strategy.num_cells());
-  const double sigma = GaussianNoiseScale(privacy, strategy.L2Sensitivity());
+  // Var(q) = sigma^2 * w_q (A^T A)^+ w_q^T, solved through the strategy's
+  // engine so rank-deficient strategies are handled uniformly (minimum-norm
+  // semantics on both engines).
   linalg::Vector out(w.rows());
   for (std::size_t q = 0; q < w.rows(); ++q) {
     const linalg::Vector wq = w.Row(q);
@@ -93,7 +78,47 @@ linalg::Vector QueryErrorProfile(const ExplicitWorkload& workload,
   return out;
 }
 
-BatchReleaseResult ReleaseBatch(const KronStrategy& strategy,
+namespace {
+
+/// The dense half of ReleaseBatch: sequential draws off one factorization,
+/// re-budgeted per release via WithPrivacy (no refactorization). Noise
+/// order matches b sequential MatrixMechanism releases by construction.
+/// WithPrivacy copies the whole prepared mechanism (matrix + factor), so
+/// re-budgeted variants are cached per distinct budget — an even split
+/// (the common case) never copies, an uneven one copies once per distinct
+/// budget instead of once per release.
+std::vector<linalg::Vector> DenseReleaseBatch(
+    const Strategy& strategy, const linalg::Vector& data,
+    const std::vector<PrivacyParams>& budgets, Rng* rng) {
+  const MatrixMechanism base =
+      MatrixMechanism::Prepare(strategy, budgets[0]).ValueOrDie();
+  std::vector<std::pair<PrivacyParams, MatrixMechanism>> variants;
+  auto mechanism_for = [&](const PrivacyParams& budget)
+      -> const MatrixMechanism& {
+    if (budget.epsilon == budgets[0].epsilon &&
+        budget.delta == budgets[0].delta) {
+      return base;
+    }
+    for (const auto& [cached_budget, mech] : variants) {
+      if (budget.epsilon == cached_budget.epsilon &&
+          budget.delta == cached_budget.delta) {
+        return mech;
+      }
+    }
+    variants.emplace_back(budget, base.WithPrivacy(budget));
+    return variants.back().second;
+  };
+  std::vector<linalg::Vector> x_hats;
+  x_hats.reserve(budgets.size());
+  for (const PrivacyParams& budget : budgets) {
+    x_hats.push_back(mechanism_for(budget).InferX(data, rng));
+  }
+  return x_hats;
+}
+
+}  // namespace
+
+BatchReleaseResult ReleaseBatch(const LinearStrategy& strategy,
                                 const linalg::Vector& data,
                                 const std::vector<PrivacyParams>& budgets,
                                 Rng* rng,
@@ -103,7 +128,7 @@ BatchReleaseResult ReleaseBatch(const KronStrategy& strategy,
   DPMM_CHECK_EQ(data.size(), strategy.num_cells());
   const double sensitivity = strategy.L2Sensitivity();
 
-  // Per-release noise scales from the budget split; the assembly itself
+  // Per-release noise scales from the budget split; the implicit assembly
   // (shared A x, release-major noise order, packed block solve) lives in
   // KronInferXBatch so it cannot drift from the mechanism layer's.
   std::vector<double> sigmas(batch);
@@ -111,9 +136,17 @@ BatchReleaseResult ReleaseBatch(const KronStrategy& strategy,
     sigmas[b] = GaussianNoiseScale(budgets[b], sensitivity);
   }
   BatchReleaseResult out;
-  out.x_hats = KronInferXBatch(strategy, data,
-                               MatrixMechanism::NoiseKind::kGaussian, sigmas,
-                               rng);
+  if (const auto* kron = dynamic_cast<const KronStrategy*>(&strategy)) {
+    out.x_hats = KronInferXBatch(*kron, data,
+                                 MatrixMechanism::NoiseKind::kGaussian, sigmas,
+                                 rng);
+  } else {
+    const auto* dense = dynamic_cast<const Strategy*>(&strategy);
+    DPMM_CHECK_MSG(dense != nullptr,
+                   "ReleaseBatch: unknown strategy engine (expected Strategy "
+                   "or KronStrategy)");
+    out.x_hats = DenseReleaseBatch(*dense, data, budgets, rng);
+  }
 
   if (workload != nullptr) {
     const linalg::Matrix& w = *workload->matrix();

@@ -40,21 +40,17 @@ std::vector<PrivacyParams> SplitBudget(const PrivacyParams& total,
                                        const std::vector<double>& weights);
 
 /// Standard deviation of each query of an explicit workload under the
-/// matrix mechanism with the given strategy:
-/// sd_q = sigma * || w_q A^+ ||_2 (Def. 5 / Prop. 4 per-query error).
+/// matrix mechanism with the given strategy (any engine):
+/// sd_q = sigma * sqrt(w_q (A^T A)^+ w_q^T) (Def. 5 / Prop. 4 per-query
+/// error), one normal-equation solve per query through the strategy's
+/// engine — the dense path solves against the cached Gram pseudo-inverse,
+/// the implicit path never forms an n x n pseudo-inverse at all.
 linalg::Vector QueryErrorProfile(const ExplicitWorkload& workload,
-                                 const Strategy& strategy,
+                                 const LinearStrategy& strategy,
                                  const PrivacyParams& privacy);
 
-/// Per-query error profile against an implicit Kronecker strategy:
-/// sd_q = sigma * sqrt(w_q (A^T A)^+ w_q^T), one implicit normal-equation
-/// solve per query — no n x n pseudo-inverse is ever formed.
-linalg::Vector QueryErrorProfile(const ExplicitWorkload& workload,
-                                 const KronStrategy& strategy,
-                                 const PrivacyParams& privacy);
-
-/// A batch of Gaussian-mechanism releases over one implicit strategy, with
-/// one privacy budget per release (e.g. from SplitBudget).
+/// A batch of Gaussian-mechanism releases over one strategy, with one
+/// privacy budget per release (e.g. from SplitBudget).
 struct BatchReleaseResult {
   /// Least-squares estimate of the data vector, one per release.
   std::vector<linalg::Vector> x_hats;
@@ -62,17 +58,19 @@ struct BatchReleaseResult {
   std::vector<linalg::Vector> error_profiles;
 };
 
-/// Runs budgets.size() private releases in one pass. The work every release
-/// shares is paid once: the noiseless strategy answers A x, the eigenbasis
-/// passes and preconditioner of the block normal solve, and — when
-/// `workload` is non-null — the budget-independent per-query roots
-/// sqrt(w_q (A^T A)^+ w_q^T) behind the error profiles, which each release
-/// then only rescales by its own noise level. Noise is drawn release by
-/// release in sequential order, so with the same starting rng state
-/// x_hats[b] is bit-identical to preparing a KronMatrixMechanism with
-/// budgets[b] and calling InferX, and error_profiles[b] to
-/// QueryErrorProfile(workload, strategy, budgets[b]).
-BatchReleaseResult ReleaseBatch(const KronStrategy& strategy,
+/// Runs budgets.size() private releases in one pass, through the strategy's
+/// engine. The work every release shares is paid once: for the implicit
+/// engine the noiseless strategy answers A x, the eigenbasis passes and the
+/// preconditioner of the block normal solve; for the dense engine the one
+/// factorization (releases draw off it sequentially, re-budgeted per
+/// release without refactorizing); for both — when `workload` is non-null —
+/// the budget-independent per-query roots sqrt(w_q (A^T A)^+ w_q^T) behind
+/// the error profiles, which each release then only rescales by its own
+/// noise level. Noise is drawn release by release in sequential order, so
+/// with the same starting rng state x_hats[b] is bit-identical to preparing
+/// the engine's mechanism with budgets[b] and releasing once, and
+/// error_profiles[b] to QueryErrorProfile(workload, strategy, budgets[b]).
+BatchReleaseResult ReleaseBatch(const LinearStrategy& strategy,
                                 const linalg::Vector& data,
                                 const std::vector<PrivacyParams>& budgets,
                                 Rng* rng,

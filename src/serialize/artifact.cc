@@ -15,6 +15,11 @@ constexpr std::uint32_t kKindStrategy = 1;
 constexpr std::uint32_t kKindRelease = 2;
 constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8 + 8;
 
+// The engine tag of the v2 strategy payload. Stable on-disk values —
+// independent of the in-memory StrategyEngine enum order.
+constexpr std::uint32_t kEngineKron = 1;
+constexpr std::uint32_t kEngineDense = 2;
+
 // ---- Primitive little-endian encoding. Explicit byte shifts (not memcpy
 // of the in-memory representation) keep the format identical across hosts.
 
@@ -128,10 +133,11 @@ Status Truncated(const char* what) {
   return Status::IoError(std::string("truncated artifact: ") + what);
 }
 
-std::string Container(std::uint32_t kind, const std::string& payload) {
+std::string Container(std::uint32_t version, std::uint32_t kind,
+                      const std::string& payload) {
   Writer w;
   w.out.append(kMagic, sizeof(kMagic));
-  w.U32(kArtifactVersion);
+  w.U32(version);
   w.U32(kind);
   w.U64(payload.size());
   w.U64(Fnv1a64(payload.data(), payload.size()));
@@ -139,23 +145,27 @@ std::string Container(std::uint32_t kind, const std::string& payload) {
   return w.out;
 }
 
-/// Validates the container and returns a Reader over the payload.
+/// Validates the container and returns a Reader over the payload; the
+/// format version (needed to pick the payload layout) comes back through
+/// `version`. Both known versions are accepted — v1 is the kron-only
+/// layout, v2 added the engine tag.
 Result<Reader> OpenContainer(const std::string& bytes,
-                             std::uint32_t expected_kind) {
+                             std::uint32_t expected_kind,
+                             std::uint32_t* version) {
   if (bytes.size() < kHeaderSize ||
       std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::IoError("not a dpmm artifact (bad magic)");
   }
   Reader header(bytes.data() + sizeof(kMagic), bytes.size() - sizeof(kMagic));
-  std::uint32_t version = 0, kind = 0;
+  std::uint32_t kind = 0;
   std::uint64_t payload_size = 0, checksum = 0;
-  header.U32(&version);
+  header.U32(version);
   header.U32(&kind);
   header.U64(&payload_size);
   header.U64(&checksum);
-  if (version != kArtifactVersion) {
+  if (*version != 1 && *version != kArtifactVersion) {
     return Status::IoError("unsupported artifact version " +
-                           std::to_string(version) + " (expected " +
+                           std::to_string(*version) + " (expected <= " +
                            std::to_string(kArtifactVersion) + ")");
   }
   if (kind != expected_kind) {
@@ -241,81 +251,50 @@ Status WriteWholeFile(const std::string& path, const std::string& bytes) {
   return Status::OK();
 }
 
-}  // namespace
-
-std::uint64_t Fnv1a64(const void* data, std::size_t size) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (std::size_t i = 0; i < size; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
-
-std::uint64_t Fnv1a64(const std::string& s) {
-  return Fnv1a64(s.data(), s.size());
-}
-
-std::string EncodeStrategyArtifact(const StrategyArtifact& artifact) {
-  Writer w;
-  w.Str(artifact.signature);
-  w.Sizes(artifact.domain_sizes);
-  const KronStrategy& s = artifact.strategy;
-  w.Str(s.name());
+/// The kron engine block: name, basis factors, kept columns, weights,
+/// completion rows — the exact v1 field order, so the v1 decode path and
+/// the v2 kron branch share this code.
+void WriteKronBlock(Writer* w, const KronStrategy& s) {
+  w->Str(s.name());
   const auto& factors = s.basis().factors();
-  w.U64(factors.size());
+  w->U64(factors.size());
   for (const auto& f : factors) {
-    w.U64(f.rows());
-    w.U64(f.cols());
+    w->U64(f.rows());
+    w->U64(f.cols());
     for (std::size_t i = 0; i < f.rows(); ++i) {
-      for (std::size_t j = 0; j < f.cols(); ++j) w.F64(f(i, j));
+      for (std::size_t j = 0; j < f.cols(); ++j) w->F64(f(i, j));
     }
   }
-  w.Sizes(s.kept());
-  w.Vec(s.weights());
-  w.Vec(s.completion());
-  WriteSolverReport(&w, artifact.solver_report);
-  w.F64(artifact.duality_gap);
-  w.U64(artifact.rank);
-  return Container(kKindStrategy, w.out);
+  w->Sizes(s.kept());
+  w->Vec(s.weights());
+  w->Vec(s.completion());
 }
 
-Result<StrategyArtifact> DecodeStrategyArtifact(const std::string& bytes) {
-  auto opened = OpenContainer(bytes, kKindStrategy);
-  if (!opened.ok()) return opened.status();
-  Reader r = std::move(opened).ValueOrDie();
-
-  StrategyArtifact out;
-  if (!r.Str(&out.signature)) return Truncated("signature");
-  if (!r.Sizes(&out.domain_sizes)) return Truncated("domain sizes");
-  std::size_t cells = 0;
-  Status st = CheckedCells(out.domain_sizes, &cells);
-  if (!st.ok()) return st;
-
+Status ReadKronBlock(Reader* r, std::size_t cells, std::size_t num_attributes,
+                     std::shared_ptr<const LinearStrategy>* out) {
   std::string name;
-  if (!r.Str(&name)) return Truncated("strategy name");
+  if (!r->Str(&name)) return Truncated("strategy name");
   std::uint64_t num_factors = 0;
-  if (!r.U64(&num_factors)) return Truncated("factor count");
-  if (num_factors == 0 || num_factors > out.domain_sizes.size() * 4 + 4) {
+  if (!r->U64(&num_factors)) return Truncated("factor count");
+  if (num_factors == 0 || num_factors > num_attributes * 4 + 4) {
     return Status::IoError("artifact factor count implausible");
   }
   std::vector<linalg::Matrix> factors;
   std::size_t basis_dim = 1;
   for (std::uint64_t t = 0; t < num_factors; ++t) {
     std::uint64_t rows = 0, cols = 0;
-    if (!r.U64(&rows) || !r.U64(&cols)) return Truncated("factor header");
+    if (!r->U64(&rows) || !r->U64(&cols)) return Truncated("factor header");
     // A factor is one attribute's d_i x d_i eigenvector block: square, and
     // never larger than the entries actually present in the payload.
     if (rows == 0 || rows != cols || rows > (std::uint64_t{1} << 20) ||
-        rows * cols > r.remaining() / 8) {
+        rows * cols > r->remaining() / 8) {
       return Status::IoError("artifact factor dimensions corrupt");
     }
     linalg::Matrix f(static_cast<std::size_t>(rows),
                      static_cast<std::size_t>(cols));
     for (std::size_t i = 0; i < f.rows(); ++i) {
       for (std::size_t j = 0; j < f.cols(); ++j) {
-        if (!r.F64(&f(i, j))) return Truncated("factor entries");
+        if (!r->F64(&f(i, j))) return Truncated("factor entries");
         if (!std::isfinite(f(i, j))) {
           return Status::IoError("artifact factor entry not finite");
         }
@@ -330,9 +309,9 @@ Result<StrategyArtifact> DecodeStrategyArtifact(const std::string& bytes) {
 
   std::vector<std::size_t> kept;
   linalg::Vector weights, completion;
-  if (!r.Sizes(&kept)) return Truncated("kept columns");
-  if (!r.Vec(&weights)) return Truncated("weights");
-  if (!r.Vec(&completion)) return Truncated("completion rows");
+  if (!r->Sizes(&kept)) return Truncated("kept columns");
+  if (!r->Vec(&weights)) return Truncated("weights");
+  if (!r->Vec(&completion)) return Truncated("completion rows");
   // The KronStrategy constructor enforces these with aborting CHECKs;
   // re-validate here so corrupt files fail with a recoverable Status.
   if (kept.empty() || kept.size() != weights.size()) {
@@ -355,6 +334,122 @@ Result<StrategyArtifact> DecodeStrategyArtifact(const std::string& bytes) {
     }
   }
 
+  *out = std::make_shared<KronStrategy>(
+      linalg::KronEigenBasis(std::move(factors)), std::move(kept),
+      std::move(weights), std::move(completion), std::move(name));
+  return Status::OK();
+}
+
+/// The dense engine block: name, then the explicit p x n matrix row-major.
+void WriteDenseBlock(Writer* w, const Strategy& s) {
+  w->Str(s.name());
+  const linalg::Matrix& a = s.matrix();
+  w->U64(a.rows());
+  w->U64(a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) w->F64(a(i, j));
+  }
+}
+
+Status ReadDenseBlock(Reader* r, std::size_t cells,
+                      std::shared_ptr<const LinearStrategy>* out) {
+  std::string name;
+  if (!r->Str(&name)) return Truncated("strategy name");
+  std::uint64_t rows = 0, cols = 0;
+  if (!r->U64(&rows) || !r->U64(&cols)) return Truncated("matrix header");
+  // Column count is pinned by the domain; the row count only has to be
+  // backed by actual payload bytes (a length bomb fails here, before any
+  // allocation). Divide instead of multiplying: rows * cols can wrap in
+  // u64, which would slip a crafted huge row count past the bound and into
+  // an undersized allocation.
+  if (rows == 0 || cols != cells || rows > (r->remaining() / 8) / cols) {
+    return Status::IoError("artifact matrix dimensions corrupt");
+  }
+  linalg::Matrix a(static_cast<std::size_t>(rows),
+                   static_cast<std::size_t>(cols));
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (!r->F64(&a(i, j))) return Truncated("matrix entries");
+      if (!std::isfinite(a(i, j))) {
+        return Status::IoError("artifact matrix entry not finite");
+      }
+    }
+  }
+  *out = std::make_shared<Strategy>(std::move(a), std::move(name));
+  return Status::OK();
+}
+
+}  // namespace
+
+std::uint64_t Fnv1a64(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t Fnv1a64(const std::string& s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+bool LooksLikeArtifact(const std::string& bytes) {
+  return bytes.size() >= sizeof(kMagic) &&
+         std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0;
+}
+
+std::string EncodeStrategyArtifact(const StrategyArtifact& artifact) {
+  DPMM_CHECK_MSG(artifact.strategy != nullptr,
+                 "cannot encode a strategy artifact without a strategy");
+  Writer w;
+  w.Str(artifact.signature);
+  w.Sizes(artifact.domain_sizes);
+  if (const auto* kron =
+          dynamic_cast<const KronStrategy*>(artifact.strategy.get())) {
+    w.U32(kEngineKron);
+    WriteKronBlock(&w, *kron);
+  } else if (const auto* dense =
+                 dynamic_cast<const Strategy*>(artifact.strategy.get())) {
+    w.U32(kEngineDense);
+    WriteDenseBlock(&w, *dense);
+  } else {
+    DPMM_CHECK_MSG(false, "unknown strategy engine in artifact");
+  }
+  WriteSolverReport(&w, artifact.solver_report);
+  w.F64(artifact.duality_gap);
+  w.U64(artifact.rank);
+  return Container(kArtifactVersion, kKindStrategy, w.out);
+}
+
+Result<StrategyArtifact> DecodeStrategyArtifact(const std::string& bytes) {
+  std::uint32_t version = 0;
+  auto opened = OpenContainer(bytes, kKindStrategy, &version);
+  if (!opened.ok()) return opened.status();
+  Reader r = std::move(opened).ValueOrDie();
+
+  StrategyArtifact out;
+  if (!r.Str(&out.signature)) return Truncated("signature");
+  if (!r.Sizes(&out.domain_sizes)) return Truncated("domain sizes");
+  std::size_t cells = 0;
+  Status st = CheckedCells(out.domain_sizes, &cells);
+  if (!st.ok()) return st;
+
+  // v1 predates the engine tag: its payload is always the kron block.
+  std::uint32_t engine = kEngineKron;
+  if (version >= 2) {
+    if (!r.U32(&engine)) return Truncated("engine tag");
+  }
+  if (engine == kEngineKron) {
+    st = ReadKronBlock(&r, cells, out.domain_sizes.size(), &out.strategy);
+  } else if (engine == kEngineDense) {
+    st = ReadDenseBlock(&r, cells, &out.strategy);
+  } else {
+    st = Status::IoError("artifact strategy engine out of range");
+  }
+  if (!st.ok()) return st;
+
   st = ReadSolverReport(&r, &out.solver_report);
   if (!st.ok()) return st;
   std::uint64_t rank = 0;
@@ -365,12 +460,26 @@ Result<StrategyArtifact> DecodeStrategyArtifact(const std::string& bytes) {
   if (r.remaining() != 0) {
     return Status::IoError("corrupt artifact: unread payload bytes");
   }
-
-  out.strategy =
-      KronStrategy(linalg::KronEigenBasis(std::move(factors)), std::move(kept),
-                   std::move(weights), std::move(completion), std::move(name));
   return out;
 }
+
+namespace internal {
+
+std::string EncodeStrategyArtifactV1(const StrategyArtifact& artifact) {
+  const auto* kron =
+      dynamic_cast<const KronStrategy*>(artifact.strategy.get());
+  DPMM_CHECK_MSG(kron != nullptr, "v1 artifacts are kron-only");
+  Writer w;
+  w.Str(artifact.signature);
+  w.Sizes(artifact.domain_sizes);
+  WriteKronBlock(&w, *kron);
+  WriteSolverReport(&w, artifact.solver_report);
+  w.F64(artifact.duality_gap);
+  w.U64(artifact.rank);
+  return Container(1, kKindStrategy, w.out);
+}
+
+}  // namespace internal
 
 std::string EncodeReleaseArtifact(const ReleaseArtifact& artifact) {
   Writer w;
@@ -382,11 +491,14 @@ std::string EncodeReleaseArtifact(const ReleaseArtifact& artifact) {
   w.U64(artifact.seed);
   w.U64(artifact.batch_index);
   w.Vec(artifact.x_hat);
-  return Container(kKindRelease, w.out);
+  return Container(kArtifactVersion, kKindRelease, w.out);
 }
 
 Result<ReleaseArtifact> DecodeReleaseArtifact(const std::string& bytes) {
-  auto opened = OpenContainer(bytes, kKindRelease);
+  // The release payload is identical in v1 and v2; OpenContainer accepts
+  // both versions.
+  std::uint32_t version = 0;
+  auto opened = OpenContainer(bytes, kKindRelease, &version);
   if (!opened.ok()) return opened.status();
   Reader r = std::move(opened).ValueOrDie();
 
@@ -419,6 +531,13 @@ Result<ReleaseArtifact> DecodeReleaseArtifact(const std::string& bytes) {
 
 Status SaveStrategyArtifact(const StrategyArtifact& artifact,
                             const std::string& path) {
+  // A null strategy is representable since the shared_ptr migration; turn
+  // it into a recoverable error on the Status-returning path (Encode keeps
+  // its CHECK as the backstop for direct callers).
+  if (artifact.strategy == nullptr) {
+    return Status::InvalidArgument(
+        "strategy artifact has no strategy to save");
+  }
   return WriteWholeFile(path, EncodeStrategyArtifact(artifact));
 }
 

@@ -16,14 +16,23 @@
 //   payload      kind-specific fields (see EncodeStrategyArtifact /
 //                EncodeReleaseArtifact in the .cc)
 //
+// Format v2 made strategies engine-polymorphic: the strategy payload
+// carries an engine tag (1 = kron, 2 = dense) followed by the engine's
+// representation — the implicit Kronecker form (basis factors, kept
+// columns, weights, completion rows) or the explicit dense matrix — so
+// every strategy the design layer can produce is storable and servable.
+// Encoders always write v2; v1 artifacts (kron-only, no engine tag) still
+// decode. Release payloads are identical in v1 and v2.
+//
 // Decoding is strict: wrong magic, unsupported version, a checksum
 // mismatch, truncation, trailing bytes, or payload fields that violate the
-// KronStrategy invariants all return a Status error — a corrupted artifact
+// strategy invariants all return a Status error — a corrupted artifact
 // can never reach a DPMM_CHECK abort or, worse, a silently wrong strategy.
 #ifndef DPMM_SERIALIZE_ARTIFACT_H_
 #define DPMM_SERIALIZE_ARTIFACT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,34 +40,50 @@
 #include "mechanism/privacy.h"
 #include "optimize/dual_solver.h"
 #include "strategy/kron_strategy.h"
+#include "strategy/linear_strategy.h"
+#include "strategy/strategy.h"
 #include "util/status.h"
 
 namespace dpmm {
 namespace serialize {
 
-/// Artifact format version; bump on any layout change. Decoders reject
-/// other versions outright (no silent best-effort reads of future layouts).
-constexpr std::uint32_t kArtifactVersion = 1;
+/// Artifact format version; bump on any layout change. Decoders accept the
+/// versions they explicitly know how to read (currently 1 and 2 for
+/// strategies/releases) and reject everything else outright (no silent
+/// best-effort reads of future layouts).
+constexpr std::uint32_t kArtifactVersion = 2;
 
 /// FNV-1a 64-bit hash — the artifact checksum and the store's key hash.
 std::uint64_t Fnv1a64(const void* data, std::size_t size);
 std::uint64_t Fnv1a64(const std::string& s);
 
+/// True when `bytes` begins with the artifact container magic — the
+/// format-detection probe for callers that accept both artifacts and
+/// legacy formats (strategy_io), kept here so the magic lives in one
+/// place. Says nothing about validity beyond the first 8 bytes.
+bool LooksLikeArtifact(const std::string& bytes);
+
 /// A designed strategy with everything a serving process needs to reuse it:
-/// the implicit Kronecker strategy itself (basis factors, kept columns,
-/// weights, completion rows) plus the Program-1 convergence certificate
-/// that was achieved when it was designed.
+/// the strategy itself behind the engine-agnostic interface (the implicit
+/// Kronecker form or the explicit dense matrix) plus the Program-1
+/// convergence certificate that was achieved when it was designed.
 struct StrategyArtifact {
   /// Canonical (domain, workload) descriptor, e.g. "allrange@8,16,16" —
   /// the store key is derived from this string (serve::StoreKey).
   std::string signature;
   std::vector<std::size_t> domain_sizes;
-  KronStrategy strategy;
+  /// Shared and immutable so one loaded artifact serves concurrent readers.
+  /// Must be a KronStrategy or Strategy to be encodable.
+  std::shared_ptr<const LinearStrategy> strategy;
   /// Program-1 diagnostics at design time (trajectory not persisted).
   optimize::SolverReport solver_report;
   /// The certified relative duality gap of the design.
   double duality_gap = 0;
   std::size_t rank = 0;
+
+  StrategyEngine engine() const {
+    return strategy == nullptr ? StrategyEngine::kDense : strategy->engine();
+  }
 };
 
 /// One stored private release: the least-squares estimate x_hat, the budget
@@ -93,6 +118,16 @@ Result<StrategyArtifact> LoadStrategyArtifact(const std::string& path);
 Status SaveReleaseArtifact(const ReleaseArtifact& artifact,
                            const std::string& path);
 Result<ReleaseArtifact> LoadReleaseArtifact(const std::string& path);
+
+namespace internal {
+
+/// Encodes the legacy v1 (kron-only, no engine tag) strategy layout — a
+/// compatibility fixture so tests can prove v1 artifacts keep decoding
+/// without checking binary golden files into the tree. Production encoders
+/// always write kArtifactVersion. Requires a kron-engine artifact.
+std::string EncodeStrategyArtifactV1(const StrategyArtifact& artifact);
+
+}  // namespace internal
 
 }  // namespace serialize
 }  // namespace dpmm

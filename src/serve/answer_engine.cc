@@ -22,7 +22,8 @@ constexpr std::size_t kRootChunk = 32;
 Result<AnswerEngine> AnswerEngine::Create(
     std::shared_ptr<const serialize::StrategyArtifact> strategy,
     std::shared_ptr<const serialize::ReleaseArtifact> release, Domain domain) {
-  if (strategy == nullptr || release == nullptr) {
+  if (strategy == nullptr || release == nullptr ||
+      strategy->strategy == nullptr) {
     return Status::InvalidArgument("answer engine needs both artifacts");
   }
   if (release->signature != strategy->signature) {
@@ -36,12 +37,12 @@ Result<AnswerEngine> AnswerEngine::Create(
         "artifact domain disagrees with the serving domain " +
         domain.ToString());
   }
-  if (strategy->strategy.num_cells() != domain.NumCells() ||
+  if (strategy->strategy->num_cells() != domain.NumCells() ||
       release->x_hat.size() != domain.NumCells()) {
     return Status::InvalidArgument("artifact sizes disagree with the domain");
   }
   const double sigma = GaussianNoiseScale(
-      release->budget, strategy->strategy.L2Sensitivity());
+      release->budget, strategy->strategy->L2Sensitivity());
   return AnswerEngine(std::move(strategy), std::move(release),
                       std::move(domain), sigma);
 }
@@ -88,7 +89,7 @@ double AnswerEngine::RootFor(const std::string& key,
   // Solve outside the lock so concurrent readers make progress; racing
   // solvers of the same key compute the identical value, so last-writer-
   // wins insertion is harmless.
-  const linalg::Vector z = strategy_->strategy.SolveNormal(row);
+  const linalg::Vector z = strategy_->strategy->SolveNormal(row);
   const double root = std::sqrt(std::max(0.0, linalg::Dot(row, z)));
   std::lock_guard<std::mutex> lock(cache_->mu);
   cache_->roots.emplace(key, root);
@@ -156,7 +157,7 @@ std::vector<AnswerEngine::Answer> AnswerEngine::AnswerBatch(
         block[s] = rows[miss_rep[s]];
       }
       const std::vector<linalg::Vector> solves =
-          strategy_->strategy.SolveNormalBatch(block);
+          strategy_->strategy->SolveNormalBatch(block);
       for (std::size_t s = 0; s < miss_rep.size(); ++s) {
         miss_roots[s] =
             std::sqrt(std::max(0.0, linalg::Dot(block[s], solves[s])));

@@ -4,11 +4,13 @@
 // further privacy cost, and all answers are mutually consistent because they
 // derive from the single estimate), and the error bar is the analytic
 // per-query standard deviation sd_q = sigma * sqrt(w_q (A^T A)^+ w_q^T)
-// (Def. 5 / Prop. 4), computed through the implicit strategy's normal
-// equations — never an n x n pseudo-inverse.
+// (Def. 5 / Prop. 4), computed through the strategy's normal equations via
+// the engine-agnostic LinearStrategy interface — dense and Kronecker
+// strategies serve identically (the implicit engine never forms an n x n
+// pseudo-inverse).
 //
 // The budget-independent roots sqrt(w_q (A^T A)^+ w_q^T) are the expensive
-// part (one implicit normal solve per distinct query); the engine caches
+// part (one normal solve per distinct query); the engine caches
 // them under a canonical per-attribute bucket-mask key, so repeated and
 // semantically-identical queries cost one dot product after first touch.
 // Batches of queries solve their uncached roots through one block normal

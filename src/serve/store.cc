@@ -121,6 +121,9 @@ Status StrategyStore::Put(const serialize::StrategyArtifact& artifact) {
   if (artifact.signature.empty()) {
     return Status::InvalidArgument("strategy artifact has no signature");
   }
+  if (artifact.strategy == nullptr) {
+    return Status::InvalidArgument("strategy artifact has no strategy");
+  }
   Status st = EnsureDir(root_ + "/strategies");
   if (!st.ok()) return st;
   st = WriteViaRename(PathFor(artifact.signature),

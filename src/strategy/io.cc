@@ -1,29 +1,22 @@
 #include "strategy/io.h"
 
+#include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
+
+#include "serialize/artifact.h"
+#include "strategy/kron_strategy.h"
 
 namespace dpmm {
 namespace strategy_io {
 
-Status SaveStrategy(const Strategy& strategy, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  const linalg::Matrix& a = strategy.matrix();
-  out << "# dpmm-strategy " << (strategy.name().empty() ? "-" : strategy.name())
-      << " " << a.rows() << " " << a.cols() << "\n";
-  out.precision(17);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t j = 0; j < a.cols(); ++j) {
-      out << (j ? " " : "") << a(i, j);
-    }
-    out << "\n";
-  }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
-}
+namespace {
 
-Result<Strategy> LoadStrategy(const std::string& path) {
+/// Legacy text parser ("# dpmm-strategy <name> rows cols" + matrix rows),
+/// kept so files written before the artifact port still load.
+Result<Strategy> LoadLegacyText(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for read: " + path);
   std::string line;
@@ -48,7 +41,54 @@ Result<Strategy> LoadStrategy(const std::string& path) {
       }
     }
   }
+  std::fprintf(stderr,
+               "note: %s is a legacy text strategy file (deprecated); "
+               "re-save it to upgrade to the binary artifact format\n",
+               path.c_str());
   return Strategy(std::move(a), name == "-" ? "" : name);
+}
+
+}  // namespace
+
+Status SaveStrategy(const Strategy& strategy, const std::string& path) {
+  // A standalone strategy file is a store artifact without a (workload,
+  // domain) identity: the signature records only the origin, and the
+  // domain is the flat cell count (the matrix fixes the true shape).
+  serialize::StrategyArtifact artifact;
+  artifact.signature = "strategy-file:" +
+                       (strategy.name().empty() ? "-" : strategy.name()) +
+                       "@" + std::to_string(strategy.num_cells());
+  artifact.domain_sizes = {strategy.num_cells()};
+  artifact.strategy = std::make_shared<Strategy>(strategy);
+  return serialize::SaveStrategyArtifact(artifact, path);
+}
+
+Result<Strategy> LoadStrategy(const std::string& path) {
+  auto artifact = serialize::LoadStrategyArtifact(path);
+  if (artifact.ok()) {
+    const auto& strategy = artifact.ValueOrDie().strategy;
+    if (const auto* dense = dynamic_cast<const Strategy*>(strategy.get())) {
+      return *dense;
+    }
+    if (const auto* kron =
+            dynamic_cast<const KronStrategy*>(strategy.get())) {
+      return kron->Materialize();
+    }
+    return Status::IoError("strategy artifact has no loadable strategy: " +
+                           path);
+  }
+  // Not a binary artifact (or a corrupt one): a file that does not even
+  // start with the artifact magic may be a legacy text file — try that
+  // path; a file with the magic is a damaged artifact and its decode error
+  // is the right message.
+  std::ifstream probe(path, std::ios::binary);
+  char magic[8] = {0};
+  probe.read(magic, sizeof(magic));
+  if (serialize::LooksLikeArtifact(
+          std::string(magic, static_cast<std::size_t>(probe.gcount())))) {
+    return artifact.status();
+  }
+  return LoadLegacyText(path);
 }
 
 }  // namespace strategy_io

@@ -4,8 +4,12 @@
 // database instance") — so designed strategies are worth saving and
 // shipping alongside the data pipeline.
 //
-// Format: a text header "# dpmm-strategy <name> rows cols" followed by one
-// whitespace-separated row per line.
+// Since format v2, standalone strategy files are the same versioned,
+// checksummed binary dense strategy artifacts the store uses
+// (serialize/artifact.h), so one format covers `design --out` files and
+// `design --save` store entries. The legacy text format ("# dpmm-strategy
+// <name> rows cols" followed by one whitespace-separated row per line) is
+// still read — with a deprecation note — but no longer written.
 #ifndef DPMM_STRATEGY_IO_H_
 #define DPMM_STRATEGY_IO_H_
 
@@ -17,10 +21,12 @@
 namespace dpmm {
 namespace strategy_io {
 
-/// Writes the strategy matrix with full double precision.
+/// Writes the strategy as a dense strategy artifact (binary, exact).
 Status SaveStrategy(const Strategy& strategy, const std::string& path);
 
-/// Reads a file written by SaveStrategy.
+/// Reads a strategy file: a strategy artifact of either engine (implicit
+/// strategies are materialized), or a legacy text-matrix file (a
+/// deprecation note is printed to stderr; re-save to upgrade).
 Result<Strategy> LoadStrategy(const std::string& path);
 
 }  // namespace strategy_io

@@ -124,7 +124,7 @@ double KronStrategy::L1Sensitivity() const {
   return mx;
 }
 
-Vector KronStrategy::SolveNormal(const Vector& b, double rel_tol) const {
+Vector KronStrategy::SolveNormalImpl(const Vector& b, double rel_tol) const {
   DPMM_CHECK_EQ(b.size(), num_cells());
   const std::size_t n = num_cells();
   if (completion_cells_.empty()) {
@@ -259,8 +259,8 @@ Vector ExtractColumn(const Vector& packed, std::size_t batch, std::size_t b) {
 
 }  // namespace
 
-std::vector<Vector> KronStrategy::SolveNormalBatch(const std::vector<Vector>& bs,
-                                                   double rel_tol) const {
+std::vector<Vector> KronStrategy::SolveNormalBatchImpl(
+    const std::vector<Vector>& bs, double rel_tol) const {
   DPMM_CHECK_GT(bs.size(), 0u);
   for (const auto& b : bs) DPMM_CHECK_EQ(b.size(), num_cells());
   return SolveNormalBatchPacked(linalg::PackBatch(bs), bs.size(), rel_tol);

@@ -25,7 +25,8 @@ namespace dpmm {
 /// eigenbasis, plus an optional diagonal block of completion rows. Query
 /// order: the kept eigen-queries (in ascending natural Kronecker index),
 /// then one scaled unit row per completed cell (ascending cell index).
-class KronStrategy {
+/// The kron engine behind the LinearStrategy interface.
+class KronStrategy : public LinearStrategy {
  public:
   KronStrategy() = default;
   /// `completion` is either empty (no completion rows) or length
@@ -35,11 +36,12 @@ class KronStrategy {
                linalg::Vector weights, linalg::Vector completion,
                std::string name);
 
-  std::size_t num_cells() const { return basis_.dim(); }
-  std::size_t num_queries() const {
+  std::size_t num_cells() const override { return basis_.dim(); }
+  std::size_t num_queries() const override {
     return kept_.size() + completion_cells_.size();
   }
-  const std::string& name() const { return name_; }
+  const std::string& name() const override { return name_; }
+  StrategyEngine engine() const override { return StrategyEngine::kKron; }
 
   const linalg::KronEigenBasis& basis() const { return basis_; }
   const std::vector<std::size_t>& kept() const { return kept_; }
@@ -49,10 +51,10 @@ class KronStrategy {
   const linalg::Vector& completion() const { return completion_; }
 
   /// A x (length num_queries()).
-  linalg::Vector Apply(const linalg::Vector& x) const;
+  linalg::Vector Apply(const linalg::Vector& x) const override;
 
   /// A^T y (length num_cells()).
-  linalg::Vector ApplyT(const linalg::Vector& y) const;
+  linalg::Vector ApplyT(const linalg::Vector& y) const override;
 
   /// A^T applied to B query-answer vectors through one shared eigenbasis
   /// pass; bit-identical to B ApplyT calls.
@@ -72,35 +74,10 @@ class KronStrategy {
   linalg::Vector ColumnNormsSquared() const;
 
   /// L2 sensitivity = max column norm.
-  double L2Sensitivity() const;
+  double L2Sensitivity() const override;
 
   /// L1 sensitivity = max column absolute sum.
-  double L1Sensitivity() const;
-
-  /// Solves the normal equations (A^T A) z = b. Without completion rows
-  /// A^T A is diagonal in the eigenbasis and the solve is three implicit
-  /// applies (minimum-norm/pseudo-inverse semantics when columns were
-  /// truncated); with completion rows it runs preconditioned conjugate
-  /// gradients with the eigenbasis diagonal as preconditioner, down to a
-  /// relative residual of `rel_tol` (or stagnation, whichever comes first —
-  /// an unreachable floor never burns the full iteration budget). The
-  /// default keeps inference within the 1e-8 dense-agreement contract; the
-  /// trace-term validation path requests ~1e-14.
-  linalg::Vector SolveNormal(const linalg::Vector& b,
-                             double rel_tol = 1e-12) const;
-
-  /// Solves the normal equations for B right-hand sides at once. One block
-  /// iteration drives all systems: the eigenbasis applies and the
-  /// preconditioner run as shared batched passes over the interleaved
-  /// block (KronMatVecBatch), while the CG scalars (alpha, beta, residual
-  /// norms, stagnation windows) stay per-column. Every column executes
-  /// exactly the arithmetic SolveNormal would execute on it alone — same
-  /// iteration count, same stopping decisions — so the results are
-  /// bit-identical to B sequential SolveNormal calls, at a fraction of the
-  /// wall-clock (the shared passes stream batch-contiguous spans instead
-  /// of degenerate stride-1 inner loops).
-  std::vector<linalg::Vector> SolveNormalBatch(
-      const std::vector<linalg::Vector>& bs, double rel_tol = 1e-12) const;
+  double L1Sensitivity() const override;
 
   /// SolveNormalBatch over an already column-interleaved right-hand-side
   /// block of `batch` vectors (consumed as the initial residual).
@@ -110,6 +87,31 @@ class KronStrategy {
 
   /// Dense equivalent (tests / small domains only).
   Strategy Materialize() const;
+
+ protected:
+  /// SolveNormal: without completion rows A^T A is diagonal in the
+  /// eigenbasis and the solve is three implicit applies (minimum-norm /
+  /// pseudo-inverse semantics when columns were truncated); with completion
+  /// rows it runs preconditioned conjugate gradients with the eigenbasis
+  /// diagonal as preconditioner, down to a relative residual of `rel_tol`
+  /// (or stagnation, whichever comes first — an unreachable floor never
+  /// burns the full iteration budget). The interface default keeps
+  /// inference within the 1e-8 dense-agreement contract; the trace-term
+  /// validation path requests ~1e-14.
+  linalg::Vector SolveNormalImpl(const linalg::Vector& b,
+                                 double rel_tol) const override;
+
+  /// SolveNormalBatch: one block iteration drives all systems — the
+  /// eigenbasis applies and the preconditioner run as shared batched passes
+  /// over the interleaved block (KronMatVecBatch), while the CG scalars
+  /// (alpha, beta, residual norms, stagnation windows) stay per-column.
+  /// Every column executes exactly the arithmetic SolveNormal would execute
+  /// on it alone — same iteration count, same stopping decisions — so the
+  /// results are bit-identical to B sequential SolveNormal calls, at a
+  /// fraction of the wall-clock (the shared passes stream batch-contiguous
+  /// spans instead of degenerate stride-1 inner loops).
+  std::vector<linalg::Vector> SolveNormalBatchImpl(
+      const std::vector<linalg::Vector>& bs, double rel_tol) const override;
 
  private:
   linalg::KronEigenBasis basis_;

@@ -1,10 +1,57 @@
 #include "strategy/strategy.h"
 
+#include <mutex>
+
 #include "linalg/blas.h"
+#include "linalg/svd.h"
 
 namespace dpmm {
 
+const char* StrategyEngineName(StrategyEngine engine) {
+  return engine == StrategyEngine::kDense ? "dense" : "kron";
+}
+
+struct Strategy::NormalCache {
+  std::once_flag once;
+  linalg::Matrix gram_pinv;
+};
+
+std::shared_ptr<Strategy::NormalCache> Strategy::MakeNormalCache() {
+  return std::make_shared<NormalCache>();
+}
+
 linalg::Matrix Strategy::Gram() const { return linalg::Gram(a_); }
+
+linalg::Vector Strategy::Apply(const linalg::Vector& x) const {
+  DPMM_CHECK_EQ(x.size(), num_cells());
+  return linalg::MatVec(a_, x);
+}
+
+linalg::Vector Strategy::ApplyT(const linalg::Vector& y) const {
+  DPMM_CHECK_EQ(y.size(), num_queries());
+  return linalg::MatTVec(a_, y);
+}
+
+const linalg::Matrix& Strategy::GramPinv() const {
+  std::call_once(cache_->once, [this] {
+    cache_->gram_pinv = linalg::PseudoInverse(Gram());
+  });
+  return cache_->gram_pinv;
+}
+
+linalg::Vector Strategy::SolveNormalImpl(const linalg::Vector& b,
+                                         double /*rel_tol*/) const {
+  DPMM_CHECK_EQ(b.size(), num_cells());
+  return linalg::MatVec(GramPinv(), b);
+}
+
+std::vector<linalg::Vector> Strategy::SolveNormalBatchImpl(
+    const std::vector<linalg::Vector>& bs, double rel_tol) const {
+  std::vector<linalg::Vector> out;
+  out.reserve(bs.size());
+  for (const auto& b : bs) out.push_back(SolveNormalImpl(b, rel_tol));
+  return out;
+}
 
 Strategy IdentityStrategy(std::size_t n) {
   return Strategy(linalg::Matrix::Identity(n), "Identity");

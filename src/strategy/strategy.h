@@ -1,40 +1,68 @@
 // Strategy matrices (Sec. 2.3): the set of queries actually submitted to the
 // Gaussian mechanism, from which workload answers are derived by least
-// squares. A Strategy is an explicit p x n matrix plus a display name;
-// higher-level code precomputes factorizations as needed.
+// squares. A Strategy is an explicit p x n matrix plus a display name — the
+// dense engine behind the LinearStrategy interface; higher-level code
+// precomputes factorizations as needed.
 #ifndef DPMM_STRATEGY_STRATEGY_H_
 #define DPMM_STRATEGY_STRATEGY_H_
 
+#include <memory>
 #include <string>
 
 #include "linalg/matrix.h"
+#include "strategy/linear_strategy.h"
 
 namespace dpmm {
 
 /// An explicit strategy matrix with a display name.
-class Strategy {
+class Strategy : public LinearStrategy {
  public:
-  Strategy() = default;
+  Strategy() : cache_(MakeNormalCache()) {}
   Strategy(linalg::Matrix a, std::string name)
-      : a_(std::move(a)), name_(std::move(name)) {}
+      : a_(std::move(a)), name_(std::move(name)), cache_(MakeNormalCache()) {}
 
   const linalg::Matrix& matrix() const { return a_; }
-  const std::string& name() const { return name_; }
-  std::size_t num_queries() const { return a_.rows(); }
-  std::size_t num_cells() const { return a_.cols(); }
+  const std::string& name() const override { return name_; }
+  std::size_t num_queries() const override { return a_.rows(); }
+  std::size_t num_cells() const override { return a_.cols(); }
+  StrategyEngine engine() const override { return StrategyEngine::kDense; }
+
+  /// A x / A^T y as plain dense matvecs.
+  linalg::Vector Apply(const linalg::Vector& x) const override;
+  linalg::Vector ApplyT(const linalg::Vector& y) const override;
 
   /// L2 sensitivity ||A||_2 (max column norm, Prop. 1).
-  double L2Sensitivity() const { return a_.MaxColNorm(); }
+  double L2Sensitivity() const override { return a_.MaxColNorm(); }
 
   /// L1 sensitivity ||A||_1 (max column absolute sum).
-  double L1Sensitivity() const { return a_.MaxColAbsSum(); }
+  double L1Sensitivity() const override { return a_.MaxColAbsSum(); }
 
   /// Gram matrix A^T A.
   linalg::Matrix Gram() const;
 
+ protected:
+  // Normal-equation solves through (A^T A)^+, the exact arithmetic of the
+  // per-query error profile (Def. 5 / Prop. 4): rank-deficient strategies
+  // get the minimum-norm solution. The pseudo-inverse is computed once on
+  // first use (thread-safe; copies share the cache) and rel_tol is ignored
+  // — the solve is direct. The batch solve is column-by-column, so batched
+  // answers are trivially bit-identical to solo ones.
+  linalg::Vector SolveNormalImpl(const linalg::Vector& b,
+                                 double rel_tol) const override;
+  std::vector<linalg::Vector> SolveNormalBatchImpl(
+      const std::vector<linalg::Vector>& bs, double rel_tol) const override;
+
  private:
+  /// Lazily computed (A^T A)^+, shared by copies. The once_flag makes the
+  /// first SolveNormal race-free under concurrent serving readers.
+  struct NormalCache;
+  static std::shared_ptr<NormalCache> MakeNormalCache();
+
+  const linalg::Matrix& GramPinv() const;
+
   linalg::Matrix a_;
   std::string name_;
+  std::shared_ptr<NormalCache> cache_;
 };
 
 /// The identity strategy (noisy cell counts).

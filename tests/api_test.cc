@@ -1,0 +1,520 @@
+// The unified strategy/mechanism API (ctest label `api`): the
+// LinearStrategy interface, the Design() engine decision rule, the
+// polymorphic Mechanism, and the v2 artifact format's dense payload kind.
+// The load-bearing contracts:
+//   * fixed-seed releases through the unified Design()/Mechanism path are
+//     byte-identical to the legacy per-engine paths (EigenDesignForWorkload
+//     + MatrixMechanism, EigenDesignKronForWorkload + KronMatrixMechanism);
+//   * dense strategy artifacts are save -> load -> save byte-stable and
+//     reject corruption/truncation at every prefix length (mirroring the
+//     kron suite);
+//   * v1 (kron-only) artifacts still decode;
+//   * strategy_io files ride the dense artifact kind, with the legacy text
+//     format still readable.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "linalg/svd.h"
+#include "mechanism/matrix_mechanism.h"
+#include "optimize/eigen_design.h"
+#include "release/release.h"
+#include "serialize/artifact.h"
+#include "strategy/io.h"
+#include "util/rng.h"
+#include "workload/builders.h"
+#include "workload/marginal_workloads.h"
+#include "workload/range_workloads.h"
+
+namespace dpmm {
+namespace {
+
+using linalg::Vector;
+using optimize::Design;
+using optimize::DesignOptions;
+using optimize::EngineSelection;
+using serialize::DecodeStrategyArtifact;
+using serialize::EncodeStrategyArtifact;
+using serialize::StrategyArtifact;
+
+ExplicitWorkload Fig1Workload() {
+  return ExplicitWorkload(Domain({2, 4}), builders::Fig1Matrix(), "Fig1");
+}
+
+Vector RandomData(std::size_t n, std::uint64_t seed) {
+  Vector x(n);
+  Rng rng(seed);
+  for (auto& v : x) v = static_cast<double>(rng.UniformInt(100));
+  return x;
+}
+
+// ---- Engine decision rule
+
+TEST(Design, AutoPicksKronForStructuredWorkloads) {
+  AllRangeWorkload w(Domain({4, 4}));
+  auto design = Design(w);
+  ASSERT_TRUE(design.ok()) << design.status().ToString();
+  EXPECT_EQ(design.ValueOrDie().engine, StrategyEngine::kKron);
+  EXPECT_EQ(design.ValueOrDie().strategy->engine(), StrategyEngine::kKron);
+}
+
+TEST(Design, AutoFallsBackToDenseForExplicitWorkloads) {
+  ExplicitWorkload w = Fig1Workload();
+  auto design = Design(w);
+  ASSERT_TRUE(design.ok()) << design.status().ToString();
+  EXPECT_EQ(design.ValueOrDie().engine, StrategyEngine::kDense);
+  EXPECT_EQ(design.ValueOrDie().strategy->engine(), StrategyEngine::kDense);
+}
+
+TEST(Design, EngineOverridesAreHonoredAndValidated) {
+  AllRangeWorkload structured(Domain({4, 4}));
+  DesignOptions dense_options;
+  dense_options.engine = EngineSelection::kDense;
+  auto forced_dense = Design(structured, dense_options);
+  ASSERT_TRUE(forced_dense.ok());
+  EXPECT_EQ(forced_dense.ValueOrDie().engine, StrategyEngine::kDense);
+
+  ExplicitWorkload unstructured = Fig1Workload();
+  DesignOptions kron_options;
+  kron_options.engine = EngineSelection::kKron;
+  auto impossible = Design(unstructured, kron_options);
+  ASSERT_FALSE(impossible.ok());
+  EXPECT_EQ(impossible.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Design, ParseEngineSelectionIsStrict) {
+  EXPECT_EQ(optimize::ParseEngineSelection("auto"), EngineSelection::kAuto);
+  EXPECT_EQ(optimize::ParseEngineSelection("dense"), EngineSelection::kDense);
+  EXPECT_EQ(optimize::ParseEngineSelection("kron"), EngineSelection::kKron);
+  EXPECT_FALSE(optimize::ParseEngineSelection("Kron").has_value());
+  EXPECT_FALSE(optimize::ParseEngineSelection("").has_value());
+  EXPECT_FALSE(optimize::ParseEngineSelection("implicit").has_value());
+}
+
+// ---- Bit-identity of the unified path vs the legacy per-engine paths
+
+TEST(Mechanism, DenseReleaseByteIdenticalToLegacyDensePath) {
+  ExplicitWorkload w = Fig1Workload();
+  const PrivacyParams budget{0.5, 1e-4};
+  const Vector x = RandomData(w.num_cells(), 99);
+
+  auto legacy_design = optimize::EigenDesignForWorkload(w);
+  ASSERT_TRUE(legacy_design.ok());
+  auto legacy_mech =
+      MatrixMechanism::Prepare(legacy_design.ValueOrDie().strategy, budget);
+  ASSERT_TRUE(legacy_mech.ok());
+
+  auto design = Design(w);
+  ASSERT_TRUE(design.ok());
+  auto mech = Mechanism::Prepare(design.ValueOrDie().strategy, budget);
+  ASSERT_TRUE(mech.ok());
+  EXPECT_EQ(mech.ValueOrDie().engine(), StrategyEngine::kDense);
+
+  // Same seed, same bytes — estimate, workload answers, and batches.
+  Rng legacy_rng(42), rng(42);
+  const Vector legacy_x_hat =
+      legacy_mech.ValueOrDie().InferX(x, &legacy_rng);
+  const Vector x_hat = mech.ValueOrDie().Release(x, &rng);
+  EXPECT_EQ(legacy_x_hat, x_hat);
+  EXPECT_EQ(legacy_mech.ValueOrDie().Run(w, x, &legacy_rng),
+            mech.ValueOrDie().Run(w, x, &rng));
+
+  Rng legacy_batch_rng(7), batch_rng(7);
+  std::vector<Vector> legacy_batch;
+  for (int b = 0; b < 3; ++b) {
+    legacy_batch.push_back(
+        legacy_mech.ValueOrDie().InferX(x, &legacy_batch_rng));
+  }
+  EXPECT_EQ(legacy_batch,
+            mech.ValueOrDie().ReleaseBatch(x, 3, &batch_rng));
+}
+
+TEST(Mechanism, KronReleaseByteIdenticalToLegacyKronPath) {
+  AllRangeWorkload w(Domain({4, 4}));
+  const PrivacyParams budget{0.5, 1e-4};
+  const Vector x = RandomData(w.num_cells(), 99);
+
+  auto legacy_design = optimize::EigenDesignKronForWorkload(w);
+  ASSERT_TRUE(legacy_design.ok());
+  auto legacy_mech = KronMatrixMechanism::Prepare(
+      legacy_design.ValueOrDie().strategy, budget);
+  ASSERT_TRUE(legacy_mech.ok());
+
+  auto design = Design(w);
+  ASSERT_TRUE(design.ok());
+  auto mech = Mechanism::Prepare(design.ValueOrDie().strategy, budget);
+  ASSERT_TRUE(mech.ok());
+  EXPECT_EQ(mech.ValueOrDie().engine(), StrategyEngine::kKron);
+
+  Rng legacy_rng(42), rng(42);
+  EXPECT_EQ(legacy_mech.ValueOrDie().InferX(x, &legacy_rng),
+            mech.ValueOrDie().Release(x, &rng));
+  EXPECT_EQ(legacy_mech.ValueOrDie().Run(w, x, &legacy_rng),
+            mech.ValueOrDie().Run(w, x, &rng));
+
+  Rng legacy_batch_rng(7), batch_rng(7);
+  EXPECT_EQ(legacy_mech.ValueOrDie().InferXBatch(x, 3, &legacy_batch_rng),
+            mech.ValueOrDie().ReleaseBatch(x, 3, &batch_rng));
+}
+
+TEST(Mechanism, DesignMechanismAttachesTheCertificate) {
+  AllRangeWorkload w(Domain({4, 4}));
+  auto design = Design(w);
+  ASSERT_TRUE(design.ok());
+  auto mech = DesignMechanism(w, PrivacyParams{0.5, 1e-4});
+  ASSERT_TRUE(mech.ok()) << mech.status().ToString();
+  EXPECT_EQ(mech.ValueOrDie().engine(), StrategyEngine::kKron);
+  EXPECT_EQ(mech.ValueOrDie().duality_gap(),
+            design.ValueOrDie().duality_gap);
+  EXPECT_EQ(mech.ValueOrDie().rank(), design.ValueOrDie().rank);
+  EXPECT_EQ(mech.ValueOrDie().solver_report().iterations,
+            design.ValueOrDie().solver_report.iterations);
+}
+
+TEST(Mechanism, PrepareRejectsNullStrategy) {
+  auto mech = Mechanism::Prepare(nullptr, PrivacyParams{0.5, 1e-4});
+  ASSERT_FALSE(mech.ok());
+  EXPECT_EQ(mech.status().code(), StatusCode::kInvalidArgument);
+}
+
+// The unified QueryErrorProfile must reproduce the legacy dense formula
+// sigma * sqrt(w_q (A^T A)^+ w_q^T) computed through an explicit Gram
+// pseudo-inverse, bit for bit.
+TEST(QueryErrorProfile, DenseEngineMatchesExplicitPinvFormula) {
+  ExplicitWorkload w = Fig1Workload();
+  const PrivacyParams budget{0.5, 1e-4};
+  auto design = Design(w);
+  ASSERT_TRUE(design.ok());
+  const auto& strategy =
+      dynamic_cast<const Strategy&>(*design.ValueOrDie().strategy);
+
+  const Vector profile = release::QueryErrorProfile(w, strategy, budget);
+  const double sigma =
+      GaussianNoiseScale(budget, strategy.L2Sensitivity());
+  const linalg::Matrix gram_pinv = linalg::PseudoInverse(strategy.Gram());
+  const linalg::Matrix& wm = *w.matrix();
+  ASSERT_EQ(profile.size(), wm.rows());
+  for (std::size_t q = 0; q < wm.rows(); ++q) {
+    const Vector wq = wm.Row(q);
+    const Vector gw = linalg::MatVec(gram_pinv, wq);
+    const double expected =
+        sigma * std::sqrt(std::max(0.0, linalg::Dot(wq, gw)));
+    EXPECT_EQ(profile[q], expected) << "query " << q;
+  }
+}
+
+// Unified ReleaseBatch over a dense strategy: x_hats match sequential
+// per-budget mechanism releases byte for byte, and error profiles match
+// per-budget QueryErrorProfile — including an uneven budget split.
+TEST(ReleaseBatch, DenseEngineMatchesSequentialReleases) {
+  ExplicitWorkload w = Fig1Workload();
+  auto design = Design(w);
+  ASSERT_TRUE(design.ok());
+  const auto& strategy = *design.ValueOrDie().strategy;
+  const Vector x = RandomData(w.num_cells(), 3);
+  const std::vector<PrivacyParams> budgets =
+      release::SplitBudget({1.0, 2e-4}, {1.0, 2.0, 1.0});
+
+  Rng batch_rng(11);
+  const release::BatchReleaseResult batch =
+      release::ReleaseBatch(strategy, x, budgets, &batch_rng, &w);
+  ASSERT_EQ(batch.x_hats.size(), budgets.size());
+  ASSERT_EQ(batch.error_profiles.size(), budgets.size());
+
+  Rng seq_rng(11);
+  const auto& dense = dynamic_cast<const Strategy&>(strategy);
+  const MatrixMechanism base =
+      MatrixMechanism::Prepare(dense, budgets[0]).ValueOrDie();
+  for (std::size_t b = 0; b < budgets.size(); ++b) {
+    const Vector expected = (budgets[b].epsilon == budgets[0].epsilon &&
+                             budgets[b].delta == budgets[0].delta)
+                                ? base.InferX(x, &seq_rng)
+                                : base.WithPrivacy(budgets[b])
+                                      .InferX(x, &seq_rng);
+    EXPECT_EQ(batch.x_hats[b], expected) << "release " << b;
+    EXPECT_EQ(batch.error_profiles[b],
+              release::QueryErrorProfile(w, strategy, budgets[b]))
+        << "profile " << b;
+  }
+}
+
+// ---- Dense artifact kind (format v2)
+
+StrategyArtifact DenseArtifact(const ExplicitWorkload& w,
+                               const std::string& spec) {
+  auto design = Design(w);
+  EXPECT_TRUE(design.ok()) << design.status().ToString();
+  auto& d = design.ValueOrDie();
+  EXPECT_EQ(d.engine, StrategyEngine::kDense);
+  StrategyArtifact artifact;
+  artifact.signature = spec;
+  artifact.domain_sizes = w.domain().sizes();
+  artifact.strategy = d.strategy;
+  artifact.solver_report = d.solver_report;
+  artifact.duality_gap = d.duality_gap;
+  artifact.rank = d.rank;
+  return artifact;
+}
+
+TEST(DenseArtifact, SaveLoadSaveIsByteStable) {
+  const StrategyArtifact artifact = DenseArtifact(Fig1Workload(), "fig1@2,4");
+  const std::string bytes = EncodeStrategyArtifact(artifact);
+  auto decoded = DecodeStrategyArtifact(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.ValueOrDie().engine(), StrategyEngine::kDense);
+  EXPECT_EQ(EncodeStrategyArtifact(decoded.ValueOrDie()), bytes);
+}
+
+TEST(DenseArtifact, LoadedStrategyBehavesIdentically) {
+  const StrategyArtifact artifact = DenseArtifact(Fig1Workload(), "fig1@2,4");
+  auto decoded = DecodeStrategyArtifact(EncodeStrategyArtifact(artifact));
+  ASSERT_TRUE(decoded.ok());
+  const auto& original =
+      dynamic_cast<const Strategy&>(*artifact.strategy);
+  const auto& loaded =
+      dynamic_cast<const Strategy&>(*decoded.ValueOrDie().strategy);
+  EXPECT_EQ(loaded.matrix(), original.matrix());
+  EXPECT_EQ(loaded.name(), original.name());
+  EXPECT_EQ(loaded.L2Sensitivity(), original.L2Sensitivity());
+  const Vector x = RandomData(original.num_cells(), 5);
+  EXPECT_EQ(loaded.Apply(x), original.Apply(x));
+  EXPECT_EQ(loaded.SolveNormal(x), original.SolveNormal(x));
+  EXPECT_EQ(decoded.ValueOrDie().duality_gap, artifact.duality_gap);
+  EXPECT_EQ(decoded.ValueOrDie().rank, artifact.rank);
+}
+
+TEST(DenseArtifact, FileRoundTrip) {
+  const StrategyArtifact artifact = DenseArtifact(Fig1Workload(), "fig1@2,4");
+  const std::string path = ::testing::TempDir() + "/dpmm_dense.strategy";
+  ASSERT_TRUE(serialize::SaveStrategyArtifact(artifact, path).ok());
+  auto loaded = serialize::LoadStrategyArtifact(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(EncodeStrategyArtifact(loaded.ValueOrDie()),
+            EncodeStrategyArtifact(artifact));
+  std::remove(path.c_str());
+}
+
+TEST(DenseArtifact, TruncationRejectedAtEveryLength) {
+  const std::string bytes =
+      EncodeStrategyArtifact(DenseArtifact(Fig1Workload(), "fig1@2,4"));
+  // Every strict prefix must fail cleanly (never crash, never succeed).
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    auto decoded = DecodeStrategyArtifact(bytes.substr(0, len));
+    ASSERT_FALSE(decoded.ok()) << "prefix of length " << len << " decoded";
+  }
+}
+
+TEST(DenseArtifact, CorruptionAndTrailingBytesRejected) {
+  const std::string bytes =
+      EncodeStrategyArtifact(DenseArtifact(Fig1Workload(), "fig1@2,4"));
+  std::string corrupt = bytes;
+  corrupt[bytes.size() - 3] ^= 0x40;
+  auto flipped = DecodeStrategyArtifact(corrupt);
+  ASSERT_FALSE(flipped.ok());
+  EXPECT_NE(flipped.status().message().find("checksum"), std::string::npos);
+  std::string trailing = bytes;
+  trailing += '\0';
+  ASSERT_FALSE(DecodeStrategyArtifact(trailing).ok());
+}
+
+TEST(DenseArtifact, EngineTagOutOfRangeRejected) {
+  // The engine tag sits right after the signature and domain sizes; patch
+  // it through a re-encode of hand-built container bytes instead: simplest
+  // is to corrupt via the public API — encode, locate the tag by decoding
+  // incrementally is brittle, so instead build an artifact whose payload we
+  // control end to end.
+  const StrategyArtifact artifact = DenseArtifact(Fig1Workload(), "x@2,4");
+  std::string bytes = EncodeStrategyArtifact(artifact);
+  // Payload layout: u64 siglen + sig + u64 nsizes + 2*u64 + u32 engine.
+  const std::size_t header = 8 + 4 + 4 + 8 + 8;
+  const std::size_t tag_pos = header + 8 + 5 + 8 + 16;
+  ASSERT_LT(tag_pos + 4, bytes.size());
+  bytes[tag_pos] = 9;  // engine 9 does not exist
+  // Fix the checksum (header bytes 24..31) so the tag check itself is
+  // exercised rather than the checksum guard.
+  const std::uint64_t checksum =
+      serialize::Fnv1a64(bytes.data() + header, bytes.size() - header);
+  for (int i = 0; i < 8; ++i) {
+    bytes[24 + i] = static_cast<char>(checksum >> (8 * i));
+  }
+  auto decoded = DecodeStrategyArtifact(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("engine"), std::string::npos)
+      << decoded.status().message();
+}
+
+// A never-populated strategy field is representable since the shared_ptr
+// migration; the Status-returning save path must reject it cleanly (the
+// raw encoder CHECKs as a backstop).
+TEST(DenseArtifact, NullStrategyIsARecoverableError) {
+  StrategyArtifact artifact;
+  artifact.signature = "x@4";
+  artifact.domain_sizes = {4};
+  const std::string path = ::testing::TempDir() + "/dpmm_null.strategy";
+  Status st = serialize::SaveStrategyArtifact(artifact, path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+// A crafted dense artifact whose u64 row count makes rows * cols wrap to a
+// tiny value must fail with a clean Status, not write past an undersized
+// allocation (the guard has to divide, not multiply). Truncation property
+// tests cannot catch this — it needs a forged length field, not a prefix.
+TEST(DenseArtifact, RowCountOverflowLengthBombRejected) {
+  StrategyArtifact artifact;
+  artifact.signature = "x@4";
+  artifact.domain_sizes = {4};
+  linalg::Matrix m(2, 4);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) m(i, j) = 1.0;
+  }
+  artifact.strategy = std::make_shared<Strategy>(std::move(m), "nm");
+  std::string bytes = EncodeStrategyArtifact(artifact);
+
+  // Payload: u64 siglen + "x@4" + u64 nsizes + u64 + u32 engine +
+  // u64 namelen + "nm" + u64 rows.
+  const std::size_t header = 8 + 4 + 4 + 8 + 8;
+  const std::size_t rows_pos = header + (8 + 3) + (8 + 8) + 4 + (8 + 2);
+  ASSERT_LT(rows_pos + 8, bytes.size());
+  const std::uint64_t bomb = std::uint64_t{1} << 61;  // bomb * 8 wraps to 0
+  for (int i = 0; i < 8; ++i) {
+    bytes[rows_pos + i] = static_cast<char>(bomb >> (8 * i));
+  }
+  const std::uint64_t checksum =
+      serialize::Fnv1a64(bytes.data() + header, bytes.size() - header);
+  for (int i = 0; i < 8; ++i) {
+    bytes[24 + i] = static_cast<char>(checksum >> (8 * i));
+  }
+  auto decoded = DecodeStrategyArtifact(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("dimensions"), std::string::npos)
+      << decoded.status().message();
+}
+
+// ---- v1 compatibility
+
+TEST(ArtifactCompat, V1KronStrategyArtifactStillLoads) {
+  AllRangeWorkload w(Domain({4, 4}));
+  auto design = Design(w);
+  ASSERT_TRUE(design.ok());
+  StrategyArtifact artifact;
+  artifact.signature = "allrange@4,4";
+  artifact.domain_sizes = w.domain().sizes();
+  artifact.strategy = design.ValueOrDie().strategy;
+  artifact.solver_report = design.ValueOrDie().solver_report;
+  artifact.duality_gap = design.ValueOrDie().duality_gap;
+  artifact.rank = design.ValueOrDie().rank;
+
+  const std::string v1_bytes =
+      serialize::internal::EncodeStrategyArtifactV1(artifact);
+  auto decoded = DecodeStrategyArtifact(v1_bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const StrategyArtifact& loaded = decoded.ValueOrDie();
+  EXPECT_EQ(loaded.engine(), StrategyEngine::kKron);
+  EXPECT_EQ(loaded.signature, artifact.signature);
+  EXPECT_EQ(loaded.duality_gap, artifact.duality_gap);
+
+  // The v1-loaded strategy behaves bit-identically to the original.
+  const Vector x = RandomData(w.num_cells(), 5);
+  EXPECT_EQ(loaded.strategy->Apply(x), artifact.strategy->Apply(x));
+  EXPECT_EQ(loaded.strategy->SolveNormal(x), artifact.strategy->SolveNormal(x));
+
+  // v1 truncation is rejected at every prefix too — the compat path keeps
+  // the strictness contract.
+  for (std::size_t len = 0; len < v1_bytes.size(); len += 9) {
+    ASSERT_FALSE(DecodeStrategyArtifact(v1_bytes.substr(0, len)).ok());
+  }
+
+  // Re-encoding writes the current version; the upgrade round-trips.
+  const std::string v2_bytes = EncodeStrategyArtifact(loaded);
+  auto upgraded = DecodeStrategyArtifact(v2_bytes);
+  ASSERT_TRUE(upgraded.ok());
+  EXPECT_EQ(upgraded.ValueOrDie().strategy->Apply(x),
+            artifact.strategy->Apply(x));
+}
+
+TEST(ArtifactCompat, V1ReleaseArtifactStillLoads) {
+  serialize::ReleaseArtifact rel;
+  rel.signature = "allrange@4,4";
+  rel.domain_sizes = {4, 4};
+  rel.budget = {0.25, 5e-5};
+  rel.dataset = "hist.csv";
+  rel.seed = 42;
+  rel.batch_index = 3;
+  rel.x_hat = RandomData(16, 7);
+  std::string bytes = serialize::EncodeReleaseArtifact(rel);
+  // The release payload is identical in v1 and v2, and the version field
+  // (header, not checksummed) is the only difference.
+  bytes[8] = 1;
+  auto decoded = serialize::DecodeReleaseArtifact(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.ValueOrDie().x_hat, rel.x_hat);
+  // Unknown future versions stay rejected.
+  bytes[8] = 3;
+  EXPECT_FALSE(serialize::DecodeReleaseArtifact(bytes).ok());
+}
+
+// ---- strategy_io on the dense artifact kind
+
+TEST(StrategyIoPort, BinaryRoundTripIsExact) {
+  auto design = Design(Fig1Workload());
+  ASSERT_TRUE(design.ok());
+  const auto& original =
+      dynamic_cast<const Strategy&>(*design.ValueOrDie().strategy);
+  const std::string path = ::testing::TempDir() + "/dpmm_io_port.strategy";
+  ASSERT_TRUE(strategy_io::SaveStrategy(original, path).ok());
+
+  // The file is a binary artifact now, not the legacy text format.
+  std::ifstream probe(path, std::ios::binary);
+  char magic[8] = {0};
+  probe.read(magic, sizeof(magic));
+  EXPECT_EQ(std::memcmp(magic, "DPMMARTF", 8), 0);
+
+  auto loaded = strategy_io::LoadStrategy(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.ValueOrDie().matrix(), original.matrix());
+  EXPECT_EQ(loaded.ValueOrDie().name(), original.name());
+  std::remove(path.c_str());
+}
+
+TEST(StrategyIoPort, LegacyTextFilesStillLoad) {
+  const std::string path = ::testing::TempDir() + "/dpmm_io_legacy.txt";
+  {
+    std::ofstream out(path);
+    out << "# dpmm-strategy legacy 2 3\n";
+    out << "1 0.5 0\n";
+    out << "0 -0.25 1\n";
+  }
+  auto loaded = strategy_io::LoadStrategy(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.ValueOrDie().name(), "legacy");
+  EXPECT_EQ(loaded.ValueOrDie().matrix()(0, 1), 0.5);
+  EXPECT_EQ(loaded.ValueOrDie().matrix()(1, 1), -0.25);
+  std::remove(path.c_str());
+}
+
+TEST(StrategyIoPort, GarbageAndDamagedArtifactsRejected) {
+  const std::string path = ::testing::TempDir() + "/dpmm_io_bad.bin";
+  {
+    std::ofstream out(path);
+    out << "neither a text strategy nor an artifact\n";
+  }
+  EXPECT_FALSE(strategy_io::LoadStrategy(path).ok());
+  {
+    // Starts with the artifact magic but is truncated: must report the
+    // artifact decode error, not fall through to the text parser.
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "DPMMARTF\x02";
+  }
+  auto damaged = strategy_io::LoadStrategy(path);
+  ASSERT_FALSE(damaged.ok());
+  EXPECT_EQ(damaged.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dpmm

@@ -32,11 +32,15 @@ StrategyArtifact DesignArtifact(const Workload& w, const std::string& spec) {
   StrategyArtifact artifact;
   artifact.signature = spec;
   artifact.domain_sizes = w.domain().sizes();
-  artifact.strategy = std::move(d.strategy);
+  artifact.strategy = std::make_shared<KronStrategy>(std::move(d.strategy));
   artifact.solver_report = d.solver_report;
   artifact.duality_gap = d.duality_gap;
   artifact.rank = d.rank;
   return artifact;
+}
+
+const KronStrategy& AsKron(const StrategyArtifact& artifact) {
+  return dynamic_cast<const KronStrategy&>(*artifact.strategy);
 }
 
 ReleaseArtifact SampleRelease(const std::string& spec,
@@ -84,8 +88,9 @@ TEST(StrategyArtifact, LoadedStrategyReproducesGapCertificate) {
 
   // And the strategy behaves identically: same shape, same sensitivity,
   // same matvec and normal-solve outputs, bit for bit.
-  const KronStrategy& a = artifact.strategy;
-  const KronStrategy& b = loaded.strategy;
+  ASSERT_EQ(loaded.engine(), StrategyEngine::kKron);
+  const KronStrategy& a = AsKron(artifact);
+  const KronStrategy& b = AsKron(loaded);
   ASSERT_EQ(a.num_cells(), b.num_cells());
   ASSERT_EQ(a.num_queries(), b.num_queries());
   EXPECT_EQ(a.kept(), b.kept());

@@ -42,15 +42,18 @@ std::string FreshRoot() {
   return tmpl;
 }
 
-std::shared_ptr<const StrategyArtifact> DesignArtifact(const Workload& w,
-                                                       std::string spec) {
-  auto design = optimize::EigenDesignKronForWorkload(w);
+std::shared_ptr<const StrategyArtifact> DesignArtifact(
+    const Workload& w, std::string spec,
+    optimize::EngineSelection engine = optimize::EngineSelection::kAuto) {
+  optimize::DesignOptions options;
+  options.engine = engine;
+  auto design = optimize::Design(w, options);
   EXPECT_TRUE(design.ok()) << design.status().ToString();
   auto& d = design.ValueOrDie();
   auto artifact = std::make_shared<StrategyArtifact>();
   artifact->signature = serve::CanonicalSignature(spec, w.domain());
   artifact->domain_sizes = w.domain().sizes();
-  artifact->strategy = std::move(d.strategy);
+  artifact->strategy = d.strategy;
   artifact->solver_report = d.solver_report;
   artifact->duality_gap = d.duality_gap;
   artifact->rank = d.rank;
@@ -66,18 +69,28 @@ struct Fixture {
   linalg::Vector data;
 };
 
-Fixture MakeFixture(bool marginals = false) {
+/// Which (workload, engine) pair the fixture serves. The three variants pin
+/// the three root-solve paths of the answer engine: kron-PCG (all-range
+/// carries completion rows), kron-diagonal (1-way marginals), and the dense
+/// Gram-pseudo-inverse solve.
+enum class FixtureKind { kAllRange, kMarginals, kDenseAllRange };
+
+Fixture MakeFixture(FixtureKind kind = FixtureKind::kAllRange) {
   Fixture f;
   std::unique_ptr<Workload> w;
   std::string spec;
-  if (marginals) {
+  auto engine = optimize::EngineSelection::kAuto;
+  if (kind == FixtureKind::kMarginals) {
     w.reset(new MarginalsWorkload(MarginalsWorkload::AllKWay(f.domain, 1)));
     spec = "marginals:1";
   } else {
     w.reset(new AllRangeWorkload(f.domain));
     spec = "allrange";
+    if (kind == FixtureKind::kDenseAllRange) {
+      engine = optimize::EngineSelection::kDense;
+    }
   }
-  f.strategy = DesignArtifact(*w, spec);
+  f.strategy = DesignArtifact(*w, spec, engine);
 
   f.data.resize(f.domain.NumCells());
   Rng data_rng(99);
@@ -85,7 +98,7 @@ Fixture MakeFixture(bool marginals = false) {
 
   Rng rng(11);
   auto batch =
-      release::ReleaseBatch(f.strategy->strategy, f.data, {f.budget}, &rng);
+      release::ReleaseBatch(*f.strategy->strategy, f.data, {f.budget}, &rng);
   auto rel = std::make_shared<ReleaseArtifact>();
   rel->signature = f.strategy->signature;
   rel->domain_sizes = f.domain.sizes();
@@ -300,13 +313,20 @@ TEST(AnswerEngine, RejectsMismatchedArtifacts) {
 
 /// Served answers and error bars must be bit-identical to the library's
 /// reference computations: Workload::Answer on the stored x_hat, and
-/// release::QueryErrorProfile for the same (workload, strategy, budget).
-void CheckExactness(bool marginals) {
-  Fixture f = MakeFixture(marginals);
-  // The two fixtures pin the two normal-solve paths: the all-range design
-  // carries completion rows (PCG solve), the 1-way marginals design does
-  // not (diagonal solve in the eigenbasis).
-  EXPECT_EQ(f.strategy->strategy.has_completion(), !marginals);
+/// release::QueryErrorProfile for the same (workload, strategy, budget) —
+/// on every engine and solve path.
+void CheckExactness(FixtureKind kind) {
+  Fixture f = MakeFixture(kind);
+  if (kind == FixtureKind::kDenseAllRange) {
+    EXPECT_EQ(f.strategy->engine(), StrategyEngine::kDense);
+  } else {
+    // The two kron fixtures pin the two implicit normal-solve paths: the
+    // all-range design carries completion rows (PCG solve), the 1-way
+    // marginals design does not (diagonal solve in the eigenbasis).
+    const auto& kron =
+        dynamic_cast<const KronStrategy&>(*f.strategy->strategy);
+    EXPECT_EQ(kron.has_completion(), kind == FixtureKind::kAllRange);
+  }
   AnswerEngine engine = MakeEngine(f);
   const std::vector<query::Predicate> preds = ParseAll(f.domain);
 
@@ -317,7 +337,7 @@ void CheckExactness(bool marginals) {
   ExplicitWorkload reference(f.domain, rows, "adhoc");
   const linalg::Vector values = reference.Answer(f.release->x_hat);
   const linalg::Vector profile =
-      release::QueryErrorProfile(reference, f.strategy->strategy, f.budget);
+      release::QueryErrorProfile(reference, *f.strategy->strategy, f.budget);
 
   // Scalar path (cold cache).
   for (std::size_t q = 0; q < preds.size(); ++q) {
@@ -363,10 +383,20 @@ void CheckExactness(bool marginals) {
 
 // Covers the PCG normal-solve path (the 4x4 all-range design completes 12
 // deficient columns).
-TEST(AnswerEngine, ExactlyMatchesReferenceAllRange) { CheckExactness(false); }
+TEST(AnswerEngine, ExactlyMatchesReferenceAllRange) {
+  CheckExactness(FixtureKind::kAllRange);
+}
 
 // Covers the diagonal normal-solve path (no completion rows).
-TEST(AnswerEngine, ExactlyMatchesReferenceMarginals) { CheckExactness(true); }
+TEST(AnswerEngine, ExactlyMatchesReferenceMarginals) {
+  CheckExactness(FixtureKind::kMarginals);
+}
+
+// Covers the dense engine: same serving loop, same exactness contract,
+// roots solved through the cached Gram pseudo-inverse.
+TEST(AnswerEngine, ExactlyMatchesReferenceDenseEngine) {
+  CheckExactness(FixtureKind::kDenseAllRange);
+}
 
 TEST(AnswerEngine, AnswerTextParsesAndAnswers) {
   Fixture f = MakeFixture();
@@ -427,15 +457,24 @@ TEST(AnswerEngine, BatchesLargerThanOneChunkMatchScalarPath) {
   EXPECT_EQ(batched.root_cache_size(), scalar.root_cache_size());
 }
 
-TEST(AnswerEngine, ConcurrentReadersAgreeWithSerialReference) {
-  Fixture f = MakeFixture(true);
-  AnswerEngine serial = MakeEngine(f);
-  const std::vector<query::Predicate> preds = ParseAll(f.domain);
+/// Many readers hammer one shared engine — mixed scalar and batch calls,
+/// overlapping keys, cold cache — and must agree bitwise with a serial
+/// reference. Run under DPMM_THREADS=4 and TSan in CI. The dense variant
+/// additionally races the strategy's lazy Gram-pseudo-inverse
+/// initialization (call_once) across readers.
+void CheckConcurrentReaders(FixtureKind kind) {
+  // The serial reference runs on an independently designed (bit-identical,
+  // deterministic) fixture so the shared engine's strategy-level lazy
+  // caches are still cold when the reader threads start — otherwise the
+  // reference loop would warm the dense engine's call_once Gram-pinv and
+  // the race this test exists to exercise would never happen.
+  Fixture ref = MakeFixture(kind);
+  AnswerEngine serial = MakeEngine(ref);
+  const std::vector<query::Predicate> preds = ParseAll(ref.domain);
   std::vector<AnswerEngine::Answer> reference;
   for (const auto& p : preds) reference.push_back(serial.AnswerPredicate(p));
 
-  // Many readers hammer one shared engine — mixed scalar and batch calls,
-  // overlapping keys, cold cache. Run under DPMM_THREADS=4 and TSan in CI.
+  Fixture f = MakeFixture(kind);
   AnswerEngine shared_engine = MakeEngine(f);
   constexpr int kReaders = 4;
   constexpr int kRounds = 8;
@@ -473,6 +512,47 @@ TEST(AnswerEngine, ConcurrentReadersAgreeWithSerialReference) {
     }
   }
   EXPECT_EQ(shared_engine.root_cache_size(), preds.size());
+}
+
+TEST(AnswerEngine, ConcurrentReadersAgreeWithSerialReference) {
+  CheckConcurrentReaders(FixtureKind::kMarginals);
+}
+
+TEST(AnswerEngine, ConcurrentReadersOnDenseEngineStore) {
+  CheckConcurrentReaders(FixtureKind::kDenseAllRange);
+}
+
+/// A dense artifact survives the store round-trip and a fresh process
+/// (fresh store instance) serves from it — the full dense store-and-serve
+/// loop at the library level.
+TEST(AnswerEngine, DenseArtifactServesThroughStoreRoundTrip) {
+  const std::string root = FreshRoot();
+  Fixture f = MakeFixture(FixtureKind::kDenseAllRange);
+  {
+    StrategyStore sstore(root);
+    ASSERT_TRUE(sstore.Put(*f.strategy).ok());
+    ReleaseStore rstore(root);
+    ASSERT_TRUE(rstore.Put(*f.release).ok());
+  }
+  StrategyStore sstore(root);
+  ReleaseStore rstore(root);
+  auto strategy = sstore.Get(f.strategy->signature);
+  ASSERT_TRUE(strategy.ok()) << strategy.status().ToString();
+  EXPECT_EQ(strategy.ValueOrDie()->engine(), StrategyEngine::kDense);
+  auto release = rstore.Get(f.strategy->signature, 0);
+  ASSERT_TRUE(release.ok()) << release.status().ToString();
+  auto engine = AnswerEngine::Create(strategy.ValueOrDie(),
+                                     release.ValueOrDie(), f.domain);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  // Loaded-from-disk answers match the in-memory engine bit for bit.
+  AnswerEngine direct = MakeEngine(f);
+  for (const auto& pred : ParseAll(f.domain)) {
+    const AnswerEngine::Answer a = engine.ValueOrDie().AnswerPredicate(pred);
+    const AnswerEngine::Answer b = direct.AnswerPredicate(pred);
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.stddev, b.stddev);
+  }
 }
 
 }  // namespace

@@ -32,6 +32,12 @@ echo "==== serve: store-and-serve subsystem (ctest -L serve) ===="
 # Artifact round-trips, stores, budget ledger, answer-engine exactness.
 ctest --test-dir build --output-on-failure -L serve
 
+echo "==== api: unified strategy/mechanism API (ctest -L api) ===="
+# LinearStrategy interface, Design() engine selection, Mechanism bit-identity
+# vs the legacy per-engine paths, the v2 dense artifact kind, and the CLI's
+# dense design --save -> release --store -> serve loop.
+ctest --test-dir build --output-on-failure -L api
+
 ctest --test-dir build --output-on-failure -j4
 
 if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
@@ -41,7 +47,9 @@ fi
 
 echo "==== tsan: thread pool + kron batching + serve engine under ThreadSanitizer ===="
 # serve_test rides along: the answer engine's root cache serves concurrent
-# readers that share one strategy (lazy eigenbasis variants + pool).
+# readers that share one strategy (lazy eigenbasis variants + pool) — since
+# the engine unification, on both the kron store and a dense-engine store
+# (racing the dense strategy's lazy Gram-pinv call_once).
 TSAN_TESTS=(threading_test util_test linalg_kron_test kron_design_test serve_test)
 if [[ "${HAVE_PRESETS}" == "1" ]]; then
   cmake --preset tsan

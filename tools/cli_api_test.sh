@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# End-to-end CLI acceptance for the unified engine API (ctest label `api`):
+# an ExplicitWorkload (the paper's Fig. 1 matrix) runs the full dense
+# store-and-serve loop — design --save -> release --store (ledger charged)
+# -> serve — plus the strict --engine parsing contract and the ledger's
+# exit-3 refusal. Usage: cli_api_test.sh <path-to-dpmm_cli>
+set -euo pipefail
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+STORE="${WORK}/store"
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# An 8-cell histogram over the Fig. 1 domain (gender x gpa = 2 x 4).
+DATA="${WORK}/fig1.csv"
+{
+  echo "# domain: 2,4"
+  for i in 0 1 2 3 4 5 6 7; do echo "${i},$((10 + i * 3))"; done
+} > "${DATA}"
+
+echo "== strict --engine parsing =="
+"${CLI}" release --data "${DATA}" --workload fig1 --engine bogus \
+  >/dev/null 2>&1 && fail "--engine bogus must exit nonzero"
+rc=0; "${CLI}" release --data "${DATA}" --workload fig1 --engine bogus \
+  >/dev/null 2>&1 || rc=$?
+[ "${rc}" -eq 2 ] || fail "--engine bogus must exit 2, got ${rc}"
+rc=0; "${CLI}" release --data "${DATA}" --workload fig1 --engine dense \
+  --dense 1 >/dev/null 2>&1 || rc=$?
+[ "${rc}" -eq 2 ] || fail "--engine + --dense together must exit 2, got ${rc}"
+
+echo "== deprecated --dense alias still releases =="
+"${CLI}" release --data "${DATA}" --workload fig1 --dense 1 \
+  --epsilon 0.5 --out "${WORK}/alias.csv" 2> "${WORK}/alias.err" \
+  || fail "release --dense 1 failed"
+grep -q "deprecated" "${WORK}/alias.err" || fail "missing deprecation note"
+
+echo "== dense design --save =="
+"${CLI}" design --domain 2,4 --workload fig1 --save "${STORE}" \
+  > "${WORK}/design.out" || fail "dense design --save failed"
+grep -q "engine dense" "${WORK}/design.out" || fail "design did not report the dense engine"
+
+echo "== release --store against the dense artifact =="
+"${CLI}" release --data "${DATA}" --workload fig1 --store "${STORE}" \
+  --dataset fig1 --epsilon 0.4 --delta 1e-4 \
+  --total-epsilon 0.5 --total-delta 2e-4 --seed 7 \
+  > "${WORK}/release.csv" 2> "${WORK}/release.err" \
+  || fail "release --store failed"
+grep -q "reusing stored strategy" "${WORK}/release.err" \
+  || fail "release did not reuse the stored dense strategy"
+grep -q "stored release 0" "${WORK}/release.err" || fail "release not stored"
+
+echo "== explicit --engine contradicting the stored engine exits 2 =="
+rc=0; "${CLI}" release --data "${DATA}" --workload fig1 --store "${STORE}" \
+  --dataset fig1 --epsilon 0.01 --engine kron >/dev/null 2>&1 || rc=$?
+[ "${rc}" -eq 2 ] || fail "--engine kron on a dense store must exit 2, got ${rc}"
+
+echo "== ledger refusal exits 3 =="
+rc=0; "${CLI}" release --data "${DATA}" --workload fig1 --store "${STORE}" \
+  --dataset fig1 --epsilon 0.4 --delta 1e-4 >/dev/null 2>&1 || rc=$?
+[ "${rc}" -eq 3 ] || fail "over-budget release must exit 3, got ${rc}"
+
+echo "== serve from the dense artifact =="
+printf '*\nA1 = 0 AND A2 <= 1\nquit\n' | \
+  "${CLI}" serve --store "${STORE}" --domain 2,4 --workload fig1 \
+  > "${WORK}/serve.out" 2> "${WORK}/serve.err" || fail "serve failed"
+grep -q "engine dense" "${WORK}/serve.err" || fail "serve did not report the dense engine"
+[ "$(grep -c '±' "${WORK}/serve.out")" -eq 2 ] || fail "expected 2 served answers"
+# Sanity: the total query's answer is a finite number with a finite bar.
+awk 'NR==1 { if ($1+0 != $1 || $3+0 != $3) exit 1 }' "${WORK}/serve.out" \
+  || fail "served answer not numeric"
+
+echo "== strategy file round-trip through release --strategy =="
+"${CLI}" design --domain 2,4 --workload fig1 --out "${WORK}/fig1.strategy" \
+  >/dev/null || fail "design --out failed"
+"${CLI}" release --data "${DATA}" --workload fig1 \
+  --strategy "${WORK}/fig1.strategy" --epsilon 0.5 \
+  --out "${WORK}/answers.csv" >/dev/null || fail "release --strategy failed"
+[ -s "${WORK}/answers.csv" ] || fail "no answers written"
+
+echo "cli_api_test: all green"

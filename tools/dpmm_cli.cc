@@ -3,18 +3,18 @@
 // Subcommands:
 //   error    --domain 8,16,16 --workload allrange [--epsilon E --delta D]
 //            Analytic error comparison (eigen design vs baselines vs bound).
-//   design   --domain 8,16,16 --workload allrange --out strategy.txt
+//   design   --domain 8,16,16 --workload allrange --out strategy.bin
 //            Run the Eigen-Design once and persist the strategy (selection
 //            is database-independent and reusable).
 //   release  --data hist.csv --workload allrange --epsilon E [--delta D]
-//            [--seed S] [--strategy strategy.txt] [--out answers.csv]
+//            [--seed S] [--strategy strategy.bin] [--out answers.csv]
 //            [--batch B]
 //            One private release of the workload answers — or, with
 //            --batch B, B releases in one pass (the budget is split evenly
 //            by sequential composition; structured workloads share the
 //            factorization and the block normal solve across the batch).
 //   synth    --data hist.csv --epsilon E [--delta D] [--seed S]
-//            [--strategy strategy.txt] [--out synth.csv]
+//            [--strategy strategy.bin] [--out synth.csv]
 //            Private synthetic histogram (designed for the all-range
 //            workload, then post-processed to nonnegative integers).
 //   serve    --store DIR --domain 8,16,16 [--workload allrange]
@@ -35,15 +35,18 @@
 //                        artifacts in a fresh process.
 //
 // Option parsing is strict: unknown or misspelled options, missing values,
-// malformed numeric/boolean values and out-of-range --solver/--gap-tol
-// values are hard errors (exit 2), never silently-ignored fallbacks.
+// malformed numeric/boolean values and out-of-range
+// --solver/--gap-tol/--engine values are hard errors (exit 2), never
+// silently-ignored fallbacks.
 // A release refused by the budget ledger (it would exceed the dataset's
 // lifetime (eps, delta)) exits with the distinct code 3.
-// Commands that run a design accept --solver ascent|fista|lbfgs and
-// --gap-tol G; release output reports the achieved duality gap and
-// iteration count.
+// Commands that run a design accept --engine auto|dense|kron (auto = the
+// implicit pipeline whenever the workload has Kronecker eigenstructure,
+// dense otherwise; --dense B is a deprecated alias), --solver
+// ascent|fista|lbfgs and --gap-tol G; release output reports the engine,
+// the achieved duality gap and the iteration count.
 //
-// Workload specs: allrange | cdf | marginals:K | rangemarginals:K
+// Workload specs: allrange | cdf | marginals:K | rangemarginals:K | fig1
 // Histogram CSV format: see data::SaveCsv (header "# domain: d1,d2,...").
 #include <cctype>
 #include <cerrno>
@@ -81,14 +84,15 @@ constexpr int kExitBudget = 3;
 const std::map<std::string, std::set<std::string>>& KnownOptions() {
   static const auto* kKnown = new std::map<std::string, std::set<std::string>>{
       {"error", {"domain", "workload", "epsilon", "delta", "solver", "gap-tol"}},
-      {"design", {"domain", "workload", "out", "save", "solver", "gap-tol"}},
+      {"design",
+       {"domain", "workload", "out", "save", "solver", "gap-tol", "engine"}},
       {"release",
        {"data", "workload", "epsilon", "delta", "seed", "strategy", "out",
-        "dense", "batch", "solver", "gap-tol", "store", "dataset",
+        "engine", "dense", "batch", "solver", "gap-tol", "store", "dataset",
         "total-epsilon", "total-delta"}},
       {"synth",
        {"data", "workload", "epsilon", "delta", "seed", "strategy", "out",
-        "dense", "solver", "gap-tol"}},
+        "engine", "dense", "solver", "gap-tol"}},
       {"serve", {"store", "domain", "workload", "release"}},
   };
   return *kKnown;
@@ -235,6 +239,19 @@ Result<std::shared_ptr<Workload>> ParseWorkload(const std::string& spec,
   if (spec == "allrange") {
     return std::shared_ptr<Workload>(new AllRangeWorkload(domain));
   }
+  if (spec == "fig1") {
+    // The paper's Fig. 1 running example: 8 explicit queries over the
+    // 2 x 4 gender x gpa domain — an unstructured workload that exercises
+    // the dense engine end to end (design --save, release --store, serve).
+    linalg::Matrix m = builders::Fig1Matrix();
+    if (domain.NumCells() != m.cols()) {
+      return Status::InvalidArgument(
+          "fig1 workload needs a domain with " + std::to_string(m.cols()) +
+          " cells (e.g. --domain 2,4)");
+    }
+    return std::shared_ptr<Workload>(
+        new ExplicitWorkload(domain, std::move(m), "Fig1"));
+  }
   if (spec == "cdf") {
     if (domain.num_attributes() != 1) {
       return Status::InvalidArgument("cdf workload requires a 1-D domain");
@@ -296,6 +313,64 @@ bool ParseSolverOptions(const Args& args,
     return false;
   }
   options->solver.relative_gap_tol = gap_tol;
+  return true;
+}
+
+/// Engine selection for every design-running command: --engine
+/// auto|dense|kron (strict: anything else exits 2). --dense B survives as a
+/// deprecated alias (true = --engine dense, false = --engine auto) so old
+/// scripts keep working; passing both is a hard error rather than a silent
+/// precedence rule.
+bool ParseEngineOption(const Args& args, optimize::EngineSelection* engine) {
+  const auto engine_it = args.options.find("engine");
+  const auto dense_it = args.options.find("dense");
+  if (engine_it != args.options.end() && dense_it != args.options.end()) {
+    std::fprintf(stderr,
+                 "--dense is a deprecated alias of --engine; pass only one\n");
+    return false;
+  }
+  if (engine_it != args.options.end()) {
+    const auto parsed = optimize::ParseEngineSelection(engine_it->second);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr,
+                   "option --engine expects auto|dense|kron, got '%s'\n",
+                   engine_it->second.c_str());
+      return false;
+    }
+    *engine = *parsed;
+    return true;
+  }
+  if (dense_it != args.options.end()) {
+    bool force_dense = false;
+    if (!ParseBool(dense_it->second, &force_dense)) {
+      std::fprintf(stderr,
+                   "option --dense expects a boolean (1/0/true/false), got "
+                   "'%s'\n",
+                   dense_it->second.c_str());
+      return false;
+    }
+    *engine = force_dense ? optimize::EngineSelection::kDense
+                          : optimize::EngineSelection::kAuto;
+    std::fprintf(stderr, "note: --dense is deprecated; use --engine %s\n",
+                 optimize::EngineSelectionName(*engine));
+  }
+  return true;
+}
+
+/// True when a reused (stored or file-loaded) strategy's engine satisfies
+/// an explicit --engine request; auto accepts anything. An explicit engine
+/// is an assertion — silently releasing through the other engine would
+/// defeat exactly the guarantee the flag exists to give.
+bool EngineMatchesSelection(StrategyEngine engine,
+                            optimize::EngineSelection selection) {
+  switch (selection) {
+    case optimize::EngineSelection::kAuto:
+      return true;
+    case optimize::EngineSelection::kDense:
+      return engine == StrategyEngine::kDense;
+    case optimize::EngineSelection::kKron:
+      return engine == StrategyEngine::kKron;
+  }
   return true;
 }
 
@@ -376,32 +451,26 @@ int CmdDesign(const Args& args) {
                  "--save <store dir>\n");
     return kExitUsage;
   }
-  optimize::EigenDesignOptions design_options;
+  optimize::DesignOptions design_options;
   if (!ParseSolverOptions(args, &design_options)) return kExitUsage;
+  if (!ParseEngineOption(args, &design_options.engine)) return kExitUsage;
   const Workload& w = *workload.ValueOrDie();
 
+  // One unified design run serves both sinks: the store artifact keeps the
+  // strategy in its native engine form (implicit strategies stay a few
+  // small factors, explicit strategies a p x n matrix), the standalone
+  // --out file gets the dense form.
+  Stopwatch sw;
+  auto design = optimize::Design(w, design_options);
+  if (!design.ok()) {
+    std::fprintf(stderr, "%s\n", design.status().ToString().c_str());
+    return kExitUsage;
+  }
+  auto& d = design.ValueOrDie();
+
   if (!save_root.empty()) {
-    // The store holds implicit Kronecker strategies — the form whose design
-    // is worth persisting (it reaches domain sizes the dense path cannot)
-    // and whose artifact is a few small factors instead of a p x n matrix.
-    if (!w.ImplicitEigen().has_value()) {
-      std::fprintf(stderr,
-                   "workload '%s' exposes no Kronecker eigenstructure; "
-                   "--save needs the implicit pipeline (use --out for a "
-                   "dense strategy file)\n",
-                   spec.c_str());
-      return kExitUsage;
-    }
-    Stopwatch sw;
-    auto design = optimize::EigenDesignKronForWorkload(w, design_options);
-    if (!design.ok()) {
-      std::fprintf(stderr, "%s\n", design.status().ToString().c_str());
-      return kExitUsage;
-    }
-    auto& d = design.ValueOrDie();
     serialize::StrategyArtifact artifact;
-    artifact.signature =
-        serve::CanonicalSignature(spec, w.domain());
+    artifact.signature = serve::CanonicalSignature(spec, w.domain());
     artifact.domain_sizes = w.domain().sizes();
     artifact.strategy = d.strategy;
     artifact.solver_report = d.solver_report;
@@ -413,38 +482,36 @@ int CmdDesign(const Args& args) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return kExitUsage;
     }
-    std::printf("designed strategy for %s in %.1fs (rank %zu, solver %s, "
-                "gap %.1e in %d iterations); stored as %s (key %s)\n",
-                w.Name().c_str(), sw.Seconds(), d.rank,
-                optimize::SolverMethodName(d.solver_report.method),
+    std::printf("designed strategy for %s in %.1fs (engine %s, rank %zu, "
+                "solver %s, gap %.1e in %d iterations); stored as %s "
+                "(key %s)\n",
+                w.Name().c_str(), sw.Seconds(), StrategyEngineName(d.engine),
+                d.rank, optimize::SolverMethodName(d.solver_report.method),
                 d.duality_gap, d.solver_iterations,
                 artifact.signature.c_str(),
                 serve::StoreKey(artifact.signature).c_str());
-    if (!out.empty()) {
-      // One design serves both sinks: the text file gets the materialized
-      // form of the same strategy.
-      st = strategy_io::SaveStrategy(d.strategy.Materialize(), out);
-      if (!st.ok()) {
-        std::fprintf(stderr, "%s\n", st.ToString().c_str());
-        return kExitUsage;
-      }
+  }
+  if (!out.empty()) {
+    const Strategy dense =
+        d.engine == StrategyEngine::kKron
+            ? dynamic_cast<const KronStrategy&>(*d.strategy).Materialize()
+            : dynamic_cast<const Strategy&>(*d.strategy);
+    Status st = strategy_io::SaveStrategy(dense, out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return kExitUsage;
+    }
+    if (save_root.empty()) {
+      std::printf("designed strategy for %s in %.1fs (engine %s, rank %zu, "
+                  "solver %s, gap %.1e in %d iterations); wrote %s\n",
+                  w.Name().c_str(), sw.Seconds(),
+                  StrategyEngineName(d.engine), d.rank,
+                  optimize::SolverMethodName(d.solver_report.method),
+                  d.duality_gap, d.solver_iterations, out.c_str());
+    } else {
       std::printf("wrote %s\n", out.c_str());
     }
-    return 0;
   }
-
-  Stopwatch sw;
-  auto design = optimize::EigenDesign(w.Gram(), design_options).ValueOrDie();
-  Status st = strategy_io::SaveStrategy(design.strategy, out);
-  if (!st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return kExitUsage;
-  }
-  std::printf("designed strategy for %s in %.1fs (rank %zu, solver %s, "
-              "gap %.1e in %d iterations); wrote %s\n",
-              w.Name().c_str(), sw.Seconds(), design.rank,
-              optimize::SolverMethodName(design.solver_report.method),
-              design.duality_gap, design.solver_iterations, out.c_str());
   return 0;
 }
 
@@ -454,14 +521,12 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
   // (or being masked by an I/O error).
   PrivacyParams privacy;
   if (!ParsePrivacy(args, &privacy)) return 2;
-  optimize::EigenDesignOptions design_options;
+  optimize::DesignOptions design_options;
   if (!ParseSolverOptions(args, &design_options)) return 2;
+  if (!ParseEngineOption(args, &design_options.engine)) return 2;
   unsigned long long seed = 0;
-  bool force_dense = false;
   unsigned long long batch = 1;
-  if (!U64Opt(args, "seed", 42, &seed) ||
-      !BoolOpt(args, "dense", false, &force_dense) ||
-      !U64Opt(args, "batch", 1, &batch)) {
+  if (!U64Opt(args, "seed", 42, &seed) || !U64Opt(args, "batch", 1, &batch)) {
     return 2;
   }
   // Upper bound keeps a typo'd batch from aborting on a multi-hundred-GB
@@ -491,25 +556,16 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
       privacy, std::vector<double>(static_cast<std::size_t>(batch), 1.0));
 
   // Reuse a persisted strategy when provided; otherwise design now —
-  // through the implicit Kronecker pipeline when the workload has one
-  // (pass --dense 1 to force the dense path), so structured releases never
-  // materialize an n x n matrix. The 1-D case rides the same path since the
-  // eigenbasis variants became lazy (a single large factor no longer pays
-  // for transposed/squared/abs copies it never applies).
+  // through the engine --engine selects (auto = the implicit Kronecker
+  // pipeline when the workload has one, so structured releases never
+  // materialize an n x n matrix; dense for unstructured workloads). The
+  // release assembly itself is engine-agnostic: release::ReleaseBatch
+  // dispatches through the LinearStrategy interface.
   Rng rng(seed);
   std::vector<linalg::Vector> x_hats;
   // Release output reports the Program-1 convergence certificate whenever a
   // design ran (empty for persisted strategies: no solve happened).
   std::string solver_note;
-  // Dense-path batches reuse one prepared mechanism for every release: the
-  // CLI's split is always even, so all budgets are identical. (Library
-  // callers doing uneven splits re-budget via MatrixMechanism::WithPrivacy
-  // without refactorizing.)
-  auto run_dense_budgets = [&](const MatrixMechanism& base) {
-    for (std::size_t b = 0; b < budgets.size(); ++b) {
-      x_hats.push_back(base.InferX(data_vec.counts, &rng));
-    }
-  };
   const std::string strategy_path = Opt(args, "strategy");
   const std::string store_root = Opt(args, "store");
   if (!store_root.empty() && !strategy_path.empty()) {
@@ -531,9 +587,19 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
     auto stored = sstore.Get(signature);
     if (stored.ok()) {
       artifact = std::move(stored).ValueOrDie();
+      if (!EngineMatchesSelection(artifact->engine(), design_options.engine)) {
+        std::fprintf(
+            stderr,
+            "stored strategy for %s uses the %s engine, but --engine %s was "
+            "requested; drop --engine or re-design into a fresh store\n",
+            signature.c_str(), StrategyEngineName(artifact->engine()),
+            optimize::EngineSelectionName(design_options.engine));
+        return kExitUsage;
+      }
       char note[160];
       std::snprintf(note, sizeof(note),
-                    ", stored strategy (design solver=%s gap=%.3e)",
+                    ", stored strategy (engine=%s design solver=%s gap=%.3e)",
+                    StrategyEngineName(artifact->engine()),
                     optimize::SolverMethodName(
                         artifact->solver_report.method),
                     artifact->duality_gap);
@@ -543,14 +609,7 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
                    "eigen-design run\n",
                    signature.c_str(), serve::StoreKey(signature).c_str());
     } else if (stored.status().code() == StatusCode::kNotFound) {
-      if (!w.ImplicitEigen().has_value()) {
-        std::fprintf(stderr,
-                     "workload '%s' exposes no Kronecker eigenstructure; "
-                     "--store needs the implicit pipeline\n",
-                     spec.c_str());
-        return kExitUsage;
-      }
-      auto design = optimize::EigenDesignKronForWorkload(w, design_options);
+      auto design = optimize::Design(w, design_options);
       if (!design.ok()) {
         std::fprintf(stderr, "%s\n", design.status().ToString().c_str());
         return kExitUsage;
@@ -559,7 +618,7 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
       auto fresh = std::make_shared<serialize::StrategyArtifact>();
       fresh->signature = signature;
       fresh->domain_sizes = data_vec.domain.sizes();
-      fresh->strategy = std::move(d.strategy);
+      fresh->strategy = d.strategy;
       fresh->solver_report = d.solver_report;
       fresh->duality_gap = d.duality_gap;
       fresh->rank = d.rank;
@@ -569,14 +628,17 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
         return kExitUsage;
       }
       char note[128];
-      std::snprintf(note, sizeof(note), ", solver=%s gap=%.3e iterations=%d",
+      std::snprintf(note, sizeof(note),
+                    ", engine=%s solver=%s gap=%.3e iterations=%d",
+                    StrategyEngineName(d.engine),
                     optimize::SolverMethodName(d.solver_report.method),
                     d.duality_gap, d.solver_report.iterations);
       solver_note = note;
       std::fprintf(stderr,
-                   "designed and stored strategy for %s (key %s, rank %zu)\n",
+                   "designed and stored strategy for %s (key %s, engine %s, "
+                   "rank %zu)\n",
                    signature.c_str(), serve::StoreKey(signature).c_str(),
-                   d.rank);
+                   StrategyEngineName(d.engine), d.rank);
       artifact = std::move(fresh);
     } else {
       std::fprintf(stderr, "%s\n", stored.status().ToString().c_str());
@@ -623,7 +685,7 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
                  dataset.c_str(), entry.spent.epsilon, entry.spent.delta,
                  entry.total.epsilon, entry.total.delta, entry.charges);
 
-    x_hats = release::ReleaseBatch(artifact->strategy, data_vec.counts,
+    x_hats = release::ReleaseBatch(*artifact->strategy, data_vec.counts,
                                    budgets, &rng)
                  .x_hats;
 
@@ -653,44 +715,52 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
       return 2;
     }
     Strategy strategy = std::move(loaded_strategy).ValueOrDie();
+    if (!EngineMatchesSelection(strategy.engine(), design_options.engine)) {
+      std::fprintf(stderr,
+                   "--strategy files hold dense strategies, but --engine %s "
+                   "was requested\n",
+                   optimize::EngineSelectionName(design_options.engine));
+      return 2;
+    }
     if (strategy.num_cells() != data_vec.domain.NumCells()) {
       std::fprintf(stderr, "strategy has %zu cells, data has %zu\n",
                    strategy.num_cells(), data_vec.domain.NumCells());
       return 2;
     }
-    run_dense_budgets(
-        MatrixMechanism::Prepare(std::move(strategy), budgets[0])
-            .ValueOrDie());
+    x_hats = release::ReleaseBatch(strategy, data_vec.counts, budgets, &rng)
+                 .x_hats;
   } else {
-    auto designed = DesignMechanism(w, budgets[0], design_options, force_dense);
-    if (!designed.ok() && !force_dense && w.ImplicitEigen().has_value()) {
+    auto designed = optimize::Design(w, design_options);
+    if (!designed.ok() &&
+        design_options.engine == optimize::EngineSelection::kAuto &&
+        w.ImplicitEigen().has_value()) {
       std::fprintf(stderr, "kron fast path failed (%s); using dense path\n",
                    designed.status().ToString().c_str());
-      designed = DesignMechanism(w, budgets[0], design_options,
-                                 /*force_dense=*/true);
+      optimize::DesignOptions dense_options = design_options;
+      dense_options.engine = optimize::EngineSelection::kDense;
+      designed = optimize::Design(w, dense_options);
     }
     if (!designed.ok()) {
       std::fprintf(stderr, "%s\n", designed.status().ToString().c_str());
       return 2;
     }
-    auto& dm = designed.ValueOrDie();
+    auto& d = designed.ValueOrDie();
     char note[128];
     std::snprintf(note, sizeof(note),
-                  ", solver=%s gap=%.3e iterations=%d",
-                  optimize::SolverMethodName(dm.solver_report.method),
-                  dm.duality_gap, dm.solver_report.iterations);
+                  ", engine=%s solver=%s gap=%.3e iterations=%d",
+                  StrategyEngineName(d.engine),
+                  optimize::SolverMethodName(d.solver_report.method),
+                  d.duality_gap, d.solver_report.iterations);
     solver_note = note;
-    if (dm.kron.has_value()) {
+    if (d.engine == StrategyEngine::kKron) {
       std::fprintf(stderr,
                    "kron fast path: implicit strategy over %zu cells "
                    "(rank %zu%s)\n",
-                   w.num_cells(), dm.rank, solver_note.c_str());
-      x_hats = release::ReleaseBatch(dm.kron->strategy(), data_vec.counts,
-                                     budgets, &rng)
-                   .x_hats;
-    } else {
-      run_dense_budgets(*dm.dense);
+                   w.num_cells(), d.rank, solver_note.c_str());
     }
+    x_hats = release::ReleaseBatch(*d.strategy, data_vec.counts, budgets,
+                                   &rng)
+                 .x_hats;
   }
 
   const std::string out = Opt(args, "out");
@@ -832,10 +902,11 @@ int CmdServe(const Args& args) {
   const serve::AnswerEngine& eng = engine.ValueOrDie();
   const auto& rel = eng.release_artifact();
   std::fprintf(stderr,
-               "serving %s release %llu (dataset '%s', eps=%g, delta=%g, "
-               "seed=%llu, batch index %llu) over %zu cells\n",
-               signature.c_str(), release_id, rel.dataset.c_str(),
-               rel.budget.epsilon, rel.budget.delta,
+               "serving %s release %llu (engine %s, dataset '%s', eps=%g, "
+               "delta=%g, seed=%llu, batch index %llu) over %zu cells\n",
+               signature.c_str(), release_id,
+               StrategyEngineName(eng.strategy_artifact().engine()),
+               rel.dataset.c_str(), rel.budget.epsilon, rel.budget.delta,
                static_cast<unsigned long long>(rel.seed),
                static_cast<unsigned long long>(rel.batch_index),
                eng.domain().NumCells());
@@ -907,14 +978,18 @@ void Usage() {
                "usage: dpmm_cli <error|design|release|synth|serve> "
                "[--domain 8,16,16]\n"
                "                [--workload allrange|cdf|marginals:K|"
-               "rangemarginals:K]\n"
+               "rangemarginals:K|fig1]\n"
                "                [--data hist.csv] [--epsilon E] [--delta D]\n"
-               "                [--seed S] [--strategy strategy.txt] [--out file.csv]\n"
+               "                [--seed S] [--strategy strategy.bin] [--out file.csv]\n"
                "                [--batch B]   release only: B releases in one\n"
                "                pass, budget split evenly across the batch\n"
-               "                [--dense 1]   force the dense pipeline for\n"
-               "                release/synth (structured workloads use the\n"
-               "                implicit Kronecker fast path by default)\n"
+               "                [--engine auto|dense|kron]  strategy engine\n"
+               "                for design/release/synth: auto (default)\n"
+               "                rides the implicit Kronecker pipeline when\n"
+               "                the workload has one and the dense pipeline\n"
+               "                otherwise; dense/kron force one (kron on an\n"
+               "                unstructured workload is an error). --dense B\n"
+               "                is a deprecated alias (true = --engine dense)\n"
                "                [--solver ascent|fista|lbfgs]  Program-1 dual\n"
                "                solver (lbfgs = FISTA warm start + projected\n"
                "                L-BFGS, reaches ~1e-10 gaps where ascent\n"
@@ -924,8 +999,9 @@ void Usage() {
                "                (fista/lbfgs); release output reports the\n"
                "                achieved gap and iteration count\n"
                "store-and-serve (design once, serve many):\n"
-               "                [--save DIR]   design: persist the implicit\n"
-               "                strategy in the artifact store at DIR\n"
+               "                [--save DIR]   design: persist the designed\n"
+               "                strategy (either engine) in the artifact\n"
+               "                store at DIR\n"
                "                [--store DIR]  release: reuse the stored\n"
                "                strategy (design on first use), charge the\n"
                "                dataset's budget ledger, store the estimate;\n"

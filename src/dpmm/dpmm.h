@@ -62,7 +62,10 @@
 #include "serialize/artifact.h"
 #include "serve/answer_engine.h"
 #include "serve/budget_ledger.h"
+#include "serve/file_lock.h"
+#include "serve/fs_ops.h"
 #include "serve/store.h"
+#include "serve/wal.h"
 #include "strategy/datacube.h"
 #include "strategy/fourier.h"
 #include "strategy/hierarchical.h"

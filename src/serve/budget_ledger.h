@@ -1,28 +1,50 @@
-// Persistent cumulative privacy accounting across releases of one dataset.
-// Sequential composition (the same rule release::SplitBudget divides a
-// single run's budget by) says the (eps, delta) of all releases over one
-// database sum; a serving deployment therefore needs a durable record of
-// what has been spent, or re-running `release` enough times silently
-// destroys the privacy guarantee. The ledger is that record: one entry per
-// dataset label, holding the dataset's fixed total budget and the running
-// spent sum, persisted as a human-readable text file under
-// <root>/ledger/<dataset-key>.ledger.
+// Persistent cumulative privacy accounting across releases of one dataset —
+// crash-safe and multi-process-safe. Sequential composition (the same rule
+// release::SplitBudget divides a single run's budget by) says the
+// (eps, delta) of all releases over one database sum; a serving deployment
+// therefore needs a durable record of what has been spent, or re-running
+// `release` enough times silently destroys the privacy guarantee. The
+// ledger is that record, and it is the one component where a lost, doubled
+// or torn update is a *privacy* violation rather than a data bug — so it
+// uses the write-ahead-log discipline of LSM storage engines:
 //
-// Charge() is the only mutation: it refuses — with Status::ResourceExhausted
-// and without recording anything — any request that would push the spent sum
-// past the total in either epsilon or delta. The CLI maps that refusal to
-// its own distinct exit code (3), separate from usage errors (2).
+//   <root>/ledger/<key>.ledger      checkpoint snapshot (human-readable)
+//   <root>/ledger/<key>.wal         append-only charge log (serve/wal.h)
+//   <root>/ledger/<key>.lock        per-dataset advisory lock
+//   <root>/ledger/<key>.ledger.corrupt-<n>   quarantined damaged snapshots
 //
-// Scope: one writer at a time per dataset (the CLI's release path). Entries
-// are rewritten atomically (temp file + rename), so a crash mid-charge
-// leaves either the old or the new state, never a torn file; concurrent
-// writers from separate processes are not arbitrated beyond that.
+// Every charge is: acquire the exclusive per-dataset file lock → recover
+// the current state (snapshot + WAL replay, torn tail truncated) → check
+// the budget → append one fsync'd WAL record → apply. The charge is
+// acknowledged only after its record is durable, so a crash at any syscall
+// boundary leaves recovery on exactly the pre- or post-charge state, never
+// torn and never under-counted. Records carry a sequence number (skipped on
+// replay when already covered by the snapshot) and a caller-suppliable
+// charge id (a retry of an acknowledged charge is recognized and applied
+// exactly once). Every `checkpoint_interval` records the WAL is compacted
+// into the snapshot; the ids it contained are kept in the snapshot as the
+// idempotency window.
+//
+// Failure semantics:
+//  - over-budget requests: Status::ResourceExhausted, nothing recorded
+//    (CLI exit 3);
+//  - lock not acquired within the timeout: Status::Unavailable (CLI exit
+//    4) — another release/recover process owns the dataset right now;
+//  - a snapshot that fails to parse is quarantined (renamed to
+//    .corrupt-<n>) and every operation returns Status::DataLoss (CLI exit
+//    5) until `dpmm_cli ledger recover` reconstructs the state (possible
+//    when the WAL holds the full history) or an operator restores from
+//    backup. Serving fails closed: a damaged entry is never mistaken for
+//    "never charged".
 #ifndef DPMM_SERVE_BUDGET_LEDGER_H_
 #define DPMM_SERVE_BUDGET_LEDGER_H_
 
+#include <cstddef>
 #include <string>
 
 #include "mechanism/privacy.h"
+#include "serve/file_lock.h"
+#include "serve/fs_ops.h"
 #include "util/status.h"
 
 namespace dpmm {
@@ -45,31 +67,66 @@ struct LedgerEntry {
   bool Overdrawn() const;
 };
 
+struct LedgerOptions {
+  /// Filesystem seam (nullptr = the real filesystem). Fault-injection
+  /// doubles go here; reads always see the real files.
+  FsOps* fs = nullptr;
+  /// WAL records accumulated before compaction into the snapshot.
+  std::size_t checkpoint_interval = 8;
+  /// How long Charge/Recover wait for the per-dataset exclusive lock.
+  FileLockOptions lock;
+};
+
 class BudgetLedger {
  public:
   /// Ledger files live under <root>/ledger/.
-  explicit BudgetLedger(std::string root);
+  explicit BudgetLedger(std::string root) : BudgetLedger(std::move(root), {}) {}
+  BudgetLedger(std::string root, LedgerOptions options);
 
   const std::string& root() const { return root_; }
 
-  /// Reads a dataset's entry; NotFound when it has never been charged.
+  /// Reads a dataset's recovered state (snapshot + WAL replay, under a
+  /// shared lock); NotFound when it has never been charged, DataLoss when
+  /// its snapshot is damaged/quarantined. Never mutates accounting state
+  /// (a damaged snapshot is quarantined as a side effect of detection).
   Result<LedgerEntry> Read(const std::string& dataset) const;
 
-  /// Charges `request` against the dataset's budget and persists the new
-  /// state. The first charge creates the entry with `total` as the lifetime
-  /// budget; subsequent charges require the same total (mismatch is
-  /// InvalidArgument — the lifetime budget of a dataset is not
-  /// renegotiable). A request that would exceed the total in epsilon or
-  /// delta returns ResourceExhausted and records nothing. Returns the entry
-  /// state after the charge.
+  /// Charges `request` against the dataset's budget: WAL-append → fsync →
+  /// apply, under the dataset's exclusive file lock. The first charge
+  /// creates the entry with `total` as the lifetime budget; subsequent
+  /// charges require the same total (mismatch is InvalidArgument — the
+  /// lifetime budget of a dataset is not renegotiable). A request that
+  /// would exceed the total in epsilon or delta returns ResourceExhausted
+  /// and records nothing. A non-empty `charge_id` makes the charge
+  /// idempotent: re-issuing an id that is already recorded (a crashed
+  /// run's retry) applies nothing and returns the current state. Returns
+  /// the entry state after the charge.
   Result<LedgerEntry> Charge(const std::string& dataset,
                              const PrivacyParams& total,
-                             const PrivacyParams& request);
+                             const PrivacyParams& request,
+                             const std::string& charge_id = "");
+
+  /// Explicit recovery under the exclusive lock: replays the WAL onto the
+  /// snapshot, truncates any torn tail, compacts into a fresh checkpoint,
+  /// and returns the recovered entry. When the snapshot is quarantined but
+  /// the WAL holds the dataset's full history (its first record is charge
+  /// #1), the state is rebuilt from the WAL alone; otherwise DataLoss
+  /// stands and an operator must restore the snapshot from backup.
+  Result<LedgerEntry> Recover(const std::string& dataset);
 
  private:
-  std::string PathFor(const std::string& dataset) const;
+  struct LoadedState;
+
+  std::string SnapshotPath(const std::string& dataset) const;
+  std::string WalPath(const std::string& dataset) const;
+  std::string LockPath(const std::string& dataset) const;
+  Status LoadState(const std::string& dataset, bool quarantine_on_damage,
+                   LoadedState* state) const;
+  Status CheckpointLocked(const LoadedState& state) const;
+  FsOps* fs() const;
 
   std::string root_;
+  LedgerOptions options_;
 };
 
 }  // namespace serve

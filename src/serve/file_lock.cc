@@ -1,0 +1,83 @@
+#include "serve/file_lock.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace dpmm {
+namespace serve {
+
+namespace {
+
+/// Cheap xorshift for backoff jitter; seeded per process so concurrent
+/// waiters desynchronize. Time-free and dependency-free on purpose.
+std::uint64_t NextJitter() {
+  static std::uint64_t state =
+      0x9E3779B97F4A7C15ull ^ (static_cast<std::uint64_t>(::getpid()) << 17);
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+}  // namespace
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+  if (this != &other) {
+    Release();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void FileLock::Release() {
+  if (fd_ < 0) return;
+  // Closing the fd drops the flock; no separate LOCK_UN needed.
+  ::close(fd_);
+  fd_ = -1;
+}
+
+Result<FileLock> FileLock::Acquire(const std::string& path,
+                                   const FileLockOptions& options) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open lock file " + path + ": " +
+                           std::strerror(errno));
+  }
+  const int op = (options.shared ? LOCK_SH : LOCK_EX) | LOCK_NB;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options.timeout_ms);
+  int backoff_ms = options.base_backoff_ms > 0 ? options.base_backoff_ms : 1;
+  for (;;) {
+    if (::flock(fd, op) == 0) return FileLock(fd);
+    if (errno != EWOULDBLOCK && errno != EINTR) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::IoError("cannot lock " + path + ": " + err);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    // Exponential backoff with up to +50% jitter, clamped so the last
+    // sleep does not overshoot the deadline by a full period.
+    const int jitter =
+        static_cast<int>(NextJitter() % (backoff_ms / 2 + 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms + jitter));
+    if (backoff_ms < options.max_backoff_ms) {
+      backoff_ms = std::min(options.max_backoff_ms, backoff_ms * 2);
+    }
+  }
+  ::close(fd);
+  return Status::Unavailable(
+      "could not acquire " + std::string(options.shared ? "shared" : "exclusive") +
+      " lock on " + path + " within " + std::to_string(options.timeout_ms) +
+      "ms (another release/recover process holds it)");
+}
+
+}  // namespace serve
+}  // namespace dpmm

@@ -1,0 +1,62 @@
+// Multi-process arbitration for the durability layer: an advisory POSIX
+// file lock (flock(2)) per dataset, taken around every ledger mutation so
+// two racing `dpmm_cli release` processes serialize their read-check-append
+// cycles instead of silently under-counting spent budget. flock locks are
+// owned by the open file description: the kernel releases them when the
+// holding process dies, so a crashed writer can never wedge the dataset.
+//
+// Acquisition retries with exponential backoff plus deterministic-per-
+// process jitter (so N waiters don't thundering-herd in lockstep) up to a
+// bounded timeout; running out of patience is Status::Unavailable — the
+// caller's request was fine, the resource is just busy — which the CLI maps
+// to its own exit code distinct from usage errors and budget refusals.
+#ifndef DPMM_SERVE_FILE_LOCK_H_
+#define DPMM_SERVE_FILE_LOCK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace dpmm {
+namespace serve {
+
+struct FileLockOptions {
+  /// Total time to keep retrying before giving up with Unavailable.
+  /// 0 means a single non-blocking attempt.
+  int timeout_ms = 10000;
+  /// First backoff sleep; doubles per retry up to max_backoff_ms, each
+  /// sleep stretched by up to 50% jitter.
+  int base_backoff_ms = 2;
+  int max_backoff_ms = 100;
+  /// Shared (reader) instead of exclusive (writer) mode.
+  bool shared = false;
+};
+
+/// An acquired lock; releases on destruction. Movable, not copyable.
+class FileLock {
+ public:
+  /// Opens (creating if needed) `path` and locks it per `options`.
+  static Result<FileLock> Acquire(const std::string& path,
+                                  const FileLockOptions& options = {});
+
+  FileLock(FileLock&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FileLock& operator=(FileLock&& other) noexcept;
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  ~FileLock() { Release(); }
+
+  bool held() const { return fd_ >= 0; }
+  /// Unlocks early (idempotent).
+  void Release();
+
+ private:
+  explicit FileLock(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace serve
+}  // namespace dpmm
+
+#endif  // DPMM_SERVE_FILE_LOCK_H_

@@ -34,25 +34,34 @@ Status EnsureDir(const std::string& path) {
   return Status::OK();
 }
 
-Status WriteViaRename(const std::string& path, const std::string& bytes) {
+Status WriteViaRename(const std::string& path, const std::string& bytes,
+                      FsOps* fs) {
+  if (fs == nullptr) fs = SystemFsOps();
   const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IoError("cannot open for write: " + tmp);
+  auto fd = fs->OpenForWrite(tmp);
+  if (!fd.ok()) return fd.status();
+  Status st;
+  if (!bytes.empty()) st = fs->WriteAll(fd.ValueOrDie(), bytes.data(), bytes.size());
+  // The temp file must be durable *before* the rename publishes it: rename
+  // is ordered ahead of data write-back on many filesystems, so a crash
+  // after an un-fsync'd rename can leave the published name holding an
+  // empty or truncated file.
+  if (st.ok()) st = fs->Fsync(fd.ValueOrDie());
+  Status closed = fs->Close(fd.ValueOrDie());
+  if (st.ok()) st = closed;
+  if (st.ok()) st = fs->Rename(tmp, path);
+  if (!st.ok()) {
+    // Best-effort cleanup; the original error is what the caller needs to
+    // see, never the (likely also-failing) unlink's.
+    fs->Remove(tmp);
+    return st;
   }
-  const bool wrote =
-      bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) ==
-                           bytes.size();
-  const bool closed = std::fclose(f) == 0;
-  if (!wrote || !closed) {
-    std::remove(tmp.c_str());
-    return Status::IoError("write failed: " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IoError("cannot rename " + tmp + " to " + path);
-  }
-  return Status::OK();
+  // Make the new directory entry itself durable.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? "."
+                              : (slash == 0 ? "/" : path.substr(0, slash));
+  return fs->FsyncDir(dir);
 }
 
 }  // namespace internal

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "serialize/artifact.h"
+#include "serve/fs_ops.h"
 #include "util/status.h"
 
 namespace dpmm {
@@ -36,9 +37,15 @@ namespace internal {
 /// store and the budget ledger.
 Status EnsureDir(const std::string& path);
 
-/// Writes a file atomically-ish: temp file in the destination directory,
-/// then rename — a concurrent reader never observes a half-written file.
-Status WriteViaRename(const std::string& path, const std::string& bytes);
+/// Writes a file atomically *and durably*: temp file in the destination
+/// directory, fsync the temp file, rename over the target, fsync the
+/// containing directory. A concurrent reader never observes a half-written
+/// file, and once this returns OK a crash cannot roll the content back —
+/// without the two fsyncs, rename-only "atomicity" still loses the file on
+/// real filesystems when power dies before write-back. Ops go through `fs`
+/// (default: the real filesystem) so crash schedules are injectable.
+Status WriteViaRename(const std::string& path, const std::string& bytes,
+                      FsOps* fs = nullptr);
 
 }  // namespace internal
 

@@ -1,0 +1,187 @@
+#include "serve/wal.h"
+
+#include <sys/stat.h>
+
+#include <cstring>
+#include <fstream>
+
+namespace dpmm {
+namespace serve {
+
+namespace {
+
+/// A frame length past this is treated as corruption, not a record — it
+/// bounds the allocation a flipped length byte could otherwise demand.
+/// Ledger records are well under a kilobyte.
+constexpr std::uint32_t kMaxRecordBytes = 1u << 24;
+
+constexpr std::size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
+
+std::string Dirname(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void PutU32(std::string* out, std::uint32_t v) {
+  char bytes[4];
+  bytes[0] = static_cast<char>(v & 0xff);
+  bytes[1] = static_cast<char>((v >> 8) & 0xff);
+  bytes[2] = static_cast<char>((v >> 16) & 0xff);
+  bytes[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(bytes, 4);
+}
+
+std::uint32_t GetU32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t n) {
+  // Table-driven CRC-32, IEEE 802.3 reflected polynomial 0xEDB88320.
+  static const std::uint32_t* kTable = [] {
+    static std::uint32_t table[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Result<WalReplay> ReadWal(const std::string& path, FsOps* fs) {
+  (void)fs;  // reads bypass the fault seam: injected state lives on the real FS
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return Status::NotFound("no WAL at " + path);
+    }
+    return Status::IoError("cannot open WAL " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  WalReplay replay;
+  std::size_t pos = 0;
+  while (bytes.size() - pos >= kFrameHeaderBytes) {
+    const std::uint32_t length = GetU32(bytes.data() + pos);
+    const std::uint32_t crc = GetU32(bytes.data() + pos + 4);
+    if (length > kMaxRecordBytes ||
+        bytes.size() - pos - kFrameHeaderBytes < length) {
+      break;  // torn or corrupt frame: the valid log ends here
+    }
+    const char* payload = bytes.data() + pos + kFrameHeaderBytes;
+    if (Crc32(payload, length) != crc) break;
+    replay.records.emplace_back(payload, length);
+    pos += kFrameHeaderBytes + length;
+  }
+  replay.valid_size = pos;
+  replay.torn_tail = pos < bytes.size();
+  return replay;
+}
+
+Result<WalWriter> WalWriter::Open(const std::string& path,
+                                  std::uint64_t expected_size, FsOps* fs) {
+  if (fs == nullptr) fs = SystemFsOps();
+  struct stat st;
+  const bool existed = ::stat(path.c_str(), &st) == 0;
+  const std::uint64_t on_disk =
+      existed ? static_cast<std::uint64_t>(st.st_size) : 0;
+  if (on_disk != expected_size) {
+    // Appending past damage would bury every later record behind the bad
+    // frame; appending to a *shorter* file than the replay saw means the
+    // file changed under us (no lock held?). Both are caller bugs.
+    return Status::IoError(
+        "WAL " + path + " is " + std::to_string(on_disk) +
+        " bytes, expected " + std::to_string(expected_size) +
+        " (recover/truncate it before appending)");
+  }
+  auto fd = fs->OpenForAppend(path);
+  if (!fd.ok()) return fd.status();
+  return WalWriter(path, fd.ValueOrDie(), on_disk, /*created=*/!existed, fs);
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : path_(std::move(other.path_)), fd_(other.fd_), size_(other.size_),
+      dir_synced_(other.dir_synced_), fs_(other.fs_) {
+  other.fd_ = -1;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    Close();
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    size_ = other.size_;
+    dir_synced_ = other.dir_synced_;
+    fs_ = other.fs_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+Status WalWriter::Close() {
+  if (fd_ < 0) return Status::OK();
+  const int fd = fd_;
+  fd_ = -1;
+  return fs_->Close(fd);
+}
+
+Status WalWriter::Append(const std::string& payload) {
+  if (fd_ < 0) return Status::IoError("WAL writer is closed");
+  if (payload.size() > kMaxRecordBytes) {
+    return Status::InvalidArgument("WAL record too large");
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&frame, static_cast<std::uint32_t>(payload.size()));
+  PutU32(&frame, Crc32(payload.data(), payload.size()));
+  frame += payload;
+  Status st = fs_->WriteAll(fd_, frame.data(), frame.size());
+  if (st.ok()) st = fs_->Fsync(fd_);
+  if (st.ok() && !dir_synced_) {
+    st = fs_->FsyncDir(Dirname(path_));
+    if (st.ok()) dir_synced_ = true;
+  }
+  if (!st.ok()) {
+    // The file may now hold a torn frame; refuse further appends from this
+    // writer (recovery truncates the damage before the next one opens).
+    const int fd = fd_;
+    fd_ = -1;
+    fs_->Close(fd);
+    return st;
+  }
+  size_ += frame.size();
+  return Status::OK();
+}
+
+Status TruncateWal(const std::string& path, std::uint64_t valid_size,
+                   FsOps* fs) {
+  if (fs == nullptr) fs = SystemFsOps();
+  Status st = fs->Truncate(path, valid_size);
+  if (!st.ok()) return st;
+  auto fd = fs->OpenForAppend(path);
+  if (!fd.ok()) return fd.status();
+  st = fs->Fsync(fd.ValueOrDie());
+  Status closed = fs->Close(fd.ValueOrDie());
+  return st.ok() ? closed : st;
+}
+
+}  // namespace serve
+}  // namespace dpmm

@@ -1,0 +1,107 @@
+// Append-only write-ahead log with crash recovery, the durability primitive
+// under the budget ledger (and any future multi-writer store state). The
+// discipline is the LSM-engine one (RocksDB-style): mutations are appended
+// and fsync'd *before* they are applied or acknowledged, so after a crash
+// the log replays to exactly the acknowledged state; a periodic checkpoint
+// compacts the log into a snapshot.
+//
+// On-disk format: a sequence of records, each
+//
+//   u32-le payload length | u32-le CRC-32 of payload | payload bytes
+//
+// with no file header (an empty WAL is an empty file, which is what a
+// crash immediately after open leaves behind). A record is valid iff the
+// full frame is present and the CRC matches. Replay stops at the first
+// invalid frame and reports everything before it: a torn tail — the frame a
+// crash cut mid-write — is expected damage, distinguished from a corrupt
+// *prefix* (flipped bits under a valid length) only in that both simply end
+// the log; the recovery path truncates the file back to the valid prefix so
+// subsequent appends start from a clean boundary.
+//
+// Durability contract of Append(): when it returns OK, the record's bytes
+// have been fsync'd to the file. The first append after creating the file
+// also fsyncs the containing directory, so the log's *name* survives the
+// crash too.
+#ifndef DPMM_SERVE_WAL_H_
+#define DPMM_SERVE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/fs_ops.h"
+#include "util/status.h"
+
+namespace dpmm {
+namespace serve {
+
+/// CRC-32 (IEEE 802.3 polynomial, the one zlib/RocksDB's legacy format
+/// use), over `data`. Exposed for tests that build corrupt frames.
+std::uint32_t Crc32(const void* data, std::size_t n);
+
+/// The result of scanning a WAL file.
+struct WalReplay {
+  /// Valid record payloads, in append order.
+  std::vector<std::string> records;
+  /// Byte length of the valid prefix; anything past it is a torn or
+  /// corrupt tail that recovery should truncate away.
+  std::uint64_t valid_size = 0;
+  /// True when the file extended past valid_size (damage was present).
+  bool torn_tail = false;
+};
+
+/// Reads every valid record of the WAL at `path`. NotFound when the file
+/// does not exist (a never-written log). Never fails on damaged content —
+/// damage just ends the valid prefix (see torn_tail).
+Result<WalReplay> ReadWal(const std::string& path, FsOps* fs = nullptr);
+
+/// Appending writer for one WAL file. Not thread-safe; multi-process
+/// exclusion is the caller's job (serve/file_lock.h).
+class WalWriter {
+ public:
+  /// Opens (creating if needed) the log for appending. `size` must be the
+  /// valid size from a prior ReadWal — the writer refuses to append to a
+  /// file longer than that (call TruncateWal first), because appending
+  /// after a torn tail would bury every later record behind garbage.
+  static Result<WalWriter> Open(const std::string& path,
+                                std::uint64_t expected_size,
+                                FsOps* fs = nullptr);
+
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  /// Frames, appends and fsyncs one record. On OK the record is durable.
+  Status Append(const std::string& payload);
+
+  std::uint64_t size() const { return size_; }
+
+  /// Closes the fd early (the destructor otherwise does it silently).
+  Status Close();
+
+ private:
+  WalWriter(std::string path, int fd, std::uint64_t size, bool created,
+            FsOps* fs)
+      : path_(std::move(path)), fd_(fd), size_(size),
+        dir_synced_(!created), fs_(fs) {}
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+  /// The containing directory is fsync'd once, on the first append of a
+  /// newly created file.
+  bool dir_synced_ = true;
+  FsOps* fs_ = nullptr;
+};
+
+/// Truncates damage off a WAL file (to ReadWal's valid_size) and fsyncs.
+/// Call only under the dataset's exclusive lock.
+Status TruncateWal(const std::string& path, std::uint64_t valid_size,
+                   FsOps* fs = nullptr);
+
+}  // namespace serve
+}  // namespace dpmm
+
+#endif  // DPMM_SERVE_WAL_H_

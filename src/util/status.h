@@ -20,6 +20,8 @@ enum class StatusCode {
   kIoError,
   kNotFound,
   kResourceExhausted,
+  kUnavailable,
+  kDataLoss,
 };
 
 /// Result of an operation that may fail in a recoverable way.
@@ -50,6 +52,19 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  /// A shared resource is transiently held by someone else — e.g. another
+  /// process owns the per-dataset ledger lock. Retrying later may succeed;
+  /// nothing about the request itself is wrong.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// Persistent state is damaged beyond what recovery can reconstruct —
+  /// e.g. a ledger snapshot that no longer parses. Distinct from IoError
+  /// (transient syscall failure) and NotFound (never existed): callers must
+  /// fail closed rather than fall back to a fresh default.
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -73,6 +88,8 @@ class Status {
       case StatusCode::kIoError: return "IoError";
       case StatusCode::kNotFound: return "NotFound";
       case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kUnavailable: return "Unavailable";
+      case StatusCode::kDataLoss: return "DataLoss";
     }
     return "Unknown";
   }

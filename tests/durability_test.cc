@@ -1,0 +1,472 @@
+// Crash-safety tests for the durability layer: the WAL's framing and
+// recovery contract, the fault-injection filesystem double, the budget
+// ledger's crash matrix (a simulated power cut at *every* filesystem-
+// operation boundary of a charge, with and without a torn tail), and the
+// multi-process arbitration protocol driven by real fork(2)ed writers.
+//
+// This binary deliberately never touches the thread pool (no ParallelFor,
+// no AnswerEngine): the fork-based tests must run single-threaded so they
+// are exact under TSan, whose runtime aborts a multithreaded fork.
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/budget_ledger.h"
+#include "serve/file_lock.h"
+#include "serve/fs_ops.h"
+#include "serve/store.h"
+#include "serve/wal.h"
+
+namespace dpmm {
+namespace {
+
+using serve::BudgetLedger;
+using serve::FaultInjectionFsOps;
+using serve::FileLock;
+using serve::FileLockOptions;
+using serve::LedgerEntry;
+using serve::LedgerOptions;
+using serve::ReadWal;
+using serve::SystemFsOps;
+using serve::TruncateWal;
+using serve::WalReplay;
+using serve::WalWriter;
+
+std::string FreshRoot() {
+  std::string tmpl = ::testing::TempDir() + "/dpmm_durability_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return tmpl;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  return bytes.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+// ---- WAL framing and recovery
+
+TEST(Wal, Crc32MatchesTheIeeeCheckValue) {
+  // The standard check vector for CRC-32/IEEE (the zlib crc32).
+  EXPECT_EQ(serve::Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(serve::Crc32("", 0), 0u);
+}
+
+TEST(Wal, RoundTripsRecordsInOrder) {
+  const std::string path = FreshRoot() + "/log.wal";
+  std::uint64_t size = 0;
+  {
+    auto writer = WalWriter::Open(path, 0);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    WalWriter w = std::move(writer).ValueOrDie();
+    ASSERT_TRUE(w.Append("first record").ok());
+    ASSERT_TRUE(w.Append("").ok());  // empty payloads are legal
+    ASSERT_TRUE(w.Append("third record, with spaces").ok());
+    size = w.size();
+  }
+  auto replay = ReadWal(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  const WalReplay& r = replay.ValueOrDie();
+  ASSERT_EQ(r.records.size(), 3u);
+  EXPECT_EQ(r.records[0], "first record");
+  EXPECT_EQ(r.records[1], "");
+  EXPECT_EQ(r.records[2], "third record, with spaces");
+  EXPECT_EQ(r.valid_size, size);
+  EXPECT_FALSE(r.torn_tail);
+
+  // Reopening at the replayed size appends cleanly.
+  auto reopened = WalWriter::Open(path, r.valid_size);
+  ASSERT_TRUE(reopened.ok());
+  WalWriter w2 = std::move(reopened).ValueOrDie();
+  ASSERT_TRUE(w2.Append("fourth").ok());
+  auto replay2 = ReadWal(path);
+  ASSERT_TRUE(replay2.ok());
+  EXPECT_EQ(replay2.ValueOrDie().records.size(), 4u);
+}
+
+TEST(Wal, MissingAndEmptyLogs) {
+  const std::string root = FreshRoot();
+  EXPECT_EQ(ReadWal(root + "/absent.wal").status().code(),
+            StatusCode::kNotFound);
+  // An empty file (crash right after create) is a valid empty log.
+  WriteFileBytes(root + "/empty.wal", "");
+  auto replay = ReadWal(root + "/empty.wal");
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay.ValueOrDie().records.empty());
+  EXPECT_FALSE(replay.ValueOrDie().torn_tail);
+}
+
+TEST(Wal, TornTailEndsReplayAndTruncatesAway) {
+  const std::string path = FreshRoot() + "/log.wal";
+  {
+    auto writer = WalWriter::Open(path, 0);
+    ASSERT_TRUE(writer.ok());
+    WalWriter w = std::move(writer).ValueOrDie();
+    ASSERT_TRUE(w.Append("one").ok());
+    ASSERT_TRUE(w.Append("two").ok());
+  }
+  const std::string intact = ReadFileBytes(path);
+  // A crash mid-append leaves a partial frame: a length prefix promising
+  // more bytes than exist.
+  WriteFileBytes(path, intact + std::string("\x40\x00\x00\x00junk", 8));
+  auto replay = ReadWal(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay.ValueOrDie().records.size(), 2u);
+  EXPECT_EQ(replay.ValueOrDie().valid_size, intact.size());
+  EXPECT_TRUE(replay.ValueOrDie().torn_tail);
+
+  // The writer refuses to append past damage...
+  EXPECT_FALSE(WalWriter::Open(path, intact.size()).ok());
+  // ...until the tail is truncated off.
+  ASSERT_TRUE(TruncateWal(path, intact.size()).ok());
+  auto reopened = WalWriter::Open(path, intact.size());
+  ASSERT_TRUE(reopened.ok());
+  WalWriter w = std::move(reopened).ValueOrDie();
+  ASSERT_TRUE(w.Append("three").ok());
+  auto healed = ReadWal(path);
+  ASSERT_TRUE(healed.ok());
+  ASSERT_EQ(healed.ValueOrDie().records.size(), 3u);
+  EXPECT_EQ(healed.ValueOrDie().records[2], "three");
+  EXPECT_FALSE(healed.ValueOrDie().torn_tail);
+}
+
+TEST(Wal, CorruptPayloadFailsItsCrcAndEndsTheLog) {
+  const std::string path = FreshRoot() + "/log.wal";
+  {
+    auto writer = WalWriter::Open(path, 0);
+    ASSERT_TRUE(writer.ok());
+    WalWriter w = std::move(writer).ValueOrDie();
+    ASSERT_TRUE(w.Append("good record").ok());
+    ASSERT_TRUE(w.Append("soon corrupt").ok());
+  }
+  std::string bytes = ReadFileBytes(path);
+  bytes[bytes.size() - 3] ^= 0x01;  // flip one bit inside the last payload
+  WriteFileBytes(path, bytes);
+  auto replay = ReadWal(path);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay.ValueOrDie().records.size(), 1u);
+  EXPECT_EQ(replay.ValueOrDie().records[0], "good record");
+  EXPECT_TRUE(replay.ValueOrDie().torn_tail);
+}
+
+// ---- The fault-injection double itself
+
+TEST(FaultInjection, ShortWriteLeavesATornFrameReplayIgnores) {
+  const std::string path = FreshRoot() + "/log.wal";
+  FaultInjectionFsOps fault(SystemFsOps());
+  auto writer = WalWriter::Open(path, 0, &fault);
+  ASSERT_TRUE(writer.ok());
+  WalWriter w = std::move(writer).ValueOrDie();
+  ASSERT_TRUE(w.Append("durable").ok());
+  const std::uint64_t durable_size = w.size();
+  fault.set_short_next_write(true);
+  EXPECT_FALSE(w.Append("torn away").ok());
+  auto replay = ReadWal(path);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay.ValueOrDie().records.size(), 1u);
+  EXPECT_EQ(replay.ValueOrDie().records[0], "durable");
+  EXPECT_EQ(replay.ValueOrDie().valid_size, durable_size);
+  EXPECT_TRUE(replay.ValueOrDie().torn_tail);
+}
+
+TEST(FaultInjection, FailedFsyncFailsTheAppend) {
+  const std::string path = FreshRoot() + "/log.wal";
+  FaultInjectionFsOps fault(SystemFsOps());
+  auto writer = WalWriter::Open(path, 0, &fault);
+  ASSERT_TRUE(writer.ok());
+  WalWriter w = std::move(writer).ValueOrDie();
+  fault.set_fail_next_fsync(true);
+  Status st = w.Append("never acknowledged");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("fsync"), std::string::npos);
+}
+
+TEST(FaultInjection, CrashRollsBackUnsyncedCreatesAndTails) {
+  const std::string root = FreshRoot();
+  FaultInjectionFsOps fault(SystemFsOps());
+  // A file created and written through the seam but never FsyncDir'd: the
+  // crash removes its name entirely.
+  auto fd = fault.OpenForAppend(root + "/unsynced");
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fault.WriteAll(fd.ValueOrDie(), "abc", 3).ok());
+  ASSERT_TRUE(fault.Fsync(fd.ValueOrDie()).ok());
+  ASSERT_TRUE(fault.Close(fd.ValueOrDie()).ok());
+  // A pre-existing file with an unsynced tail: the tail truncates away.
+  WriteFileBytes(root + "/tailed", "durable-");
+  auto fd2 = fault.OpenForAppend(root + "/tailed");
+  ASSERT_TRUE(fd2.ok());
+  ASSERT_TRUE(fault.WriteAll(fd2.ValueOrDie(), "lost", 4).ok());
+  ASSERT_TRUE(fault.Close(fd2.ValueOrDie()).ok());
+  fault.set_crash_after(0);
+  EXPECT_FALSE(fault.Remove(root + "/anything").ok());
+  EXPECT_TRUE(fault.crashed());
+  ASSERT_TRUE(fault.SimulateCrashEffects(/*torn_tail=*/false).ok());
+  struct stat st;
+  EXPECT_NE(::stat((root + "/unsynced").c_str(), &st), 0)
+      << "unsynced dirent must not survive the crash";
+  EXPECT_EQ(ReadFileBytes(root + "/tailed"), "durable-");
+}
+
+// ---- Crash matrix: the ledger at every syscall boundary
+
+PrivacyParams Eps(double epsilon) { return {epsilon, 0.0}; }
+
+/// Pre-charges `pre` times eps 0.05 with the real filesystem, then runs one
+/// more charge of eps 0.05 with a fault injected after `crash_after` fs
+/// operations and a simulated power cut. Returns true when the run crashed
+/// (false = `crash_after` exceeded the charge's total op count and the
+/// matrix is exhausted). After the cut, recovery with the real filesystem
+/// must observe exactly the pre- or the post-charge state.
+bool CrashMatrixTrial(std::size_t pre, std::size_t checkpoint_interval,
+                      long crash_after, bool torn_tail) {
+  const std::string root = FreshRoot();
+  const PrivacyParams total = Eps(1.0);
+  LedgerOptions setup_options;
+  setup_options.checkpoint_interval = checkpoint_interval;
+  {
+    BudgetLedger setup(root, setup_options);
+    for (std::size_t i = 0; i < pre; ++i) {
+      auto charged = setup.Charge("matrix", total, Eps(0.05));
+      EXPECT_TRUE(charged.ok()) << charged.status().ToString();
+    }
+  }
+
+  FaultInjectionFsOps fault(SystemFsOps());
+  fault.set_crash_after(crash_after);
+  LedgerOptions options = setup_options;
+  options.fs = &fault;
+  bool acknowledged = false;
+  {
+    BudgetLedger victim(root, options);
+    acknowledged = victim.Charge("matrix", total, Eps(0.05)).ok();
+  }
+  if (!fault.crashed()) {
+    EXPECT_TRUE(acknowledged);
+    return false;
+  }
+  EXPECT_TRUE(fault.SimulateCrashEffects(torn_tail).ok());
+
+  SCOPED_TRACE("pre=" + std::to_string(pre) + " interval=" +
+               std::to_string(checkpoint_interval) + " crash_after=" +
+               std::to_string(crash_after) + " torn=" +
+               std::to_string(torn_tail));
+  BudgetLedger recovered(root, setup_options);
+  auto read = recovered.Read("matrix");
+  if (pre == 0 && !read.ok()) {
+    // With no prior history the pre-state is "never charged".
+    EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+  } else {
+    EXPECT_TRUE(read.ok()) << read.status().ToString();
+    if (read.ok()) {
+      const LedgerEntry& entry = read.ValueOrDie();
+      EXPECT_TRUE(entry.charges == pre || entry.charges == pre + 1)
+          << "recovered " << entry.charges << " charges";
+      if (acknowledged) {
+        // An acknowledged charge (possible when only the post-append
+        // checkpoint crashed) must never be lost.
+        EXPECT_EQ(entry.charges, pre + 1);
+      }
+      EXPECT_DOUBLE_EQ(entry.spent.epsilon, 0.05 * entry.charges);
+    }
+  }
+  // The survivor must be chargeable: recovery left no wedged state.
+  BudgetLedger after(root, setup_options);
+  auto next = after.Charge("matrix", total, Eps(0.05));
+  EXPECT_TRUE(next.ok()) << next.status().ToString();
+  return true;
+}
+
+TEST(CrashMatrix, EveryBoundaryOfAPlainCharge) {
+  for (const bool torn : {false, true}) {
+    for (long k = 0; k < 64; ++k) {
+      if (!CrashMatrixTrial(/*pre=*/2, /*checkpoint_interval=*/64, k, torn)) {
+        ASSERT_GT(k, 0) << "the charge performed no fs operations?";
+        break;
+      }
+    }
+  }
+}
+
+TEST(CrashMatrix, EveryBoundaryOfTheFirstChargeOfADataset) {
+  for (const bool torn : {false, true}) {
+    for (long k = 0; k < 64; ++k) {
+      if (!CrashMatrixTrial(/*pre=*/0, /*checkpoint_interval=*/64, k, torn)) {
+        break;
+      }
+    }
+  }
+}
+
+TEST(CrashMatrix, EveryBoundaryOfACheckpointingCharge) {
+  // checkpoint_interval 3 makes the third charge compact the WAL into the
+  // snapshot: the matrix now crosses WriteViaRename (temp write, fsync,
+  // rename, dir fsync) and the WAL truncation, and the acknowledged-charge
+  // invariant is load-bearing (the checkpoint crash is swallowed).
+  for (const bool torn : {false, true}) {
+    for (long k = 0; k < 64; ++k) {
+      if (!CrashMatrixTrial(/*pre=*/2, /*checkpoint_interval=*/3, k, torn)) {
+        break;
+      }
+    }
+  }
+}
+
+// ---- Idempotent charge ids
+
+TEST(BudgetLedgerDurability, RetryingAChargeIdAppliesExactlyOnce) {
+  const std::string root = FreshRoot();
+  BudgetLedger ledger(root);
+  const PrivacyParams total = Eps(1.0);
+  ASSERT_TRUE(ledger.Charge("d", total, Eps(0.25), "run-1").ok());
+  auto retry = ledger.Charge("d", total, Eps(0.25), "run-1");
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry.ValueOrDie().charges, 1u);
+  EXPECT_DOUBLE_EQ(retry.ValueOrDie().spent.epsilon, 0.25);
+}
+
+TEST(BudgetLedgerDurability, IdempotencySurvivesCheckpointCompaction) {
+  // With checkpoint_interval 1 every charge is immediately compacted out of
+  // the WAL; the dedup window must persist through the snapshot's `recent`
+  // list, or a post-checkpoint retry would double-charge.
+  const std::string root = FreshRoot();
+  LedgerOptions options;
+  options.checkpoint_interval = 1;
+  BudgetLedger ledger(root, options);
+  const PrivacyParams total = Eps(1.0);
+  ASSERT_TRUE(ledger.Charge("d", total, Eps(0.25), "run-1").ok());
+  // A new instance (a new process) reads the window back from disk.
+  BudgetLedger other(root, options);
+  auto retry = other.Charge("d", total, Eps(0.25), "run-1");
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry.ValueOrDie().charges, 1u);
+  EXPECT_DOUBLE_EQ(retry.ValueOrDie().spent.epsilon, 0.25);
+}
+
+// ---- File locks
+
+TEST(FileLockTest, ExclusiveExcludesAndSharedShares) {
+  // flock ownership is per open file description, so a second Acquire in
+  // this same process genuinely contends.
+  const std::string path = FreshRoot() + "/d.lock";
+  FileLockOptions fast;
+  fast.timeout_ms = 50;
+  auto first = FileLock::Acquire(path, fast);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  FileLock writer_lock = std::move(first).ValueOrDie();
+  EXPECT_TRUE(writer_lock.held());
+
+  auto contender = FileLock::Acquire(path, fast);
+  ASSERT_FALSE(contender.ok());
+  EXPECT_EQ(contender.status().code(), StatusCode::kUnavailable);
+
+  FileLockOptions shared = fast;
+  shared.shared = true;
+  auto reader = FileLock::Acquire(path, shared);
+  ASSERT_FALSE(reader.ok()) << "shared must wait out an exclusive holder";
+
+  writer_lock.Release();
+  EXPECT_FALSE(writer_lock.held());
+  auto reader1 = FileLock::Acquire(path, shared);
+  auto reader2 = FileLock::Acquire(path, shared);
+  EXPECT_TRUE(reader1.ok());
+  EXPECT_TRUE(reader2.ok()) << "two shared holders must coexist";
+  auto writer = FileLock::Acquire(path, fast);
+  EXPECT_FALSE(writer.ok()) << "exclusive must wait out shared holders";
+}
+
+// ---- Multi-process arbitration (real fork(2)ed writers)
+
+/// Forks a child that performs `attempts` charges of eps `step` against
+/// `total` and exits with the number of *accepted* charges; any failure
+/// other than a clean ResourceExhausted refusal exits 99. Charges go
+/// through a small checkpoint interval so the race also crosses WAL
+/// compaction. Returns the child's pid.
+pid_t StartCharger(const std::string& root, const PrivacyParams& total,
+                   double step, int attempts) {
+  fflush(nullptr);  // no duplicated stdio buffers in the child
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  LedgerOptions options;
+  options.checkpoint_interval = 4;
+  BudgetLedger ledger(root, options);
+  int accepted = 0;
+  for (int i = 0; i < attempts; ++i) {
+    auto charged = ledger.Charge("race", total, Eps(step));
+    if (charged.ok()) {
+      ++accepted;
+    } else if (charged.status().code() != StatusCode::kResourceExhausted) {
+      ::_exit(99);
+    }
+  }
+  ::_exit(accepted);
+}
+
+/// Waits for a StartCharger child; returns its accepted-charge count.
+int JoinCharger(pid_t pid) {
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  const int code = WIFEXITED(status) ? WEXITSTATUS(status) : 99;
+  EXPECT_NE(code, 99) << "charger hit a non-refusal failure";
+  return code;
+}
+
+/// Races two forked writer processes, `attempts` charges of eps `step`
+/// each, and cross-checks their combined acceptance count against the
+/// recovered on-disk state.
+void RaceTwoChargers(double total_eps, double step, int attempts,
+                     int expect_accepted) {
+  const std::string root = FreshRoot();
+  const PrivacyParams total = Eps(total_eps);
+  const pid_t a = StartCharger(root, total, step, attempts);
+  ASSERT_GT(a, 0);
+  const pid_t b = StartCharger(root, total, step, attempts);
+  ASSERT_GT(b, 0);
+  const int accepted = JoinCharger(a) + JoinCharger(b);
+  EXPECT_EQ(accepted, expect_accepted);
+
+  BudgetLedger ledger(root);
+  auto read = ledger.Read("race");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  const LedgerEntry& entry = read.ValueOrDie();
+  EXPECT_EQ(entry.charges, static_cast<std::size_t>(accepted))
+      << "an accepted charge is missing from (or duplicated in) the ledger";
+  EXPECT_NEAR(entry.spent.epsilon, step * accepted, 1e-12);
+  EXPECT_FALSE(entry.Overdrawn());
+}
+
+TEST(MultiProcess, RacingChargersNeverUnderCount) {
+  // Two concurrent writer processes, 25 charges each, all of which fit:
+  // every accepted charge must be visible in the recovered sum — a lost
+  // update here is a silent privacy violation.
+  RaceTwoChargers(/*total_eps=*/0.5, /*step=*/0.01, /*attempts=*/25,
+                  /*expect_accepted=*/50);
+}
+
+TEST(MultiProcess, RacingChargersSplitACapAndRefuseTheRest) {
+  // The budget only fits 30 of the 50 racing charges: the processes must
+  // between them land exactly 30, refusing the rest cleanly — never an
+  // overdraft, never a refusal while budget remained.
+  RaceTwoChargers(/*total_eps=*/0.3, /*step=*/0.01, /*attempts=*/25,
+                  /*expect_accepted=*/30);
+}
+
+}  // namespace
+}  // namespace dpmm

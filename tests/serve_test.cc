@@ -284,18 +284,36 @@ TEST(BudgetLedger, TotalIsNotRenegotiable) {
   EXPECT_EQ(changed.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST(BudgetLedger, MissingAndMalformedEntries) {
+TEST(BudgetLedger, MissingAndMalformedEntriesFailClosed) {
   const std::string root = FreshRoot();
   BudgetLedger ledger(root);
   EXPECT_EQ(ledger.Read("ghost").status().code(), StatusCode::kNotFound);
 
   ASSERT_TRUE(ledger.Charge("d", {1.0, 1e-4}, {0.1, 1e-5}).ok());
+  // Damage the snapshot. The ledger must quarantine it (never parse-and-
+  // guess, never silently recreate) and fail closed with DataLoss on every
+  // operation — a damaged entry must not be mistaken for "never charged".
   const std::string path =
       root + "/ledger/" + serve::StoreKey("d") + ".ledger";
   FILE* file = std::fopen(path.c_str(), "w");
   std::fputs("# dpmm-ledger 1\ndataset d\ntotal nope 1e-4\n", file);
   std::fclose(file);
-  EXPECT_EQ(ledger.Read("d").status().code(), StatusCode::kIoError);
+  EXPECT_EQ(ledger.Read("d").status().code(), StatusCode::kDataLoss);
+  // The damaged bytes were preserved under .corrupt-0, not destroyed.
+  const std::string quarantined = path + ".corrupt-0";
+  FILE* moved = std::fopen(quarantined.c_str(), "r");
+  ASSERT_NE(moved, nullptr) << "expected quarantine file " << quarantined;
+  std::fclose(moved);
+  // Charging is also refused — no fresh entry over the damage.
+  auto charge = ledger.Charge("d", {1.0, 1e-4}, {0.1, 1e-5});
+  EXPECT_EQ(charge.status().code(), StatusCode::kDataLoss);
+  // The WAL holds the dataset's full history (one charge, never
+  // compacted), so explicit recovery can rebuild the entry.
+  auto recovered = ledger.Recover("d");
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.ValueOrDie().charges, 1u);
+  EXPECT_DOUBLE_EQ(recovered.ValueOrDie().spent.epsilon, 0.1);
+  EXPECT_TRUE(ledger.Charge("d", {1.0, 1e-4}, {0.1, 1e-5}).ok());
 }
 
 // ---- Answer engine

@@ -32,6 +32,12 @@ echo "==== serve: store-and-serve subsystem (ctest -L serve) ===="
 # Artifact round-trips, stores, budget ledger, answer-engine exactness.
 ctest --test-dir build --output-on-failure -L serve
 
+echo "==== durability: crash matrix + multi-process races (ctest -L durability) ===="
+# WAL framing/recovery, the fault-injection crash matrix over the budget
+# ledger (a simulated power cut at every fs-operation boundary), file-lock
+# arbitration, and the fork-based two-writer races.
+ctest --test-dir build --output-on-failure -L durability
+
 echo "==== api: unified strategy/mechanism API (ctest -L api) ===="
 # LinearStrategy interface, Design() engine selection, Mechanism bit-identity
 # vs the legacy per-engine paths, the v2 dense artifact kind, and the CLI's
@@ -50,7 +56,10 @@ echo "==== tsan: thread pool + kron batching + serve engine under ThreadSanitize
 # readers that share one strategy (lazy eigenbasis variants + pool) — since
 # the engine unification, on both the kron store and a dense-engine store
 # (racing the dense strategy's lazy Gram-pinv call_once).
-TSAN_TESTS=(threading_test util_test linalg_kron_test kron_design_test serve_test)
+# durability_test rides along too: its fork-based multi-process races and
+# flock arbitration must stay clean under TSan (the binary is
+# single-threaded by design, so TSan's fork restriction never triggers).
+TSAN_TESTS=(threading_test util_test linalg_kron_test kron_design_test serve_test durability_test)
 if [[ "${HAVE_PRESETS}" == "1" ]]; then
   cmake --preset tsan
 else
@@ -64,6 +73,6 @@ cmake --build build-tsan -j --target "${TSAN_TESTS[@]}"
 # serial-path suite.
 (cd build-tsan && \
  DPMM_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
- ctest --output-on-failure -R '^(threading|util|linalg_kron|kron_design|serve)')
+ ctest --output-on-failure -R '^(threading|util|linalg_kron|kron_design|serve|durability)')
 
 echo "==== ci.sh: all green ===="

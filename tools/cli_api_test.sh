@@ -70,6 +70,50 @@ grep -q "engine dense" "${WORK}/serve.err" || fail "serve did not report the den
 awk 'NR==1 { if ($1+0 != $1 || $3+0 != $3) exit 1 }' "${WORK}/serve.out" \
   || fail "served answer not numeric"
 
+echo "== ledger lock contention exits 4 =="
+# A background `ledger hold` owns the dataset's exclusive lock; a release
+# (and a ledger show, whose shared lock also waits out an exclusive holder)
+# with a short timeout must give up with the distinct Unavailable code.
+"${CLI}" ledger hold --store "${STORE}" --dataset fig1 --hold-ms 3000 \
+  2> "${WORK}/hold.err" &
+HOLD_PID=$!
+for _ in $(seq 50); do
+  grep -q "holding ledger lock" "${WORK}/hold.err" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "holding ledger lock" "${WORK}/hold.err" || fail "ledger hold never acquired"
+rc=0; "${CLI}" release --data "${DATA}" --workload fig1 --store "${STORE}" \
+  --dataset fig1 --epsilon 0.05 --delta 1e-5 --lock-timeout-ms 200 \
+  >/dev/null 2>&1 || rc=$?
+[ "${rc}" -eq 4 ] || fail "release against a held lock must exit 4, got ${rc}"
+rc=0; "${CLI}" ledger show --store "${STORE}" --dataset fig1 \
+  --lock-timeout-ms 200 >/dev/null 2>&1 || rc=$?
+[ "${rc}" -eq 4 ] || fail "ledger show against a held lock must exit 4, got ${rc}"
+wait "${HOLD_PID}" || fail "ledger hold exited nonzero"
+
+echo "== crash mid-charge, then idempotent retry charges exactly once =="
+# DPMM_FS_CRASH_AFTER=2 kills the ledger's filesystem seam inside the WAL
+# append (after open + write, at the fsync): the charge is not acknowledged.
+# The retry with the same --charge-id must land the charge exactly once —
+# whether or not the interrupted append's record survived.
+rc=0; DPMM_FS_CRASH_AFTER=2 "${CLI}" release --data "${DATA}" \
+  --workload fig1 --store "${STORE}" --dataset crashy --epsilon 0.1 \
+  --delta 1e-5 --total-epsilon 0.5 --total-delta 1e-4 \
+  --charge-id retry-me >/dev/null 2>&1 || rc=$?
+[ "${rc}" -ne 0 ] || fail "release with an injected crash must exit nonzero"
+"${CLI}" ledger recover --store "${STORE}" --dataset crashy >/dev/null 2>&1 \
+  || true  # truncates any torn tail; NotFound is fine if nothing landed
+"${CLI}" release --data "${DATA}" --workload fig1 --store "${STORE}" \
+  --dataset crashy --epsilon 0.1 --delta 1e-5 --total-epsilon 0.5 \
+  --total-delta 1e-4 --charge-id retry-me >/dev/null 2>&1 \
+  || fail "retry of the crashed charge failed"
+"${CLI}" ledger show --store "${STORE}" --dataset crashy \
+  > "${WORK}/crashy.out" || fail "ledger show after recovery failed"
+grep -q "^charges  1$" "${WORK}/crashy.out" \
+  || fail "crashed+retried charge must appear exactly once: $(cat "${WORK}/crashy.out")"
+grep -q "^spent    eps=0.1" "${WORK}/crashy.out" \
+  || fail "spent must reflect exactly one charge: $(cat "${WORK}/crashy.out")"
+
 echo "== strategy file round-trip through release --strategy =="
 "${CLI}" design --domain 2,4 --workload fig1 --out "${WORK}/fig1.strategy" \
   >/dev/null || fail "design --out failed"

@@ -48,6 +48,8 @@
 //
 // Workload specs: allrange | cdf | marginals:K | rangemarginals:K | fig1
 // Histogram CSV format: see data::SaveCsv (header "# domain: d1,d2,...").
+#include <unistd.h>
+
 #include <cctype>
 #include <cerrno>
 #include <cmath>
@@ -69,15 +71,48 @@ namespace {
 
 struct Args {
   std::string command;
+  /// Sub-verb of the `ledger` command (show|recover|hold).
+  std::string verb;
   std::map<std::string, std::string> options;
 };
 
 /// Exit codes: 2 for every usage/parse/IO error (strict-parsing contract),
 /// 3 — and only 3 — when the persistent budget ledger refuses a release
-/// that would exceed the dataset's lifetime (eps, delta). Scripts can tell
-/// "you asked wrong" from "the budget is gone".
+/// that would exceed the dataset's lifetime (eps, delta), 4 when the
+/// dataset's ledger lock could not be acquired within --lock-timeout-ms
+/// (another release/recover process owns it; retry later), 5 when the
+/// ledger state is damaged (quarantined snapshot) and serving fails closed
+/// until `ledger recover` or a backup restore. Scripts can tell "you asked
+/// wrong" from "the budget is gone" from "busy" from "broken".
 constexpr int kExitUsage = 2;
 constexpr int kExitBudget = 3;
+constexpr int kExitUnavailable = 4;
+constexpr int kExitDataLoss = 5;
+
+/// Maps a ledger operation's failure to the exit-code contract above.
+int LedgerExitCode(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kResourceExhausted: return kExitBudget;
+    case StatusCode::kUnavailable: return kExitUnavailable;
+    case StatusCode::kDataLoss: return kExitDataLoss;
+    default: return kExitUsage;
+  }
+}
+
+/// The ledger's filesystem seam. DPMM_FS_CRASH_AFTER=N injects a crash at
+/// the (N+1)-th filesystem operation the ledger performs — every later op
+/// fails as if the process had died mid-charge. This exists so shell-level
+/// tests (tools/cli_api_test.sh) can drive the crash-recovery path through
+/// the real binary; it is not a user feature.
+serve::FsOps* CliLedgerFsOps() {
+  static serve::FsOps* ops = [ticks = std::getenv("DPMM_FS_CRASH_AFTER")]() -> serve::FsOps* {
+    if (ticks == nullptr) return serve::SystemFsOps();
+    auto* injected = new serve::FaultInjectionFsOps(serve::SystemFsOps());
+    injected->set_crash_after(std::atol(ticks));
+    return injected;
+  }();
+  return ops;
+}
 
 /// Known options per command — anything else is a hard error, so a typo
 /// cannot silently fall back to a default.
@@ -89,7 +124,8 @@ const std::map<std::string, std::set<std::string>>& KnownOptions() {
       {"release",
        {"data", "workload", "epsilon", "delta", "seed", "strategy", "out",
         "engine", "dense", "batch", "solver", "gap-tol", "store", "dataset",
-        "total-epsilon", "total-delta"}},
+        "total-epsilon", "total-delta", "lock-timeout-ms", "charge-id"}},
+      {"ledger", {"store", "dataset", "lock-timeout-ms", "hold-ms"}},
       {"synth",
        {"data", "workload", "epsilon", "delta", "seed", "strategy", "out",
         "engine", "dense", "solver", "gap-tol"}},
@@ -101,9 +137,9 @@ const std::map<std::string, std::set<std::string>>& KnownOptions() {
 /// Strict option scan: every option is --key value, the key must be known
 /// for the command, and no key may repeat. Returns false after printing the
 /// problem.
-bool ParseOptions(int argc, char** argv, Args* args) {
+bool ParseOptions(int argc, char** argv, Args* args, int first = 2) {
   const auto& known = KnownOptions().at(args->command);
-  for (int i = 2; i < argc; ++i) {
+  for (int i = first; i < argc; ++i) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) {
       std::fprintf(stderr, "unexpected argument '%s' (options are --key value)\n",
@@ -654,7 +690,14 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
     // explicitly passed component must match the record (the ledger
     // refuses renegotiation).
     const std::string dataset = Opt(args, "dataset", Opt(args, "data"));
-    serve::BudgetLedger ledger(store_root);
+    unsigned long long lock_timeout_ms = 10000;
+    if (!U64Opt(args, "lock-timeout-ms", 10000, &lock_timeout_ms)) {
+      return kExitUsage;
+    }
+    serve::LedgerOptions ledger_options;
+    ledger_options.fs = CliLedgerFsOps();
+    ledger_options.lock.timeout_ms = static_cast<int>(lock_timeout_ms);
+    serve::BudgetLedger ledger(store_root, ledger_options);
     PrivacyParams total = privacy;
     {
       auto existing = ledger.Read(dataset);
@@ -671,12 +714,14 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
                    "finite\n");
       return kExitUsage;
     }
-    auto charged = ledger.Charge(dataset, total, privacy);
+    // --charge-id makes a rerun of a crashed release idempotent at the
+    // accounting layer: if the crashed run's charge already made it into
+    // the durable WAL, the retry is recognized and not charged again.
+    auto charged =
+        ledger.Charge(dataset, total, privacy, Opt(args, "charge-id"));
     if (!charged.ok()) {
       std::fprintf(stderr, "%s\n", charged.status().ToString().c_str());
-      return charged.status().code() == StatusCode::kResourceExhausted
-                 ? kExitBudget
-                 : kExitUsage;
+      return LedgerExitCode(charged.status());
     }
     const auto& entry = charged.ValueOrDie();
     std::fprintf(stderr,
@@ -883,8 +928,10 @@ int CmdServe(const Args& args) {
       return kExitBudget;
     }
   } else if (entry.status().code() != StatusCode::kNotFound) {
+    // DataLoss (quarantined ledger) and lock contention get their distinct
+    // exit codes: a damaged accounting record means serving fails closed.
     std::fprintf(stderr, "%s\n", entry.status().ToString().c_str());
-    return kExitUsage;
+    return LedgerExitCode(entry.status());
   } else {
     std::fprintf(stderr,
                  "warning: no ledger entry for dataset '%s' (release stored "
@@ -973,9 +1020,91 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+void PrintEntry(const serve::LedgerEntry& entry) {
+  std::printf("dataset  %s\n", entry.dataset.c_str());
+  std::printf("total    eps=%.17g delta=%.17g\n", entry.total.epsilon,
+              entry.total.delta);
+  std::printf("spent    eps=%.17g delta=%.17g\n", entry.spent.epsilon,
+              entry.spent.delta);
+  std::printf("remaining eps=%.17g delta=%.17g\n",
+              entry.Remaining().epsilon, entry.Remaining().delta);
+  std::printf("charges  %zu\n", entry.charges);
+  if (entry.Overdrawn()) std::printf("OVERDRAWN\n");
+}
+
+int CmdLedger(const Args& args) {
+  const std::string store_root = Opt(args, "store");
+  const std::string dataset = Opt(args, "dataset");
+  if (store_root.empty() || dataset.empty()) {
+    std::fprintf(stderr,
+                 "ledger %s requires --store <store dir> and --dataset "
+                 "<name>\n",
+                 args.verb.c_str());
+    return kExitUsage;
+  }
+  unsigned long long lock_timeout_ms = 10000;
+  if (!U64Opt(args, "lock-timeout-ms", 10000, &lock_timeout_ms)) {
+    return kExitUsage;
+  }
+  serve::LedgerOptions options;
+  options.fs = CliLedgerFsOps();
+  options.lock.timeout_ms = static_cast<int>(lock_timeout_ms);
+  serve::BudgetLedger ledger(store_root, options);
+
+  if (args.verb == "show") {
+    auto entry = ledger.Read(dataset);
+    if (!entry.ok()) {
+      std::fprintf(stderr, "%s\n", entry.status().ToString().c_str());
+      return LedgerExitCode(entry.status());
+    }
+    PrintEntry(entry.ValueOrDie());
+    return 0;
+  }
+  if (args.verb == "recover") {
+    auto entry = ledger.Recover(dataset);
+    if (!entry.ok()) {
+      std::fprintf(stderr, "%s\n", entry.status().ToString().c_str());
+      return LedgerExitCode(entry.status());
+    }
+    std::fprintf(stderr,
+                 "ledger for dataset '%s' recovered and checkpointed\n",
+                 dataset.c_str());
+    PrintEntry(entry.ValueOrDie());
+    return 0;
+  }
+  if (args.verb == "hold") {
+    // Holds the dataset's exclusive lock for --hold-ms: an arbitration
+    // probe for scripts/tests exercising the Unavailable (exit 4) path.
+    unsigned long long hold_ms = 1000;
+    if (!U64Opt(args, "hold-ms", 1000, &hold_ms)) return kExitUsage;
+    Status st = serve::internal::EnsureDir(store_root + "/ledger");
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return kExitUsage;
+    }
+    serve::FileLockOptions lock_options;
+    lock_options.timeout_ms = static_cast<int>(lock_timeout_ms);
+    auto lock = serve::FileLock::Acquire(
+        store_root + "/ledger/" + serve::StoreKey(dataset) + ".lock",
+        lock_options);
+    if (!lock.ok()) {
+      std::fprintf(stderr, "%s\n", lock.status().ToString().c_str());
+      return LedgerExitCode(lock.status());
+    }
+    std::fprintf(stderr, "holding ledger lock for dataset '%s' for %llums\n",
+                 dataset.c_str(), hold_ms);
+    std::fflush(stderr);
+    ::usleep(static_cast<useconds_t>(hold_ms) * 1000);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown ledger verb '%s' (show|recover|hold)\n",
+               args.verb.c_str());
+  return kExitUsage;
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: dpmm_cli <error|design|release|synth|serve> "
+               "usage: dpmm_cli <error|design|release|synth|serve|ledger> "
                "[--domain 8,16,16]\n"
                "                [--workload allrange|cdf|marginals:K|"
                "rangemarginals:K|fig1]\n"
@@ -1014,9 +1143,24 @@ void Usage() {
                "                release (default: this run's budget)\n"
                "                [--release N]  serve: release id (default:\n"
                "                latest)\n"
+               "                [--charge-id ID]  release: idempotency key\n"
+               "                for the ledger charge — retrying a crashed\n"
+               "                run with the same id charges exactly once\n"
+               "                [--lock-timeout-ms T]  how long release/\n"
+               "                ledger wait for the dataset's ledger lock\n"
+               "                (default 10000)\n"
+               "ledger <show|recover|hold> --store DIR --dataset NAME:\n"
+               "                show: print the dataset's recovered budget\n"
+               "                state; recover: replay the WAL, truncate any\n"
+               "                torn tail, rebuild a quarantined snapshot\n"
+               "                when the WAL holds full history, checkpoint;\n"
+               "                hold [--hold-ms T]: hold the dataset's\n"
+               "                exclusive lock (for contention tests)\n"
                "Unknown options, missing values, malformed numbers and\n"
                "out-of-range --solver/--gap-tol values are hard errors\n"
-               "(exit 2). A release the budget ledger refuses exits 3.\n");
+               "(exit 2). A release the budget ledger refuses exits 3; a\n"
+               "ledger lock that stays contended past --lock-timeout-ms\n"
+               "exits 4; damaged (quarantined) ledger state exits 5.\n");
 }
 
 }  // namespace
@@ -1027,6 +1171,15 @@ int main(int argc, char** argv) {
   if (KnownOptions().count(args.command) == 0) {
     Usage();
     return 1;
+  }
+  if (args.command == "ledger") {
+    if (argc < 3 || argv[2][0] == '-') {
+      std::fprintf(stderr, "ledger requires a verb: show|recover|hold\n");
+      return kExitUsage;
+    }
+    args.verb = argv[2];
+    if (!ParseOptions(argc, argv, &args, 3)) return kExitUsage;
+    return CmdLedger(args);
   }
   if (!ParseOptions(argc, argv, &args)) return kExitUsage;
   if (args.command == "error") return CmdError(args);

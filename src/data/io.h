@@ -12,10 +12,10 @@ namespace dpmm {
 namespace data {
 
 /// Writes "# domain: d1,d2,..." followed by one "cell,count" row per cell.
-Status SaveCsv(const DataVector& dv, const std::string& path);
+[[nodiscard]] Status SaveCsv(const DataVector& dv, const std::string& path);
 
 /// Reads a file written by SaveCsv.
-Result<DataVector> LoadCsv(const std::string& path);
+[[nodiscard]] Result<DataVector> LoadCsv(const std::string& path);
 
 }  // namespace data
 }  // namespace dpmm

@@ -31,7 +31,7 @@ void MatMulRows(const Matrix& a, const Matrix& b, Matrix* c, std::size_t r0,
 }  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
-  DPMM_CHECK_EQ(a.cols(), b.rows());
+  DPMM_DCHECK_EQ(a.cols(), b.rows());
   Matrix c(a.rows(), b.cols());
   const std::size_t flop_rows_grain =
       std::max<std::size_t>(1, (1u << 22) / (a.cols() * b.cols() + 1));
@@ -43,7 +43,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 }
 
 Matrix MatMulTN(const Matrix& a, const Matrix& b) {
-  DPMM_CHECK_EQ(a.rows(), b.rows());
+  DPMM_DCHECK_EQ(a.rows(), b.rows());
   const std::size_t m = a.cols();
   const std::size_t n = b.cols();
   const std::size_t kk = a.rows();
@@ -67,7 +67,7 @@ Matrix MatMulTN(const Matrix& a, const Matrix& b) {
 }
 
 Matrix MatMulNT(const Matrix& a, const Matrix& b) {
-  DPMM_CHECK_EQ(a.cols(), b.cols());
+  DPMM_DCHECK_EQ(a.cols(), b.cols());
   const std::size_t m = a.rows();
   const std::size_t n = b.rows();
   const std::size_t kk = a.cols();
@@ -112,7 +112,7 @@ Matrix Gram(const Matrix& a) {
 }
 
 Vector MatVec(const Matrix& a, const Vector& x) {
-  DPMM_CHECK_EQ(a.cols(), x.size());
+  DPMM_DCHECK_EQ(a.cols(), x.size());
   Vector y(a.rows(), 0.0);
   // Grain in rows, sized by row cost: a wide matrix (the dual solver's
   // n x n constraint matvec) should parallelize even at modest row counts.
@@ -130,7 +130,7 @@ Vector MatVec(const Matrix& a, const Vector& x) {
 }
 
 Vector MatTVec(const Matrix& a, const Vector& x) {
-  DPMM_CHECK_EQ(a.rows(), x.size());
+  DPMM_DCHECK_EQ(a.rows(), x.size());
   Vector y(a.cols(), 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double xi = x[i];
@@ -142,8 +142,8 @@ Vector MatTVec(const Matrix& a, const Vector& x) {
 }
 
 double TraceOfProduct(const Matrix& a, const Matrix& b) {
-  DPMM_CHECK_EQ(a.cols(), b.rows());
-  DPMM_CHECK_EQ(a.rows(), b.cols());
+  DPMM_DCHECK_EQ(a.cols(), b.rows());
+  DPMM_DCHECK_EQ(a.rows(), b.cols());
   double s = 0;
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double* ai = a.RowPtr(i);

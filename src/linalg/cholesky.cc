@@ -12,7 +12,7 @@ Result<Cholesky> Cholesky::Factor(const Matrix& spd) {
 }
 
 Result<Cholesky> Cholesky::FactorWithJitter(const Matrix& spd, double jitter) {
-  DPMM_CHECK_EQ(spd.rows(), spd.cols());
+  DPMM_DCHECK_EQ(spd.rows(), spd.cols());
   const std::size_t n = spd.rows();
   Matrix l = spd;
   if (jitter > 0) {
@@ -48,7 +48,7 @@ Result<Cholesky> Cholesky::FactorWithJitter(const Matrix& spd, double jitter) {
 
 Vector Cholesky::Solve(const Vector& b) const {
   const std::size_t n = l_.rows();
-  DPMM_CHECK_EQ(b.size(), n);
+  DPMM_DCHECK_EQ(b.size(), n);
   Vector y(b);
   // Forward substitution L y = b.
   for (std::size_t i = 0; i < n; ++i) {
@@ -69,7 +69,7 @@ Vector Cholesky::Solve(const Vector& b) const {
 
 Matrix Cholesky::Solve(const Matrix& b) const {
   const std::size_t n = l_.rows();
-  DPMM_CHECK_EQ(b.rows(), n);
+  DPMM_DCHECK_EQ(b.rows(), n);
   Matrix x(n, b.cols());
   ParallelFor(0, b.cols(), 8, [&](std::size_t lo, std::size_t hi) {
     Vector col(n);

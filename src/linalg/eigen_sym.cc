@@ -245,7 +245,7 @@ SymmetricEigenResult SortAscending(Vector d, Matrix z) {
 }  // namespace
 
 Result<SymmetricEigenResult> SymmetricEigen(const Matrix& a) {
-  DPMM_CHECK_EQ(a.rows(), a.cols());
+  DPMM_DCHECK_EQ(a.rows(), a.cols());
   const std::size_t n = a.rows();
   if (n == 0) return Status::InvalidArgument("empty matrix");
   Matrix z = a;
@@ -258,7 +258,7 @@ Result<SymmetricEigenResult> SymmetricEigen(const Matrix& a) {
 }
 
 SymmetricEigenResult KronEigen(const std::vector<SymmetricEigenResult>& parts) {
-  DPMM_CHECK_GT(parts.size(), 0u);
+  DPMM_DCHECK_GT(parts.size(), 0u);
   std::size_t n = 1;
   for (const auto& p : parts) n *= p.values.size();
   // Eigenvalues: products over the multi-index (row-major over parts).
@@ -283,7 +283,7 @@ Result<SymmetricEigenResult> LowRankGramEigen(const Matrix& w,
                                               double rank_rel_tol) {
   const std::size_t m = w.rows();
   const std::size_t n = w.cols();
-  DPMM_CHECK_GT(m, 0u);
+  DPMM_DCHECK_GT(m, 0u);
   // Small-side eigenproblem: W W^T is m x m.
   Matrix wwt = Gram(w.Transposed());
   auto small = SymmetricEigen(wwt);
@@ -314,7 +314,7 @@ Result<SymmetricEigenResult> LowRankGramEigen(const Matrix& w,
 }
 
 Result<SymmetricEigenResult> JacobiEigen(const Matrix& a, int max_sweeps) {
-  DPMM_CHECK_EQ(a.rows(), a.cols());
+  DPMM_DCHECK_EQ(a.rows(), a.cols());
   const std::size_t n = a.rows();
   Matrix m = a;
   Matrix v = Matrix::Identity(n);

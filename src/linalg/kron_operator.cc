@@ -13,8 +13,8 @@ namespace {
 std::size_t ProductDim(const std::vector<Matrix>& factors) {
   std::size_t n = 1;
   for (const auto& f : factors) {
-    DPMM_CHECK_EQ(f.rows(), f.cols());
-    DPMM_CHECK_GT(f.rows(), 0u);
+    DPMM_DCHECK_EQ(f.rows(), f.cols());
+    DPMM_DCHECK_GT(f.rows(), 0u);
     n *= f.rows();
   }
   return n;
@@ -34,7 +34,7 @@ Matrix EntrywiseMap(const Matrix& m, double (*fn)(double)) {
 
 KronGram::KronGram(std::vector<Matrix> factors, double scale)
     : factors_(std::move(factors)), scale_(scale) {
-  DPMM_CHECK_GT(factors_.size(), 0u);
+  DPMM_DCHECK_GT(factors_.size(), 0u);
   dim_ = ProductDim(factors_);
 }
 
@@ -58,8 +58,8 @@ Matrix KronGram::Dense() const {
 
 SumKronGram::SumKronGram(std::vector<KronGram> terms)
     : terms_(std::move(terms)) {
-  DPMM_CHECK_GT(terms_.size(), 0u);
-  for (const auto& t : terms_) DPMM_CHECK_EQ(t.dim(), terms_[0].dim());
+  DPMM_DCHECK_GT(terms_.size(), 0u);
+  for (const auto& t : terms_) DPMM_DCHECK_EQ(t.dim(), terms_[0].dim());
 }
 
 Vector SumKronGram::MatVec(const Vector& x) const {
@@ -93,7 +93,7 @@ Matrix SumKronGram::Dense() const {
 KronEigenBasis::KronEigenBasis(std::vector<Matrix> factors)
     : factors_(std::move(factors)),
       cache_(std::make_shared<VariantCache>()) {
-  DPMM_CHECK_GT(factors_.size(), 0u);
+  DPMM_DCHECK_GT(factors_.size(), 0u);
   dim_ = ProductDim(factors_);
 }
 

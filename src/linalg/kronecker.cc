@@ -26,17 +26,17 @@ Matrix Kron(const Matrix& a, const Matrix& b) {
 }
 
 Matrix KronList(const std::vector<Matrix>& factors) {
-  DPMM_CHECK_GT(factors.size(), 0u);
+  DPMM_DCHECK_GT(factors.size(), 0u);
   Matrix out = factors[0];
   for (std::size_t i = 1; i < factors.size(); ++i) out = Kron(out, factors[i]);
   return out;
 }
 
 Vector KronMatVec(const std::vector<Matrix>& factors, const Vector& x) {
-  DPMM_CHECK_GT(factors.size(), 0u);
+  DPMM_DCHECK_GT(factors.size(), 0u);
   std::size_t expected = 1;
   for (const auto& f : factors) expected *= f.cols();
-  DPMM_CHECK_EQ(x.size(), expected);
+  DPMM_DCHECK_EQ(x.size(), expected);
 
   Vector cur = x;
   std::vector<std::size_t> dims(factors.size());
@@ -190,14 +190,14 @@ void BatchedAxisPass(const Matrix& f, const Vector& src_vec,
 void KronMatVecBatchInto(const std::vector<Matrix>& factors,
                          const Vector& packed, std::size_t batch, Vector* out,
                          Vector* work) {
-  DPMM_CHECK_GT(factors.size(), 0u);
-  DPMM_CHECK_GT(batch, 0u);
-  DPMM_CHECK(out != work);
-  DPMM_CHECK(&packed != out);
-  DPMM_CHECK(&packed != work);
+  DPMM_DCHECK_GT(factors.size(), 0u);
+  DPMM_DCHECK_GT(batch, 0u);
+  DPMM_DCHECK(out != work);
+  DPMM_DCHECK(&packed != out);
+  DPMM_DCHECK(&packed != work);
   std::size_t expected = 1;
   for (const auto& f : factors) expected *= f.cols();
-  DPMM_CHECK_EQ(packed.size(), expected * batch);
+  DPMM_DCHECK_EQ(packed.size(), expected * batch);
 
   std::vector<std::size_t> dims(factors.size());
   for (std::size_t i = 0; i < factors.size(); ++i) dims[i] = factors[i].cols();
@@ -229,10 +229,10 @@ Vector KronMatVecBatch(const std::vector<Matrix>& factors,
 }
 
 Vector PackBatch(const std::vector<Vector>& vectors) {
-  DPMM_CHECK_GT(vectors.size(), 0u);
+  DPMM_DCHECK_GT(vectors.size(), 0u);
   const std::size_t batch = vectors.size();
   const std::size_t n = vectors[0].size();
-  for (const auto& v : vectors) DPMM_CHECK_EQ(v.size(), n);
+  for (const auto& v : vectors) DPMM_DCHECK_EQ(v.size(), n);
   Vector packed(n * batch);
   for (std::size_t i = 0; i < n; ++i) {
     double* row = packed.data() + i * batch;
@@ -242,8 +242,8 @@ Vector PackBatch(const std::vector<Vector>& vectors) {
 }
 
 std::vector<Vector> UnpackBatch(const Vector& packed, std::size_t batch) {
-  DPMM_CHECK_GT(batch, 0u);
-  DPMM_CHECK_EQ(packed.size() % batch, 0u);
+  DPMM_DCHECK_GT(batch, 0u);
+  DPMM_DCHECK_EQ(packed.size() % batch, 0u);
   const std::size_t n = packed.size() / batch;
   std::vector<Vector> out(batch, Vector(n));
   for (std::size_t i = 0; i < n; ++i) {

@@ -8,7 +8,7 @@ namespace dpmm {
 namespace linalg {
 
 Result<Lu> Lu::Factor(const Matrix& a) {
-  DPMM_CHECK_EQ(a.rows(), a.cols());
+  DPMM_DCHECK_EQ(a.rows(), a.cols());
   const std::size_t n = a.rows();
   Matrix lu = a;
   std::vector<std::size_t> perm(n);
@@ -50,7 +50,7 @@ Result<Lu> Lu::Factor(const Matrix& a) {
 
 Vector Lu::Solve(const Vector& b) const {
   const std::size_t n = lu_.rows();
-  DPMM_CHECK_EQ(b.size(), n);
+  DPMM_DCHECK_EQ(b.size(), n);
   Vector y(n);
   for (std::size_t i = 0; i < n; ++i) y[i] = b[perm_[i]];
   // L y' = y (unit lower).
@@ -73,7 +73,7 @@ Vector Lu::Solve(const Vector& b) const {
 
 Matrix Lu::Solve(const Matrix& b) const {
   const std::size_t n = lu_.rows();
-  DPMM_CHECK_EQ(b.rows(), n);
+  DPMM_DCHECK_EQ(b.rows(), n);
   Matrix x(n, b.cols());
   ParallelFor(0, b.cols(), 8, [&](std::size_t lo, std::size_t hi) {
     Vector col(n);

@@ -11,12 +11,12 @@ namespace linalg {
 Matrix Matrix::FromRows(
     std::initializer_list<std::initializer_list<double>> rows) {
   const std::size_t r = rows.size();
-  DPMM_CHECK_GT(r, 0u);
+  DPMM_DCHECK_GT(r, 0u);
   const std::size_t c = rows.begin()->size();
   Matrix m(r, c);
   std::size_t i = 0;
   for (const auto& row : rows) {
-    DPMM_CHECK_EQ(row.size(), c);
+    DPMM_DCHECK_EQ(row.size(), c);
     std::size_t j = 0;
     for (double v : row) m(i, j++) = v;
     ++i;
@@ -37,20 +37,20 @@ Matrix Matrix::Diagonal(const Vector& diag) {
 }
 
 Vector Matrix::Row(std::size_t i) const {
-  DPMM_CHECK_LT(i, rows_);
+  DPMM_DCHECK_LT(i, rows_);
   return Vector(RowPtr(i), RowPtr(i) + cols_);
 }
 
 Vector Matrix::Col(std::size_t j) const {
-  DPMM_CHECK_LT(j, cols_);
+  DPMM_DCHECK_LT(j, cols_);
   Vector v(rows_);
   for (std::size_t i = 0; i < rows_; ++i) v[i] = (*this)(i, j);
   return v;
 }
 
 void Matrix::SetRow(std::size_t i, const Vector& v) {
-  DPMM_CHECK_LT(i, rows_);
-  DPMM_CHECK_EQ(v.size(), cols_);
+  DPMM_DCHECK_LT(i, rows_);
+  DPMM_DCHECK_EQ(v.size(), cols_);
   std::copy(v.begin(), v.end(), RowPtr(i));
 }
 
@@ -73,7 +73,7 @@ Matrix Matrix::Transposed() const {
 Matrix Matrix::VStack(const Matrix& bottom) const {
   if (empty()) return bottom;
   if (bottom.empty()) return *this;
-  DPMM_CHECK_EQ(cols_, bottom.cols());
+  DPMM_DCHECK_EQ(cols_, bottom.cols());
   Matrix out(rows_ + bottom.rows(), cols_);
   std::copy(data_.begin(), data_.end(), out.data());
   std::copy(bottom.data(), bottom.data() + bottom.rows() * cols_,
@@ -92,8 +92,8 @@ double Matrix::FrobeniusNorm() const {
 }
 
 double Matrix::MaxAbsDiff(const Matrix& other) const {
-  DPMM_CHECK_EQ(rows_, other.rows());
-  DPMM_CHECK_EQ(cols_, other.cols());
+  DPMM_DCHECK_EQ(rows_, other.rows());
+  DPMM_DCHECK_EQ(cols_, other.cols());
   double mx = 0;
   for (std::size_t k = 0; k < data_.size(); ++k) {
     mx = std::max(mx, std::fabs(data_[k] - other.data_[k]));
@@ -102,7 +102,7 @@ double Matrix::MaxAbsDiff(const Matrix& other) const {
 }
 
 double Matrix::ColNorm(std::size_t j) const {
-  DPMM_CHECK_LT(j, cols_);
+  DPMM_DCHECK_LT(j, cols_);
   double s = 0;
   for (std::size_t i = 0; i < rows_; ++i) {
     const double v = (*this)(i, j);
@@ -134,7 +134,7 @@ double Matrix::MaxColAbsSum() const {
 }
 
 double Matrix::Trace() const {
-  DPMM_CHECK_EQ(rows_, cols_);
+  DPMM_DCHECK_EQ(rows_, cols_);
   double s = 0;
   for (std::size_t i = 0; i < rows_; ++i) s += (*this)(i, i);
   return s;
@@ -155,7 +155,7 @@ std::string Matrix::ToString(int precision) const {
 }
 
 double Dot(const Vector& a, const Vector& b) {
-  DPMM_CHECK_EQ(a.size(), b.size());
+  DPMM_DCHECK_EQ(a.size(), b.size());
   double s = 0;
   for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
   return s;
@@ -170,7 +170,7 @@ double Norm1(const Vector& a) {
 }
 
 void Axpy(double alpha, const Vector& x, Vector* y) {
-  DPMM_CHECK_EQ(x.size(), y->size());
+  DPMM_DCHECK_EQ(x.size(), y->size());
   for (std::size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
 }
 
@@ -179,14 +179,14 @@ void ScaleVec(double alpha, Vector* x) {
 }
 
 Vector Add(const Vector& a, const Vector& b) {
-  DPMM_CHECK_EQ(a.size(), b.size());
+  DPMM_DCHECK_EQ(a.size(), b.size());
   Vector out(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
   return out;
 }
 
 Vector Sub(const Vector& a, const Vector& b) {
-  DPMM_CHECK_EQ(a.size(), b.size());
+  DPMM_DCHECK_EQ(a.size(), b.size());
   Vector out(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
   return out;

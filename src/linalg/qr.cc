@@ -55,7 +55,7 @@ Result<Qr> Qr::Factor(const Matrix& a) {
 Vector Qr::SolveLeastSquares(const Vector& b) const {
   const std::size_t m = qr_.rows();
   const std::size_t n = qr_.cols();
-  DPMM_CHECK_EQ(b.size(), m);
+  DPMM_DCHECK_EQ(b.size(), m);
   Vector y = b;
   // Apply Q^T = H_{n-1} ... H_0 with v = (1, qr(k+1,k), ...).
   for (std::size_t k = 0; k < n; ++k) {

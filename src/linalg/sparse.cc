@@ -32,7 +32,7 @@ double SparseMatrix::Density() const {
 }
 
 Vector SparseMatrix::MatVec(const Vector& x) const {
-  DPMM_CHECK_EQ(x.size(), cols_);
+  DPMM_DCHECK_EQ(x.size(), cols_);
   Vector y(rows_, 0.0);
   ParallelFor(0, rows_, 4096, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
@@ -47,7 +47,7 @@ Vector SparseMatrix::MatVec(const Vector& x) const {
 }
 
 Vector SparseMatrix::MatTVec(const Vector& x) const {
-  DPMM_CHECK_EQ(x.size(), rows_);
+  DPMM_DCHECK_EQ(x.size(), rows_);
   Vector y(cols_, 0.0);
   for (std::size_t i = 0; i < rows_; ++i) {
     const double xi = x[i];

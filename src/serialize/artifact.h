@@ -108,16 +108,16 @@ std::string EncodeStrategyArtifact(const StrategyArtifact& artifact);
 std::string EncodeReleaseArtifact(const ReleaseArtifact& artifact);
 
 /// Strict decode; every malformed input is a Status error, never a crash.
-Result<StrategyArtifact> DecodeStrategyArtifact(const std::string& bytes);
-Result<ReleaseArtifact> DecodeReleaseArtifact(const std::string& bytes);
+[[nodiscard]] Result<StrategyArtifact> DecodeStrategyArtifact(const std::string& bytes);
+[[nodiscard]] Result<ReleaseArtifact> DecodeReleaseArtifact(const std::string& bytes);
 
 /// File round-trip (encode/decode plus whole-file I/O).
-Status SaveStrategyArtifact(const StrategyArtifact& artifact,
+[[nodiscard]] Status SaveStrategyArtifact(const StrategyArtifact& artifact,
                             const std::string& path);
-Result<StrategyArtifact> LoadStrategyArtifact(const std::string& path);
-Status SaveReleaseArtifact(const ReleaseArtifact& artifact,
+[[nodiscard]] Result<StrategyArtifact> LoadStrategyArtifact(const std::string& path);
+[[nodiscard]] Status SaveReleaseArtifact(const ReleaseArtifact& artifact,
                            const std::string& path);
-Result<ReleaseArtifact> LoadReleaseArtifact(const std::string& path);
+[[nodiscard]] Result<ReleaseArtifact> LoadReleaseArtifact(const std::string& path);
 
 namespace internal {
 

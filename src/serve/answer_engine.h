@@ -50,7 +50,7 @@ class AnswerEngine {
 
   /// Validates that the release belongs to the strategy (same signature,
   /// same domain) before serving from the pair.
-  static Result<AnswerEngine> Create(
+  [[nodiscard]] static Result<AnswerEngine> Create(
       std::shared_ptr<const serialize::StrategyArtifact> strategy,
       std::shared_ptr<const serialize::ReleaseArtifact> release,
       Domain domain);
@@ -66,7 +66,7 @@ class AnswerEngine {
   double noise_scale() const { return sigma_; }
 
   /// Parses the predicate against the domain and answers it.
-  Result<Answer> AnswerText(const std::string& predicate_text) const;
+  [[nodiscard]] Result<Answer> AnswerText(const std::string& predicate_text) const;
 
   /// Answers one parsed predicate.
   Answer AnswerPredicate(const query::Predicate& predicate) const;

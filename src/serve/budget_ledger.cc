@@ -9,13 +9,13 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
-#include <random>
 #include <set>
 #include <sstream>
 #include <vector>
 
 #include "serve/store.h"
 #include "serve/wal.h"
+#include "util/rng.h"
 #include "util/text.h"
 
 namespace dpmm {
@@ -43,11 +43,9 @@ bool FileExists(const std::string& path) {
 /// random 64 bits + pid + an in-process counter. Uniqueness, not secrecy,
 /// is the requirement (ids only dedup retries).
 std::string GenerateChargeId() {
-  static const std::uint64_t kProcessTag = [] {
-    std::random_device rd;
-    return (static_cast<std::uint64_t>(rd()) << 32) ^ rd() ^
-           (static_cast<std::uint64_t>(::getpid()) << 48);
-  }();
+  // All process entropy flows through util/rng so it stays auditable (the
+  // invariant linter's unseeded-rng rule keeps ad-hoc entropy out of here).
+  static const std::uint64_t kProcessTag = EntropySeed();
   static std::atomic<std::uint64_t> counter{0};
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%016llx-%llu",

@@ -89,7 +89,7 @@ class BudgetLedger {
   /// shared lock); NotFound when it has never been charged, DataLoss when
   /// its snapshot is damaged/quarantined. Never mutates accounting state
   /// (a damaged snapshot is quarantined as a side effect of detection).
-  Result<LedgerEntry> Read(const std::string& dataset) const;
+  [[nodiscard]] Result<LedgerEntry> Read(const std::string& dataset) const;
 
   /// Charges `request` against the dataset's budget: WAL-append → fsync →
   /// apply, under the dataset's exclusive file lock. The first charge
@@ -101,7 +101,7 @@ class BudgetLedger {
   /// idempotent: re-issuing an id that is already recorded (a crashed
   /// run's retry) applies nothing and returns the current state. Returns
   /// the entry state after the charge.
-  Result<LedgerEntry> Charge(const std::string& dataset,
+  [[nodiscard]] Result<LedgerEntry> Charge(const std::string& dataset,
                              const PrivacyParams& total,
                              const PrivacyParams& request,
                              const std::string& charge_id = "");
@@ -112,7 +112,7 @@ class BudgetLedger {
   /// the WAL holds the dataset's full history (its first record is charge
   /// #1), the state is rebuilt from the WAL alone; otherwise DataLoss
   /// stands and an operator must restore the snapshot from backup.
-  Result<LedgerEntry> Recover(const std::string& dataset);
+  [[nodiscard]] Result<LedgerEntry> Recover(const std::string& dataset);
 
  private:
   struct LoadedState;
@@ -120,9 +120,9 @@ class BudgetLedger {
   std::string SnapshotPath(const std::string& dataset) const;
   std::string WalPath(const std::string& dataset) const;
   std::string LockPath(const std::string& dataset) const;
-  Status LoadState(const std::string& dataset, bool quarantine_on_damage,
+  [[nodiscard]] Status LoadState(const std::string& dataset, bool quarantine_on_damage,
                    LoadedState* state) const;
-  Status CheckpointLocked(const LoadedState& state) const;
+  [[nodiscard]] Status CheckpointLocked(const LoadedState& state) const;
   FsOps* fs() const;
 
   std::string root_;

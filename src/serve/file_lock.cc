@@ -46,6 +46,9 @@ void FileLock::Release() {
 
 Result<FileLock> FileLock::Acquire(const std::string& path,
                                    const FileLockOptions& options) {
+  // lint:allow(raw-fs-call): flock(2) needs the real fd and kernel-released
+  // semantics; the lock file carries no durable data, so the fs_ops fault
+  // seam (which models data durability, not lock ownership) does not apply.
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (fd < 0) {
     return Status::IoError("cannot open lock file " + path + ": " +

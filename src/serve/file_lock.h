@@ -37,7 +37,7 @@ struct FileLockOptions {
 class FileLock {
  public:
   /// Opens (creating if needed) `path` and locks it per `options`.
-  static Result<FileLock> Acquire(const std::string& path,
+  [[nodiscard]] static Result<FileLock> Acquire(const std::string& path,
                                   const FileLockOptions& options = {});
 
   FileLock(FileLock&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }

@@ -233,7 +233,9 @@ Status FaultInjectionFsOps::Close(int fd) {
   // close too; what is lost is unsynced data, which SimulateCrashEffects
   // models. The operation still *reports* the crash to the caller.
   const bool alive = Begin();
-  base_->Close(fd);
+  DPMM_IGNORE_STATUS(base_->Close(fd),
+                     "the crash (if any) is what the caller must see; the "
+                     "real close is bookkeeping for the fault double");
   fd_paths_.erase(fd);
   return alive ? Status::OK() : InjectedCrash();
 }

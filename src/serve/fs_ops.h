@@ -35,24 +35,24 @@ class FsOps {
   virtual ~FsOps() = default;
 
   /// Opens (creating if absent) for appending. The fd's offset is at EOF.
-  virtual Result<int> OpenForAppend(const std::string& path) = 0;
+  [[nodiscard]] virtual Result<int> OpenForAppend(const std::string& path) = 0;
   /// Opens for writing, truncating any existing content.
-  virtual Result<int> OpenForWrite(const std::string& path) = 0;
+  [[nodiscard]] virtual Result<int> OpenForWrite(const std::string& path) = 0;
   /// Writes all n bytes (retrying short writes); error if that fails.
-  virtual Status WriteAll(int fd, const void* data, std::size_t n) = 0;
+  [[nodiscard]] virtual Status WriteAll(int fd, const void* data, std::size_t n) = 0;
   /// Flushes file data + metadata to stable storage.
-  virtual Status Fsync(int fd) = 0;
-  virtual Status Close(int fd) = 0;
-  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  [[nodiscard]] virtual Status Fsync(int fd) = 0;
+  [[nodiscard]] virtual Status Close(int fd) = 0;
+  [[nodiscard]] virtual Status Rename(const std::string& from, const std::string& to) = 0;
   /// Hard link; EEXIST surfaces as a Status whose message contains
   /// "exists" — callers that use link(2) to claim ids probe for that.
-  virtual Status Link(const std::string& from, const std::string& to) = 0;
-  virtual Status Remove(const std::string& path) = 0;
-  virtual Status Truncate(const std::string& path, std::uint64_t size) = 0;
+  [[nodiscard]] virtual Status Link(const std::string& from, const std::string& to) = 0;
+  [[nodiscard]] virtual Status Remove(const std::string& path) = 0;
+  [[nodiscard]] virtual Status Truncate(const std::string& path, std::uint64_t size) = 0;
   /// Fsyncs the directory itself, making created/renamed/removed entries
   /// durable. POSIX requires this for the *name* to survive a crash even
   /// when the file's own data was fsynced.
-  virtual Status FsyncDir(const std::string& dir) = 0;
+  [[nodiscard]] virtual Status FsyncDir(const std::string& dir) = 0;
 
   /// True when Link failed because the target already exists (the id-claim
   /// protocol's "lost the race" signal).
@@ -96,18 +96,18 @@ class FaultInjectionFsOps : public FsOps {
   /// durable by FsyncDir are removed (or, for renames over an existing
   /// file, the old content is restored). Call after the injected crash,
   /// before reopening state with the real FsOps.
-  Status SimulateCrashEffects(bool torn_tail);
+  [[nodiscard]] Status SimulateCrashEffects(bool torn_tail);
 
-  Result<int> OpenForAppend(const std::string& path) override;
-  Result<int> OpenForWrite(const std::string& path) override;
-  Status WriteAll(int fd, const void* data, std::size_t n) override;
-  Status Fsync(int fd) override;
-  Status Close(int fd) override;
-  Status Rename(const std::string& from, const std::string& to) override;
-  Status Link(const std::string& from, const std::string& to) override;
-  Status Remove(const std::string& path) override;
-  Status Truncate(const std::string& path, std::uint64_t size) override;
-  Status FsyncDir(const std::string& dir) override;
+  [[nodiscard]] Result<int> OpenForAppend(const std::string& path) override;
+  [[nodiscard]] Result<int> OpenForWrite(const std::string& path) override;
+  [[nodiscard]] Status WriteAll(int fd, const void* data, std::size_t n) override;
+  [[nodiscard]] Status Fsync(int fd) override;
+  [[nodiscard]] Status Close(int fd) override;
+  [[nodiscard]] Status Rename(const std::string& from, const std::string& to) override;
+  [[nodiscard]] Status Link(const std::string& from, const std::string& to) override;
+  [[nodiscard]] Status Remove(const std::string& path) override;
+  [[nodiscard]] Status Truncate(const std::string& path, std::uint64_t size) override;
+  [[nodiscard]] Status FsyncDir(const std::string& dir) override;
 
  private:
   struct FileState {

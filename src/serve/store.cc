@@ -53,7 +53,9 @@ Status WriteViaRename(const std::string& path, const std::string& bytes,
   if (!st.ok()) {
     // Best-effort cleanup; the original error is what the caller needs to
     // see, never the (likely also-failing) unlink's.
-    fs->Remove(tmp);
+    DPMM_IGNORE_STATUS(fs->Remove(tmp),
+                       "cleanup after a write that already failed; the "
+                       "original error is returned below");
     return st;
   }
   // Make the new directory entry itself durable.

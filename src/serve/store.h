@@ -35,7 +35,7 @@ namespace internal {
 
 /// mkdir -p: creates every component of `path` (POSIX). Shared by the
 /// store and the budget ledger.
-Status EnsureDir(const std::string& path);
+[[nodiscard]] Status EnsureDir(const std::string& path);
 
 /// Writes a file atomically *and durably*: temp file in the destination
 /// directory, fsync the temp file, rename over the target, fsync the
@@ -44,7 +44,7 @@ Status EnsureDir(const std::string& path);
 /// without the two fsyncs, rename-only "atomicity" still loses the file on
 /// real filesystems when power dies before write-back. Ops go through `fs`
 /// (default: the real filesystem) so crash schedules are injectable.
-Status WriteViaRename(const std::string& path, const std::string& bytes,
+[[nodiscard]] Status WriteViaRename(const std::string& path, const std::string& bytes,
                       FsOps* fs = nullptr);
 
 }  // namespace internal
@@ -68,11 +68,11 @@ class StrategyStore {
   /// Persists the artifact under its signature's key (creating the store
   /// directories as needed) and refreshes the cache. Overwrites an existing
   /// strategy for the same signature.
-  Status Put(const serialize::StrategyArtifact& artifact);
+  [[nodiscard]] Status Put(const serialize::StrategyArtifact& artifact);
 
   /// Loads the strategy for a signature — from the cache after the first
   /// call. NotFound when no strategy is stored for it.
-  Result<std::shared_ptr<const serialize::StrategyArtifact>> Get(
+  [[nodiscard]] Result<std::shared_ptr<const serialize::StrategyArtifact>> Get(
       const std::string& signature);
 
   /// True when a strategy file exists for the signature (no decode).
@@ -96,18 +96,18 @@ class ReleaseStore {
 
   /// Persists the release under the next free id for its signature and
   /// returns that id.
-  Result<std::size_t> Put(const serialize::ReleaseArtifact& artifact);
+  [[nodiscard]] Result<std::size_t> Put(const serialize::ReleaseArtifact& artifact);
 
   /// Loads one release — cached after the first call (releases are
   /// immutable once stored).
-  Result<std::shared_ptr<const serialize::ReleaseArtifact>> Get(
+  [[nodiscard]] Result<std::shared_ptr<const serialize::ReleaseArtifact>> Get(
       const std::string& signature, std::size_t id);
 
   /// Ids stored for a signature, ascending (empty when none).
   std::vector<std::size_t> List(const std::string& signature) const;
 
   /// The highest stored id for a signature; NotFound when none exist.
-  Result<std::size_t> LatestId(const std::string& signature) const;
+  [[nodiscard]] Result<std::size_t> LatestId(const std::string& signature) const;
 
  private:
   std::string DirFor(const std::string& signature) const;

@@ -123,7 +123,9 @@ WalWriter::WalWriter(WalWriter&& other) noexcept
 
 WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
   if (this != &other) {
-    Close();
+    DPMM_IGNORE_STATUS(Close(),
+                       "move-assignment cannot report; callers that need the "
+                       "close status call Close() explicitly first");
     path_ = std::move(other.path_);
     fd_ = other.fd_;
     size_ = other.size_;
@@ -134,7 +136,11 @@ WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
   return *this;
 }
 
-WalWriter::~WalWriter() { Close(); }
+WalWriter::~WalWriter() {
+  DPMM_IGNORE_STATUS(Close(),
+                     "destructors cannot report; an append already fsync'd "
+                     "everything it acknowledged");
+}
 
 Status WalWriter::Close() {
   if (fd_ < 0) return Status::OK();
@@ -164,7 +170,9 @@ Status WalWriter::Append(const std::string& payload) {
     // writer (recovery truncates the damage before the next one opens).
     const int fd = fd_;
     fd_ = -1;
-    fs_->Close(fd);
+    DPMM_IGNORE_STATUS(fs_->Close(fd),
+                       "the append/fsync failure above is the actionable "
+                       "error; this writer is now permanently closed");
     return st;
   }
   size_ += frame.size();

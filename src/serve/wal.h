@@ -53,7 +53,7 @@ struct WalReplay {
 /// Reads every valid record of the WAL at `path`. NotFound when the file
 /// does not exist (a never-written log). Never fails on damaged content —
 /// damage just ends the valid prefix (see torn_tail).
-Result<WalReplay> ReadWal(const std::string& path, FsOps* fs = nullptr);
+[[nodiscard]] Result<WalReplay> ReadWal(const std::string& path, FsOps* fs = nullptr);
 
 /// Appending writer for one WAL file. Not thread-safe; multi-process
 /// exclusion is the caller's job (serve/file_lock.h).
@@ -63,7 +63,7 @@ class WalWriter {
   /// valid size from a prior ReadWal — the writer refuses to append to a
   /// file longer than that (call TruncateWal first), because appending
   /// after a torn tail would bury every later record behind garbage.
-  static Result<WalWriter> Open(const std::string& path,
+  [[nodiscard]] static Result<WalWriter> Open(const std::string& path,
                                 std::uint64_t expected_size,
                                 FsOps* fs = nullptr);
 
@@ -74,12 +74,12 @@ class WalWriter {
   ~WalWriter();
 
   /// Frames, appends and fsyncs one record. On OK the record is durable.
-  Status Append(const std::string& payload);
+  [[nodiscard]] Status Append(const std::string& payload);
 
   std::uint64_t size() const { return size_; }
 
   /// Closes the fd early (the destructor otherwise does it silently).
-  Status Close();
+  [[nodiscard]] Status Close();
 
  private:
   WalWriter(std::string path, int fd, std::uint64_t size, bool created,
@@ -98,7 +98,7 @@ class WalWriter {
 
 /// Truncates damage off a WAL file (to ReadWal's valid_size) and fsyncs.
 /// Call only under the dataset's exclusive lock.
-Status TruncateWal(const std::string& path, std::uint64_t valid_size,
+[[nodiscard]] Status TruncateWal(const std::string& path, std::uint64_t valid_size,
                    FsOps* fs = nullptr);
 
 }  // namespace serve

@@ -22,12 +22,12 @@ namespace dpmm {
 namespace strategy_io {
 
 /// Writes the strategy as a dense strategy artifact (binary, exact).
-Status SaveStrategy(const Strategy& strategy, const std::string& path);
+[[nodiscard]] Status SaveStrategy(const Strategy& strategy, const std::string& path);
 
 /// Reads a strategy file: a strategy artifact of either engine (implicit
 /// strategies are materialized), or a legacy text-matrix file (a
 /// deprecation note is printed to stderr; re-save to upgrade).
-Result<Strategy> LoadStrategy(const std::string& path);
+[[nodiscard]] Result<Strategy> LoadStrategy(const std::string& path);
 
 }  // namespace strategy_io
 }  // namespace dpmm

@@ -47,4 +47,36 @@ namespace internal {
 #define DPMM_CHECK_LT(a, b) DPMM_CHECK((a) < (b))
 #define DPMM_CHECK_LE(a, b) DPMM_CHECK((a) <= (b))
 
+/// Debug-only variant: compiled out under NDEBUG (i.e. the default Release
+/// build), active in Debug and the sanitizer lanes (which build
+/// RelWithDebInfo *without* NDEBUG precisely so these fire). Use inside hot
+/// loops — per-element bounds/shape checks in the linalg kernels — where an
+/// always-on branch would cost measurable throughput; the invariant linter
+/// (rule dcheck-hot-path) enforces this in src/linalg/*.cc. Keep DPMM_CHECK
+/// for API-boundary validation that must hold in production.
+#ifdef NDEBUG
+#define DPMM_DCHECK(cond) \
+  do {                    \
+    if (false) {          \
+      (void)(cond);       \
+    }                     \
+  } while (0)
+#define DPMM_DCHECK_MSG(cond, msg) \
+  do {                             \
+    if (false) {                   \
+      (void)(cond);                \
+      (void)(msg);                 \
+    }                              \
+  } while (0)
+#else
+#define DPMM_DCHECK(cond) DPMM_CHECK(cond)
+#define DPMM_DCHECK_MSG(cond, msg) DPMM_CHECK_MSG(cond, msg)
+#endif
+
+#define DPMM_DCHECK_EQ(a, b) DPMM_DCHECK((a) == (b))
+#define DPMM_DCHECK_GT(a, b) DPMM_DCHECK((a) > (b))
+#define DPMM_DCHECK_GE(a, b) DPMM_DCHECK((a) >= (b))
+#define DPMM_DCHECK_LT(a, b) DPMM_DCHECK((a) < (b))
+#define DPMM_DCHECK_LE(a, b) DPMM_DCHECK((a) <= (b))
+
 #endif  // DPMM_UTIL_LOGGING_H_

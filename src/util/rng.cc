@@ -1,6 +1,10 @@
 #include "util/rng.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cmath>
+#include <random>
 
 #include "util/logging.h"
 
@@ -102,6 +106,21 @@ std::vector<std::size_t> Rng::Permutation(std::size_t n) {
     std::swap(p[i - 1], p[j]);
   }
   return p;
+}
+
+std::uint64_t EntropySeed() {
+  // The only random_device in the tree (see the header contract). Mix with
+  // pid + a counter through splitmix64 so two calls — or two processes on a
+  // platform where random_device is deterministic — never collide.
+  static std::atomic<std::uint64_t> counter{0};
+  static const std::uint64_t device_bits = [] {
+    std::random_device rd;  // lint:allow(unseeded-rng): this IS the sanctioned entropy source
+    return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }();
+  std::uint64_t s = device_bits ^
+                    (static_cast<std::uint64_t>(::getpid()) << 48) ^
+                    (counter.fetch_add(1) * 0xD1B54A32D192ED03ULL);
+  return SplitMix64(&s);
 }
 
 }  // namespace dpmm

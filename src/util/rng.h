@@ -53,6 +53,16 @@ class Rng {
   double cached_gaussian_ = 0.0;
 };
 
+/// One nondeterministic 64-bit seed from process entropy (std::random_device
+/// mixed with pid and a monotonic counter, so repeated calls differ even on
+/// platforms with a weak random_device). This is the ONLY sanctioned entropy
+/// source outside seeded Rng streams — the invariant linter (rule
+/// unseeded-rng) rejects std::rand / std::random_device elsewhere, so every
+/// nondeterministic draw in the tree is auditable here. Use it for process
+/// tags and ids, NEVER for privacy noise: noise must come from an explicitly
+/// seeded Rng so releases are reproducible from their recorded seed.
+std::uint64_t EntropySeed();
+
 }  // namespace dpmm
 
 #endif  // DPMM_UTIL_RNG_H_

@@ -25,7 +25,12 @@ enum class StatusCode {
 };
 
 /// Result of an operation that may fail in a recoverable way.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is how a failed ledger charge,
+/// WAL append or fsync turns into a privacy bug. Callers must consume every
+/// Status; the rare intentional discard goes through DPMM_IGNORE_STATUS with
+/// a written reason so it stays greppable and reviewable.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -101,7 +106,7 @@ class Status {
 /// A value or an error. `ValueOrDie()` aborts on error (for contexts where
 /// failure is a programmer error); callers that can recover use `ok()`.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}        // NOLINT implicit
   Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
@@ -126,6 +131,20 @@ class Result {
   Status status_;
 };
 
+namespace internal {
+inline void IgnoreStatusForReason(const Status& /*status*/,
+                                  const char* /*reason*/) {}
+}  // namespace internal
+
 }  // namespace dpmm
+
+/// The one sanctioned way to drop a Status on the floor. `reason` is a string
+/// literal explaining why ignoring the error is correct at this call site
+/// (e.g. best-effort cleanup after the operation already failed). Never use a
+/// bare void-cast — the invariant linter (tools/check_invariants.py,
+/// rule void-status) rejects it, precisely so every discard carries a
+/// justification a reviewer can audit with `grep -rn DPMM_IGNORE_STATUS`.
+#define DPMM_IGNORE_STATUS(expr, reason) \
+  ::dpmm::internal::IgnoreStatusForReason((expr), "" reason)
 
 #endif  // DPMM_UTIL_STATUS_H_

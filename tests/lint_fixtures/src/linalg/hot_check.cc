@@ -1,0 +1,23 @@
+// Fixture: an always-on check in a linalg kernel, plus a justified keep.
+#include "util/logging.h"
+
+namespace dpmm {
+
+double HotKernel(const double* x, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    DPMM_CHECK(x != nullptr);  // dcheck-hot-path finding
+    acc += x[i];
+  }
+  return acc;
+}
+
+double BoundaryKernel(const double* x, int n) {
+  // lint:allow(dcheck-hot-path): fixture for a justified API-boundary check
+  DPMM_CHECK(n >= 0);
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+}  // namespace dpmm

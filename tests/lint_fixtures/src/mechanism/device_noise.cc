@@ -1,0 +1,11 @@
+// Fixture: draws nondeterministic noise outside util/rng.
+#include <random>
+
+namespace dpmm {
+
+double DeviceNoise() {
+  std::random_device rd;  // unseeded-rng finding
+  return static_cast<double>(rd());
+}
+
+}  // namespace dpmm

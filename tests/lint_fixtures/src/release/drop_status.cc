@@ -1,0 +1,15 @@
+// Fixture: drops an error result on the floor instead of using
+// DPMM_IGNORE_STATUS.
+namespace dpmm {
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status DoCleanup() { return Status(); }
+
+void Shutdown() {
+  (void)DoCleanup();  // void-status finding: dropped Status
+}
+
+}  // namespace dpmm

@@ -1,0 +1,14 @@
+// Fixture: writes through a raw stream instead of the fs_ops seam.
+#include <fstream>
+#include <string>
+
+namespace dpmm {
+namespace serve {
+
+void RawWrite(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);  // raw-fs-call finding
+  out << bytes;
+}
+
+}  // namespace serve
+}  // namespace dpmm

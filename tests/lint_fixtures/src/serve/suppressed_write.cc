@@ -1,0 +1,14 @@
+// Fixture: the same violation carrying a justification — reported as
+// suppressed, does not fail the run.
+#include <fcntl.h>
+
+namespace dpmm {
+namespace serve {
+
+int OpenRaw(const char* path) {
+  // lint:allow(raw-fs-call): fixture demonstrating the suppression syntax
+  return ::open(path, O_RDONLY);
+}
+
+}  // namespace serve
+}  // namespace dpmm

@@ -1,0 +1,17 @@
+// Fixture: a mutex member whose file IS named by a TSAN_TESTS source
+// (tests/cover_test.cc includes this header) — no finding.
+#ifndef FIXTURE_COVERED_MUTEX_H_
+#define FIXTURE_COVERED_MUTEX_H_
+
+#include <mutex>
+
+namespace dpmm {
+
+class CoveredCache {
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace dpmm
+
+#endif  // FIXTURE_COVERED_MUTEX_H_

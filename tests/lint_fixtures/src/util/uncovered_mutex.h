@@ -1,0 +1,16 @@
+// Fixture: a mutex member in a file no TSan-covered test names.
+#ifndef FIXTURE_UNCOVERED_MUTEX_H_
+#define FIXTURE_UNCOVERED_MUTEX_H_
+
+#include <mutex>
+
+namespace dpmm {
+
+class UncoveredCache {
+ private:
+  std::mutex mu_;  // mutex-tsan finding
+};
+
+}  // namespace dpmm
+
+#endif  // FIXTURE_UNCOVERED_MUTEX_H_

@@ -1,0 +1,6 @@
+// Fixture TSan-covered test: names util/covered_mutex.h, so that file's
+// mutex member passes the mutex-tsan rule; uncovered_mutex.h is named
+// nowhere and must be flagged.
+#include "util/covered_mutex.h"
+
+int main() { return 0; }

@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+# Fixture ci.sh: only the TSAN_TESTS list matters — the mutex-tsan rule
+# parses it to learn which test sources count as TSan-covered.
+TSAN_TESTS=(cover_test)

@@ -1,0 +1,6 @@
+// Fixture: returns an exit code the fixture README does not document.
+int main(int argc, char** argv) {
+  if (argc > 1) return 9;  // undocumented -> cli-exit-doc finding
+  if (argv == nullptr) return 2;  // "usage errors exit 2" is documented
+  return 0;
+}

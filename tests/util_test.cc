@@ -37,6 +37,58 @@ TEST(Result, HoldsValueOrStatus) {
   EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
 }
 
+// util::Status is a [[nodiscard]] class (build-enforced with -Werror): a
+// dropped ledger charge / WAL append / fsync result is a compile error.
+// These tests pin the two sanctioned consumption idioms at runtime.
+TEST(Status, IgnoreStatusMacroSwallowsErrorsInExpressionPosition) {
+  bool ran = false;
+  auto fail = [&]() {
+    ran = true;
+    return Status::IoError("deliberately dropped");
+  };
+  // Compiles without -Wunused-result noise, evaluates the expression
+  // exactly once, and discards the error.
+  DPMM_IGNORE_STATUS(fail(), "unit test: exercising the discard macro");
+  EXPECT_TRUE(ran);
+}
+
+TEST(Status, IgnoreStatusMacroAcceptsOkToo) {
+  DPMM_IGNORE_STATUS(Status::OK(), "unit test: OK discard is also fine");
+}
+
+// DPMM_DCHECK is the hot-path check variant: active whenever NDEBUG is off
+// (Debug + all sanitizer lanes), compiled out in the default Release build
+// so linalg kernels pay nothing. The conversion of the kernels from
+// DPMM_CHECK changed observable Release behavior (no abort on bad shapes),
+// so both sides are pinned here.
+TEST(Logging, DcheckCompiledPerBuildType) {
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return true;
+  };
+#ifdef NDEBUG
+  // Release: the condition must not even be evaluated.
+  DPMM_DCHECK(count());
+  DPMM_DCHECK_MSG(count(), "unused");
+  EXPECT_EQ(evaluations, 0);
+#else
+  DPMM_DCHECK(count());
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_DEATH(DPMM_DCHECK(false), "DPMM_CHECK failed");
+#endif
+}
+
+TEST(Rng, EntropySeedIsUniquePerCall) {
+  // GenerateChargeId's process tag comes from here: a collision between two
+  // processes would make the ledger's idempotency window treat a fresh
+  // charge as a retry and silently drop it — budget under-count, i.e. a
+  // privacy bug. 64-bit draws over 4k calls must never repeat.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 4096; ++i) seen.insert(EntropySeed());
+  EXPECT_EQ(seen.size(), 4096u);
+}
+
 TEST(Result, MoveOnlyTypes) {
   Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
   std::unique_ptr<int> v = std::move(r).ValueOrDie();

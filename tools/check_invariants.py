@@ -1,0 +1,357 @@
+#!/usr/bin/env python3
+"""Project-invariant linter: rules generic tools cannot know.
+
+Enforces the dpmm-specific correctness contracts that clang-tidy and the
+compiler have no way to express:
+
+  raw-fs-call     src/serve/ must do filesystem mutation through the fs_ops
+                  seam (fs_ops.cc is the one implementation site). A raw
+                  fopen/ofstream/::open/rename there bypasses the
+                  fault-injection harness and the fsync discipline, i.e. the
+                  crash-safety proof no longer covers that write.
+  unseeded-rng    std::rand / std::random_device are forbidden outside
+                  util/rng: privacy noise must come from an explicitly seeded
+                  Rng (reproducible from the recorded seed), and the one
+                  nondeterministic seed source (EntropySeed) lives in
+                  util/rng where it is auditable.
+  mutex-tsan      every file declaring a mutex member must be named (by its
+                  header path) in at least one test source that tools/ci.sh
+                  runs under ThreadSanitizer (TSAN_TESTS) — lock-based code
+                  without TSan coverage is how races ship.
+  cli-exit-doc    every nonzero exit code the CLI can return must be
+                  documented in README.md ("exit N" / "exit code N"):
+                  operators script against these (3 = budget refusal,
+                  5 = ledger damage), so an undocumented code is an API hole.
+  void-status     discarding a util::Status with a bare (void) cast is
+                  forbidden; intentional discards use
+                  DPMM_IGNORE_STATUS(expr, "reason") so each one carries a
+                  reviewable justification.
+  dcheck-hot-path DPMM_CHECK in src/linalg/*.cc kernels must be the
+                  debug-only DPMM_DCHECK variant: these run inside the hot
+                  SIMD/PCG loops, and an always-on branch costs Release
+                  throughput. (DCHECKs still fire in Debug and the sanitizer
+                  lanes, which build without NDEBUG.)
+
+Suppression syntax — on the offending line, or in the comment line(s)
+immediately above it:
+
+    // lint:allow(rule-id): reason the violation is correct here
+
+Suppressed findings are reported (and counted in --format=json) but do not
+fail the run; the reason is mandatory in spirit and reviewed like any other
+code.
+
+Usage:
+    check_invariants.py [--root DIR] [--format text|json] [--expect FILE]
+
+--root defaults to the repository containing this script. --expect compares
+the complete finding set (active and suppressed) against a JSON file — the
+lint_fixtures ctest uses it to regression-test the linter itself.
+
+Exit codes: 0 clean / expectations matched, 1 findings or expectation
+mismatch, 2 usage or configuration error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+SOURCE_EXTS = (".h", ".cc")
+# The fixture tree deliberately violates every rule; the real scan must not
+# trip over it.
+EXCLUDED_DIRS = {"lint_fixtures", "build", "build-tsan", "build-asan"}
+
+SUPPRESS_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
+
+
+def find(rule, path, line_no, message):
+    return {"rule": rule, "file": path, "line": line_no, "message": message}
+
+
+def is_suppressed(rule, lines, idx):
+    """lint:allow(rule) on the line itself or the comment block above it."""
+    m = SUPPRESS_RE.search(lines[idx])
+    if m and m.group(1) == rule:
+        return True
+    j = idx - 1
+    while j >= 0 and lines[j].lstrip().startswith("//"):
+        m = SUPPRESS_RE.search(lines[j])
+        if m and m.group(1) == rule:
+            return True
+        j -= 1
+    return False
+
+
+def iter_sources(root, subdirs):
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [d for d in dirnames if d not in EXCLUDED_DIRS]
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    yield os.path.join(dirpath, name)
+
+
+def relpath(root, path):
+    return os.path.relpath(path, root)
+
+
+def scan_line_rule(root, files, rule, line_re, message, active, suppressed):
+    for path in files:
+        rel = relpath(root, path)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+        for i, line in enumerate(lines):
+            if not line_re.search(line):
+                continue
+            f_ = find(rule, rel, i + 1, message)
+            (suppressed if is_suppressed(rule, lines, i) else active).append(f_)
+
+
+# ---- raw-fs-call ----------------------------------------------------------
+
+RAW_FS_RE = re.compile(
+    r"\bfopen\s*\(|std::ofstream|\bofstream\b|::open\s*\(|::rename\s*\(|"
+    r"std::rename\b|\brename\s*\(")
+
+
+def rule_raw_fs_call(root, active, suppressed):
+    files = [p for p in iter_sources(root, ["src/serve"])
+             if os.path.basename(p) not in ("fs_ops.cc", "fs_ops.h")]
+    scan_line_rule(
+        root, files, "raw-fs-call", RAW_FS_RE,
+        "raw filesystem mutation in src/serve/ bypasses the fs_ops "
+        "durability seam (route it through FsOps, or justify with "
+        "lint:allow)", active, suppressed)
+
+
+# ---- unseeded-rng ---------------------------------------------------------
+
+RNG_RE = re.compile(r"std::rand\b|\bsrand\s*\(|std::random_device|"
+                    r"\brandom_device\b")
+
+
+def rule_unseeded_rng(root, active, suppressed):
+    files = [p for p in iter_sources(root, ["src", "tools"])
+             if not relpath(root, p).startswith(os.path.join("src", "util",
+                                                             "rng"))]
+    scan_line_rule(
+        root, files, "unseeded-rng", RNG_RE,
+        "nondeterministic randomness outside util/rng: draw noise from a "
+        "seeded dpmm::Rng, or take a process tag from dpmm::EntropySeed()",
+        active, suppressed)
+
+
+# ---- mutex-tsan -----------------------------------------------------------
+
+MUTEX_MEMBER_RE = re.compile(
+    r"(?:mutable\s+)?std::(?:shared_|recursive_|timed_)?mutex\s+"
+    r"[A-Za-z_]\w*\s*;")
+TSAN_TESTS_RE = re.compile(r"TSAN_TESTS=\(([^)]*)\)")
+
+
+def tsan_covered_sources(root):
+    ci = os.path.join(root, "tools", "ci.sh")
+    try:
+        with open(ci, encoding="utf-8") as f:
+            m = TSAN_TESTS_RE.search(f.read())
+    except OSError:
+        return None
+    if not m:
+        return None
+    blobs = []
+    for test in m.group(1).split():
+        src = os.path.join(root, "tests", test + ".cc")
+        if os.path.exists(src):
+            with open(src, encoding="utf-8", errors="replace") as f:
+                blobs.append(f.read())
+    return "\n".join(blobs)
+
+
+def rule_mutex_tsan(root, active, suppressed):
+    tsan_blob = tsan_covered_sources(root)
+    if tsan_blob is None:
+        print("check_invariants: cannot parse TSAN_TESTS from tools/ci.sh",
+              file=sys.stderr)
+        sys.exit(2)
+    for path in iter_sources(root, ["src"]):
+        rel = relpath(root, path)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+        hits = [i for i, ln in enumerate(lines) if MUTEX_MEMBER_RE.search(ln)]
+        if not hits:
+            continue
+        # The file is "named" when a TSan-run test mentions its header path
+        # (src/a/b.{h,cc} -> "a/b.h").
+        stem = os.path.splitext(os.path.relpath(path,
+                                                os.path.join(root, "src")))[0]
+        token = stem + ".h"
+        if token in tsan_blob:
+            continue
+        for i in hits:
+            f_ = find(
+                "mutex-tsan", rel, i + 1,
+                "mutex member without TSan coverage: no test in tools/ci.sh "
+                "TSAN_TESTS names %s" % token)
+            (suppressed if is_suppressed("mutex-tsan", lines, i)
+             else active).append(f_)
+
+
+# ---- cli-exit-doc ---------------------------------------------------------
+
+RETURN_CODE_RE = re.compile(r"\breturn\s+(\d+)\s*;|\bstd::exit\s*\(\s*(\d+)")
+
+
+def rule_cli_exit_doc(root, active, suppressed):
+    cli = os.path.join(root, "tools", "dpmm_cli.cc")
+    readme = os.path.join(root, "README.md")
+    if not os.path.exists(cli):
+        return
+    try:
+        with open(readme, encoding="utf-8") as f:
+            readme_text = f.read()
+    except OSError:
+        readme_text = ""
+    with open(cli, encoding="utf-8", errors="replace") as f:
+        lines = f.read().splitlines()
+    documented = set()
+    for m in re.finditer(r"exits?(?:\s+code)?[\s`*]*(\d+)", readme_text,
+                         re.IGNORECASE):
+        documented.add(int(m.group(1)))
+    seen = set()
+    for i, line in enumerate(lines):
+        for m in RETURN_CODE_RE.finditer(line):
+            code = int(m.group(1) or m.group(2))
+            if code == 0 or code > 255 or code in documented:
+                continue
+            if code in seen:
+                continue  # one finding per undocumented code
+            f_ = find(
+                "cli-exit-doc", relpath(root, cli), i + 1,
+                "CLI can exit %d but README.md does not document "
+                "'exit code %d'" % (code, code))
+            if is_suppressed("cli-exit-doc", lines, i):
+                suppressed.append(f_)
+            else:
+                active.append(f_)
+                seen.add(code)
+
+
+# ---- void-status ----------------------------------------------------------
+
+VOID_STATUS_RE = re.compile(r"\(void\)")
+STATUS_WORD_RE = re.compile(r"status", re.IGNORECASE)
+
+
+def rule_void_status(root, active, suppressed):
+    files = list(iter_sources(root, ["src", "tools", "tests"]))
+    for path in files:
+        rel = relpath(root, path)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+        for i, line in enumerate(lines):
+            if VOID_STATUS_RE.search(line) and STATUS_WORD_RE.search(line):
+                f_ = find(
+                    "void-status", rel, i + 1,
+                    "(void)-discarded Status: use DPMM_IGNORE_STATUS(expr, "
+                    "\"reason\") so the discard is justified and greppable")
+                (suppressed if is_suppressed("void-status", lines, i)
+                 else active).append(f_)
+
+
+# ---- dcheck-hot-path ------------------------------------------------------
+
+HOT_CHECK_RE = re.compile(r"\bDPMM_CHECK(?:_(?:MSG|EQ|GT|GE|LT|LE))?\s*\(")
+
+
+def rule_dcheck_hot_path(root, active, suppressed):
+    files = [p for p in iter_sources(root, ["src/linalg"])
+             if p.endswith(".cc")]
+    scan_line_rule(
+        root, files, "dcheck-hot-path", HOT_CHECK_RE,
+        "always-on DPMM_CHECK in a linalg kernel: use DPMM_DCHECK (active "
+        "in Debug + sanitizer lanes, free in Release), or justify an "
+        "API-boundary check with lint:allow", active, suppressed)
+
+
+RULES = [
+    rule_raw_fs_call,
+    rule_unseeded_rng,
+    rule_mutex_tsan,
+    rule_cli_exit_doc,
+    rule_void_status,
+    rule_dcheck_hot_path,
+]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="tree to scan (default: this repository)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--expect", default=None,
+                        help="JSON file with the expected finding set "
+                             "(fixture self-test mode)")
+    args = parser.parse_args()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print("check_invariants: no src/ under %s" % root, file=sys.stderr)
+        return 2
+
+    active, suppressed = [], []
+    for rule in RULES:
+        rule(root, active, suppressed)
+    key = lambda f: (f["rule"], f["file"], f["line"])  # noqa: E731
+    active.sort(key=key)
+    suppressed.sort(key=key)
+
+    if args.format == "json":
+        print(json.dumps({"findings": active, "suppressed": suppressed},
+                         indent=2))
+    else:
+        for f in active:
+            print("%s:%d: [%s] %s" % (f["file"], f["line"], f["rule"],
+                                      f["message"]))
+        for f in suppressed:
+            print("%s:%d: [%s] suppressed via lint:allow" %
+                  (f["file"], f["line"], f["rule"]))
+
+    if args.expect:
+        with open(args.expect, encoding="utf-8") as fp:
+            expected = json.load(fp)
+        got = ([dict(f, suppressed=False) for f in active] +
+               [dict(f, suppressed=True) for f in suppressed])
+        got_set = {(f["rule"], f["file"], f["line"], f["suppressed"])
+                   for f in got}
+        want_set = {(f["rule"], f["file"], f["line"],
+                     bool(f.get("suppressed"))) for f in expected}
+        missing = want_set - got_set
+        unexpected = got_set - want_set
+        for f in sorted(missing):
+            print("EXPECTED but not found: %s:%d [%s] suppressed=%s" %
+                  (f[1], f[2], f[0], f[3]))
+        for f in sorted(unexpected):
+            print("UNEXPECTED finding: %s:%d [%s] suppressed=%s" %
+                  (f[1], f[2], f[0], f[3]))
+        if missing or unexpected:
+            return 1
+        print("check_invariants: fixture expectations matched "
+              "(%d findings, %d suppressed)" % (len(active), len(suppressed)))
+        return 0
+
+    if active:
+        print("check_invariants: %d finding(s)" % len(active),
+              file=sys.stderr)
+        return 1
+    if args.format == "text":
+        print("check_invariants: clean (%d suppression(s) in effect)"
+              % len(suppressed))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,23 +1,68 @@
 #!/usr/bin/env bash
-# Tier-1 CI: the standard configure/build/ctest cycle, followed by a
-# ThreadSanitizer pass over the concurrency-sensitive tests (the persistent
-# thread pool behind ParallelFor, the lazily initialized Kronecker eigenbasis
-# variants, and the batched release engine built on both). Run from anywhere;
-# operates on the repository that contains this script.
+# CI, cheapest checks first: static analysis (invariant linter + clang-tidy
+# baseline), an AddressSanitizer+UBSan pass over the full ctest suite, the
+# standard tier-1 configure/build/ctest cycle, then a ThreadSanitizer pass
+# over the concurrency-sensitive tests (the persistent thread pool behind
+# ParallelFor, the lazily initialized Kronecker eigenbasis variants, and the
+# batched release engine built on both). Run from anywhere; operates on the
+# repository that contains this script.
 #
-#   tools/ci.sh          # full cycle
-#   SKIP_TSAN=1 tools/ci.sh   # tier-1 only (e.g. when libtsan is absent)
+#   tools/ci.sh                # full cycle: lint -> asan -> tier-1 -> tsan
+#   SKIP_LINT=1 tools/ci.sh    # skip static analysis
+#   SKIP_ASAN=1 tools/ci.sh    # skip the ASan/UBSan lane (e.g. no libasan)
+#   SKIP_TSAN=1 tools/ci.sh    # skip the TSan lane (e.g. no libtsan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==== tier-1: configure + build + ctest (preset: default) ===="
+if [[ "${SKIP_LINT:-0}" == "1" ]]; then
+  echo "==== lint: skipped (SKIP_LINT=1) ===="
+else
+  echo "==== lint: invariant linter + clang-tidy baseline (tools/lint.sh) ===="
+  # Seconds, no build needed — a durability-seam bypass, an unseeded RNG
+  # draw or a bare (void)status fails the run before anything compiles.
+  tools/lint.sh
+fi
+
 # CMakePresets.json needs CMake >= 3.21; the project itself builds from
 # 3.16, so fall back to a plain configure when presets are unsupported.
 if cmake --list-presets >/dev/null 2>&1; then
   HAVE_PRESETS=1
-  cmake --preset default
 else
   HAVE_PRESETS=0
+fi
+
+# Every test binary plus the CLI (cli_api_test drives the real binary) —
+# what the sanitizer lane builds instead of the full bench/example set.
+TEST_TARGETS=(dpmm_cli)
+for test_src in tests/*_test.cc; do
+  TEST_TARGETS+=("$(basename "${test_src%.cc}")")
+done
+
+if [[ "${SKIP_ASAN:-0}" == "1" ]]; then
+  echo "==== asan: skipped (SKIP_ASAN=1) ===="
+else
+  echo "==== asan: full ctest suite under Address+UB Sanitizer (preset: asan) ===="
+  # The asan preset builds RelWithDebInfo *without* NDEBUG, so DPMM_DCHECK
+  # bounds/shape checks in the linalg kernels are live exactly where the
+  # sanitizers run. -fno-sanitize-recover=all turns any UB into an abort.
+  if [[ "${HAVE_PRESETS}" == "1" ]]; then
+    cmake --preset asan
+  else
+    cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS_RELWITHDEBINFO="-O2 -g" \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  fi
+  cmake --build build-asan -j --target "${TEST_TARGETS[@]}"
+  (cd build-asan && \
+   ASAN_OPTIONS="abort_on_error=1" UBSAN_OPTIONS="print_stacktrace=1" \
+   ctest --output-on-failure -j4)
+fi
+
+echo "==== tier-1: configure + build + ctest (preset: default) ===="
+if [[ "${HAVE_PRESETS}" == "1" ]]; then
+  cmake --preset default
+else
   cmake -B build -S .
 fi
 cmake --build build -j

@@ -236,22 +236,6 @@ bool U64Opt(const Args& args, const std::string& key,
   return true;
 }
 
-bool BoolOpt(const Args& args, const std::string& key, bool fallback,
-             bool* out) {
-  const auto it = args.options.find(key);
-  if (it == args.options.end()) {
-    *out = fallback;
-    return true;
-  }
-  if (!ParseBool(it->second, out)) {
-    std::fprintf(stderr,
-                 "option --%s expects a boolean (1/0/true/false), got '%s'\n",
-                 key.c_str(), it->second.c_str());
-    return false;
-  }
-  return true;
-}
-
 Result<Domain> ParseDomain(const std::string& spec) {
   std::vector<std::size_t> sizes;
   std::size_t pos = 0;

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Static analysis gate: the project-invariant linter (always), then the
+# clang-tidy baseline (when clang-tidy is installed). Run from anywhere;
+# operates on the repository containing this script. Fails on any finding —
+# fix it or, for the invariant linter only, justify it with the documented
+# `// lint:allow(rule-id): reason` suppression.
+#
+#   tools/lint.sh                 # both stages
+#   tools/lint.sh --invariants-only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==== lint: project invariants (tools/check_invariants.py) ===="
+python3 tools/check_invariants.py
+
+if [[ "${1:-}" == "--invariants-only" ]]; then
+  exit 0
+fi
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "lint.sh: clang-tidy not installed; skipping the clang-tidy baseline" \
+       "(the invariant linter above still gates)."
+  exit 0
+fi
+
+echo "==== lint: clang-tidy baseline (.clang-tidy, WarningsAsErrors) ===="
+# clang-tidy needs the compile database the default preset exports.
+if [[ ! -f build/compile_commands.json ]]; then
+  cmake -B build -S . >/dev/null
+fi
+# Fixture sources deliberately violate rules and never compile; skip them.
+mapfile -t sources < <(find src tools tests -name '*.cc' \
+                         -not -path 'tests/lint_fixtures/*' | sort)
+clang-tidy -p build --quiet \
+  --export-fixes=clang-tidy-fixes.yaml \
+  "${sources[@]}"
+echo "lint.sh: clang-tidy clean"

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example4.dir/bench/bench_example4.cc.o"
+  "CMakeFiles/bench_example4.dir/bench/bench_example4.cc.o.d"
+  "bench_example4"
+  "bench_example4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3a_range_absolute.dir/bench/bench_fig3a_range_absolute.cc.o"
+  "CMakeFiles/bench_fig3a_range_absolute.dir/bench/bench_fig3a_range_absolute.cc.o.d"
+  "bench_fig3a_range_absolute"
+  "bench_fig3a_range_absolute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3a_range_absolute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

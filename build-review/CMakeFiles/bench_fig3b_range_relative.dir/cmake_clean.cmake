@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3b_range_relative.dir/bench/bench_fig3b_range_relative.cc.o"
+  "CMakeFiles/bench_fig3b_range_relative.dir/bench/bench_fig3b_range_relative.cc.o.d"
+  "bench_fig3b_range_relative"
+  "bench_fig3b_range_relative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3b_range_relative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig3c_marginal_absolute.
+# This may be replaced when dependencies are built.

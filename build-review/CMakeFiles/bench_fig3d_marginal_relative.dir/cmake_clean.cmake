@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3d_marginal_relative.dir/bench/bench_fig3d_marginal_relative.cc.o"
+  "CMakeFiles/bench_fig3d_marginal_relative.dir/bench/bench_fig3d_marginal_relative.cc.o.d"
+  "bench_fig3d_marginal_relative"
+  "bench_fig3d_marginal_relative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3d_marginal_relative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_optimizations.dir/bench/bench_fig4_optimizations.cc.o"
+  "CMakeFiles/bench_fig4_optimizations.dir/bench/bench_fig4_optimizations.cc.o.d"
+  "bench_fig4_optimizations"
+  "bench_fig4_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

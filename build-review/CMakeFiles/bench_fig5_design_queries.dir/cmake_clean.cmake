@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_design_queries.dir/bench/bench_fig5_design_queries.cc.o"
+  "CMakeFiles/bench_fig5_design_queries.dir/bench/bench_fig5_design_queries.cc.o.d"
+  "bench_fig5_design_queries"
+  "bench_fig5_design_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_design_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

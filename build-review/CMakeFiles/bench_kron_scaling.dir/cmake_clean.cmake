@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kron_scaling.dir/bench/bench_kron_scaling.cc.o"
+  "CMakeFiles/bench_kron_scaling.dir/bench/bench_kron_scaling.cc.o.d"
+  "bench_kron_scaling"
+  "bench_kron_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kron_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

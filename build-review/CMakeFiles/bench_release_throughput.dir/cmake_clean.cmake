@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_release_throughput.dir/bench/bench_release_throughput.cc.o"
+  "CMakeFiles/bench_release_throughput.dir/bench/bench_release_throughput.cc.o.d"
+  "bench_release_throughput"
+  "bench_release_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_release_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

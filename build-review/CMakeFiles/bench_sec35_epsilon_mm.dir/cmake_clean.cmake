@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec35_epsilon_mm.dir/bench/bench_sec35_epsilon_mm.cc.o"
+  "CMakeFiles/bench_sec35_epsilon_mm.dir/bench/bench_sec35_epsilon_mm.cc.o.d"
+  "bench_sec35_epsilon_mm"
+  "bench_sec35_epsilon_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec35_epsilon_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

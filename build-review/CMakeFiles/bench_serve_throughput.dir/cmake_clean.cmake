@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serve_throughput.dir/bench/bench_serve_throughput.cc.o"
+  "CMakeFiles/bench_serve_throughput.dir/bench/bench_serve_throughput.cc.o.d"
+  "bench_serve_throughput"
+  "bench_serve_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serve_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_solver_convergence.dir/bench/bench_solver_convergence.cc.o"
+  "CMakeFiles/bench_solver_convergence.dir/bench/bench_solver_convergence.cc.o.d"
+  "bench_solver_convergence"
+  "bench_solver_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_solver_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_test.dir/tests/domain_test.cc.o"
+  "CMakeFiles/domain_test.dir/tests/domain_test.cc.o.d"
+  "domain_test"
+  "domain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

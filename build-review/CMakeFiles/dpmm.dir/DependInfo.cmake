@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/data_vector.cc" "CMakeFiles/dpmm.dir/src/data/data_vector.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/data/data_vector.cc.o.d"
+  "/root/repo/src/data/generators.cc" "CMakeFiles/dpmm.dir/src/data/generators.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/data/generators.cc.o.d"
+  "/root/repo/src/data/io.cc" "CMakeFiles/dpmm.dir/src/data/io.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/data/io.cc.o.d"
+  "/root/repo/src/domain/cell_condition.cc" "CMakeFiles/dpmm.dir/src/domain/cell_condition.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/domain/cell_condition.cc.o.d"
+  "/root/repo/src/domain/domain.cc" "CMakeFiles/dpmm.dir/src/domain/domain.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/domain/domain.cc.o.d"
+  "/root/repo/src/linalg/blas.cc" "CMakeFiles/dpmm.dir/src/linalg/blas.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/linalg/blas.cc.o.d"
+  "/root/repo/src/linalg/cholesky.cc" "CMakeFiles/dpmm.dir/src/linalg/cholesky.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/linalg/cholesky.cc.o.d"
+  "/root/repo/src/linalg/eigen_sym.cc" "CMakeFiles/dpmm.dir/src/linalg/eigen_sym.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/linalg/eigen_sym.cc.o.d"
+  "/root/repo/src/linalg/kron_operator.cc" "CMakeFiles/dpmm.dir/src/linalg/kron_operator.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/linalg/kron_operator.cc.o.d"
+  "/root/repo/src/linalg/kronecker.cc" "CMakeFiles/dpmm.dir/src/linalg/kronecker.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/linalg/kronecker.cc.o.d"
+  "/root/repo/src/linalg/lu.cc" "CMakeFiles/dpmm.dir/src/linalg/lu.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/linalg/lu.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "CMakeFiles/dpmm.dir/src/linalg/matrix.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/qr.cc" "CMakeFiles/dpmm.dir/src/linalg/qr.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/linalg/qr.cc.o.d"
+  "/root/repo/src/linalg/sparse.cc" "CMakeFiles/dpmm.dir/src/linalg/sparse.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/linalg/sparse.cc.o.d"
+  "/root/repo/src/linalg/svd.cc" "CMakeFiles/dpmm.dir/src/linalg/svd.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/linalg/svd.cc.o.d"
+  "/root/repo/src/mechanism/bounds.cc" "CMakeFiles/dpmm.dir/src/mechanism/bounds.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/mechanism/bounds.cc.o.d"
+  "/root/repo/src/mechanism/error.cc" "CMakeFiles/dpmm.dir/src/mechanism/error.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/mechanism/error.cc.o.d"
+  "/root/repo/src/mechanism/matrix_mechanism.cc" "CMakeFiles/dpmm.dir/src/mechanism/matrix_mechanism.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/mechanism/matrix_mechanism.cc.o.d"
+  "/root/repo/src/mechanism/noise.cc" "CMakeFiles/dpmm.dir/src/mechanism/noise.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/mechanism/noise.cc.o.d"
+  "/root/repo/src/mechanism/privacy.cc" "CMakeFiles/dpmm.dir/src/mechanism/privacy.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/mechanism/privacy.cc.o.d"
+  "/root/repo/src/optimize/dual_solver.cc" "CMakeFiles/dpmm.dir/src/optimize/dual_solver.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/optimize/dual_solver.cc.o.d"
+  "/root/repo/src/optimize/eigen_design.cc" "CMakeFiles/dpmm.dir/src/optimize/eigen_design.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/optimize/eigen_design.cc.o.d"
+  "/root/repo/src/optimize/eigen_separation.cc" "CMakeFiles/dpmm.dir/src/optimize/eigen_separation.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/optimize/eigen_separation.cc.o.d"
+  "/root/repo/src/optimize/l1_design.cc" "CMakeFiles/dpmm.dir/src/optimize/l1_design.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/optimize/l1_design.cc.o.d"
+  "/root/repo/src/optimize/lbfgs.cc" "CMakeFiles/dpmm.dir/src/optimize/lbfgs.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/optimize/lbfgs.cc.o.d"
+  "/root/repo/src/optimize/principal_vectors.cc" "CMakeFiles/dpmm.dir/src/optimize/principal_vectors.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/optimize/principal_vectors.cc.o.d"
+  "/root/repo/src/optimize/reference_solver.cc" "CMakeFiles/dpmm.dir/src/optimize/reference_solver.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/optimize/reference_solver.cc.o.d"
+  "/root/repo/src/optimize/weighting_problem.cc" "CMakeFiles/dpmm.dir/src/optimize/weighting_problem.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/optimize/weighting_problem.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "CMakeFiles/dpmm.dir/src/query/predicate.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/query/predicate.cc.o.d"
+  "/root/repo/src/query/workload_builder.cc" "CMakeFiles/dpmm.dir/src/query/workload_builder.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/query/workload_builder.cc.o.d"
+  "/root/repo/src/release/release.cc" "CMakeFiles/dpmm.dir/src/release/release.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/release/release.cc.o.d"
+  "/root/repo/src/serialize/artifact.cc" "CMakeFiles/dpmm.dir/src/serialize/artifact.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/serialize/artifact.cc.o.d"
+  "/root/repo/src/serve/answer_engine.cc" "CMakeFiles/dpmm.dir/src/serve/answer_engine.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/serve/answer_engine.cc.o.d"
+  "/root/repo/src/serve/budget_ledger.cc" "CMakeFiles/dpmm.dir/src/serve/budget_ledger.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/serve/budget_ledger.cc.o.d"
+  "/root/repo/src/serve/file_lock.cc" "CMakeFiles/dpmm.dir/src/serve/file_lock.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/serve/file_lock.cc.o.d"
+  "/root/repo/src/serve/fs_ops.cc" "CMakeFiles/dpmm.dir/src/serve/fs_ops.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/serve/fs_ops.cc.o.d"
+  "/root/repo/src/serve/store.cc" "CMakeFiles/dpmm.dir/src/serve/store.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/serve/store.cc.o.d"
+  "/root/repo/src/serve/wal.cc" "CMakeFiles/dpmm.dir/src/serve/wal.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/serve/wal.cc.o.d"
+  "/root/repo/src/strategy/datacube.cc" "CMakeFiles/dpmm.dir/src/strategy/datacube.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/strategy/datacube.cc.o.d"
+  "/root/repo/src/strategy/fourier.cc" "CMakeFiles/dpmm.dir/src/strategy/fourier.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/strategy/fourier.cc.o.d"
+  "/root/repo/src/strategy/hierarchical.cc" "CMakeFiles/dpmm.dir/src/strategy/hierarchical.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/strategy/hierarchical.cc.o.d"
+  "/root/repo/src/strategy/io.cc" "CMakeFiles/dpmm.dir/src/strategy/io.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/strategy/io.cc.o.d"
+  "/root/repo/src/strategy/kron_strategy.cc" "CMakeFiles/dpmm.dir/src/strategy/kron_strategy.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/strategy/kron_strategy.cc.o.d"
+  "/root/repo/src/strategy/strategy.cc" "CMakeFiles/dpmm.dir/src/strategy/strategy.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/strategy/strategy.cc.o.d"
+  "/root/repo/src/strategy/wavelet.cc" "CMakeFiles/dpmm.dir/src/strategy/wavelet.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/strategy/wavelet.cc.o.d"
+  "/root/repo/src/util/rng.cc" "CMakeFiles/dpmm.dir/src/util/rng.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/util/rng.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "CMakeFiles/dpmm.dir/src/util/table_printer.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/util/table_printer.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "CMakeFiles/dpmm.dir/src/util/thread_pool.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/util/thread_pool.cc.o.d"
+  "/root/repo/src/util/threading.cc" "CMakeFiles/dpmm.dir/src/util/threading.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/util/threading.cc.o.d"
+  "/root/repo/src/workload/builders.cc" "CMakeFiles/dpmm.dir/src/workload/builders.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/workload/builders.cc.o.d"
+  "/root/repo/src/workload/gram.cc" "CMakeFiles/dpmm.dir/src/workload/gram.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/workload/gram.cc.o.d"
+  "/root/repo/src/workload/marginal_workloads.cc" "CMakeFiles/dpmm.dir/src/workload/marginal_workloads.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/workload/marginal_workloads.cc.o.d"
+  "/root/repo/src/workload/range_workloads.cc" "CMakeFiles/dpmm.dir/src/workload/range_workloads.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/workload/range_workloads.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "CMakeFiles/dpmm.dir/src/workload/workload.cc.o" "gcc" "CMakeFiles/dpmm.dir/src/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpmm_cli.dir/tools/dpmm_cli.cc.o"
+  "CMakeFiles/dpmm_cli.dir/tools/dpmm_cli.cc.o.d"
+  "dpmm_cli"
+  "dpmm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpmm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

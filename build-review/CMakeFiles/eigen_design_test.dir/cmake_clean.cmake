@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eigen_design_test.dir/tests/eigen_design_test.cc.o"
+  "CMakeFiles/eigen_design_test.dir/tests/eigen_design_test.cc.o.d"
+  "eigen_design_test"
+  "eigen_design_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eigen_design_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example4_test.dir/tests/example4_test.cc.o"
+  "CMakeFiles/example4_test.dir/tests/example4_test.cc.o.d"
+  "example4_test"
+  "example4_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

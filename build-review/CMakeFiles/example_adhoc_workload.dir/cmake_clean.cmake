@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adhoc_workload.dir/examples/adhoc_workload.cc.o"
+  "CMakeFiles/example_adhoc_workload.dir/examples/adhoc_workload.cc.o.d"
+  "example_adhoc_workload"
+  "example_adhoc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adhoc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_census_ranges.dir/examples/census_ranges.cc.o"
+  "CMakeFiles/example_census_ranges.dir/examples/census_ranges.cc.o.d"
+  "example_census_ranges"
+  "example_census_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_census_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

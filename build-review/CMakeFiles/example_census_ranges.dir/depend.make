@@ -1,0 +1,2 @@
+# Empty dependencies file for example_census_ranges.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_marginal_cube.dir/examples/marginal_cube.cc.o"
+  "CMakeFiles/example_marginal_cube.dir/examples/marginal_cube.cc.o.d"
+  "example_marginal_cube"
+  "example_marginal_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_marginal_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_predicate_queries.dir/examples/predicate_queries.cc.o"
+  "CMakeFiles/example_predicate_queries.dir/examples/predicate_queries.cc.o.d"
+  "example_predicate_queries"
+  "example_predicate_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_predicate_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gram_test.dir/tests/gram_test.cc.o"
+  "CMakeFiles/gram_test.dir/tests/gram_test.cc.o.d"
+  "gram_test"
+  "gram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

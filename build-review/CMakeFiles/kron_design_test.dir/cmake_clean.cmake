@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kron_design_test.dir/tests/kron_design_test.cc.o"
+  "CMakeFiles/kron_design_test.dir/tests/kron_design_test.cc.o.d"
+  "kron_design_test"
+  "kron_design_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kron_design_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l1_design_test.dir/tests/l1_design_test.cc.o"
+  "CMakeFiles/l1_design_test.dir/tests/l1_design_test.cc.o.d"
+  "l1_design_test"
+  "l1_design_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l1_design_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_kron_test.dir/tests/linalg_kron_test.cc.o"
+  "CMakeFiles/linalg_kron_test.dir/tests/linalg_kron_test.cc.o.d"
+  "linalg_kron_test"
+  "linalg_kron_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_kron_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marginal_workload_test.dir/tests/marginal_workload_test.cc.o"
+  "CMakeFiles/marginal_workload_test.dir/tests/marginal_workload_test.cc.o.d"
+  "marginal_workload_test"
+  "marginal_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marginal_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

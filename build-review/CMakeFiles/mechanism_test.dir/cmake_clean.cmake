@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mechanism_test.dir/tests/mechanism_test.cc.o"
+  "CMakeFiles/mechanism_test.dir/tests/mechanism_test.cc.o.d"
+  "mechanism_test"
+  "mechanism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mechanism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

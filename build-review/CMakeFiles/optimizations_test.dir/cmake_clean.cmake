@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizations_test.dir/tests/optimizations_test.cc.o"
+  "CMakeFiles/optimizations_test.dir/tests/optimizations_test.cc.o.d"
+  "optimizations_test"
+  "optimizations_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

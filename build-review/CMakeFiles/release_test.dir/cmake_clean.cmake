@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/release_test.dir/tests/release_test.cc.o"
+  "CMakeFiles/release_test.dir/tests/release_test.cc.o.d"
+  "release_test"
+  "release_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/release_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

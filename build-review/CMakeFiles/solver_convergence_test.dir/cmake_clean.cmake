@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_convergence_test.dir/tests/solver_convergence_test.cc.o"
+  "CMakeFiles/solver_convergence_test.dir/tests/solver_convergence_test.cc.o.d"
+  "solver_convergence_test"
+  "solver_convergence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_convergence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

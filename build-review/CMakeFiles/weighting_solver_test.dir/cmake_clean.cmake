@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighting_solver_test.dir/tests/weighting_solver_test.cc.o"
+  "CMakeFiles/weighting_solver_test.dir/tests/weighting_solver_test.cc.o.d"
+  "weighting_solver_test"
+  "weighting_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighting_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

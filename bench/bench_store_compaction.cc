@@ -1,0 +1,182 @@
+// Storage-engine compaction bench: how fast the sharded store reclaims a
+// mostly-superseded history, swept over the live fraction. Each point
+// builds a fresh 4-shard store holding S signatures x D dataset slots x G
+// generations (only the last generation of a slot stays live, so the live
+// fraction is 1/G), compacts it, and cold-loads every surviving release
+// from a fresh process. The bench fails (exit 1) if compaction loses a
+// single live artifact or keeps a single dead file — a fast-but-lossy
+// compactor must never produce a green perf record. Emits
+// BENCH_store_compaction.json (path via --out=FILE).
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/store.h"
+#include "util/stopwatch.h"
+
+using namespace dpmm;
+
+namespace {
+
+struct SweepPoint {
+  std::size_t generations = 0;
+  std::size_t releases = 0;
+  double live_fraction = 0;
+  double put_seconds = 0;          // populating the store (durable writes)
+  double compact_seconds = 0;      // the compaction pass itself
+  std::size_t files_removed = 0;
+  std::size_t live_kept = 0;
+  double cold_load_seconds = 0;    // fresh store: Get every live release
+  double cold_load_per_artifact_seconds = 0;
+  bool no_loss = false;
+};
+
+serialize::StrategyArtifact BenchStrategy(const std::string& spec,
+                                          const Domain& domain) {
+  serialize::StrategyArtifact artifact;
+  artifact.signature = serve::CanonicalSignature(spec, domain);
+  artifact.domain_sizes = domain.sizes();
+  artifact.strategy =
+      std::make_shared<Strategy>(IdentityStrategy(domain.NumCells()));
+  artifact.rank = domain.NumCells();
+  return artifact;
+}
+
+SweepPoint RunPoint(std::size_t signatures, std::size_t datasets,
+                    std::size_t generations) {
+  SweepPoint point;
+  point.generations = generations;
+  point.releases = signatures * datasets * generations;
+  point.live_fraction = 1.0 / static_cast<double>(generations);
+
+  const Domain domain({2, 4});
+  std::string root = "/tmp/dpmm_store_bench_XXXXXX";
+  DPMM_CHECK_MSG(::mkdtemp(root.data()) != nullptr, "mkdtemp failed");
+  serve::StoreOptions options;
+  options.shards = 4;
+
+  std::vector<std::string> sigs;
+  std::vector<std::pair<std::string, std::size_t>> live;  // (sig, id)
+  Stopwatch sw;
+  {
+    serve::StrategyStore sstore(root, options);
+    serve::ReleaseStore rstore(root, options);
+    for (std::size_t s = 0; s < signatures; ++s) {
+      const serialize::StrategyArtifact strategy =
+          BenchStrategy("w" + std::to_string(s), domain);
+      DPMM_CHECK_MSG(sstore.Put(strategy).ok(), "strategy put failed");
+      sigs.push_back(strategy.signature);
+      for (std::size_t d = 0; d < datasets; ++d) {
+        std::size_t last = 0;
+        for (std::size_t g = 0; g < generations; ++g) {
+          serialize::ReleaseArtifact rel;
+          rel.signature = strategy.signature;
+          rel.domain_sizes = domain.sizes();
+          rel.budget = {0.1, 1e-5};
+          rel.dataset = "ds" + std::to_string(d);
+          rel.seed = g;
+          rel.batch_index = 0;
+          rel.x_hat.assign(domain.NumCells(),
+                           static_cast<double>(100 * d + g));
+          auto id = rstore.Put(rel);
+          DPMM_CHECK_MSG(id.ok(), id.status().ToString());
+          last = id.ValueOrDie();
+        }
+        live.emplace_back(strategy.signature, last);
+      }
+    }
+  }
+  point.put_seconds = sw.Seconds();
+
+  sw.Restart();
+  auto report = serve::CompactStore(root);
+  point.compact_seconds = sw.Seconds();
+  DPMM_CHECK_MSG(report.ok(), report.status().ToString());
+  point.files_removed = report.ValueOrDie().files_removed;
+  point.live_kept = report.ValueOrDie().live_kept;
+
+  // A fresh serving process cold-loads every survivor: the post-compaction
+  // read path (shard resolve, manifest-free file read, decode) measured
+  // end to end — and the no-loss check in the same sweep.
+  sw.Restart();
+  serve::ReleaseStore cold(root);
+  std::size_t found = 0;
+  for (const auto& [sig, id] : live) {
+    if (cold.Get(sig, id).ok()) ++found;
+  }
+  point.cold_load_seconds = sw.Seconds();
+  point.cold_load_per_artifact_seconds =
+      point.cold_load_seconds / static_cast<double>(live.size());
+  point.no_loss = found == live.size() &&
+                  point.live_kept == live.size() &&
+                  point.files_removed == point.releases - live.size();
+
+  std::printf("  G=%2zu (%4.0f%% live): %5zu puts in %6.3f s, compacted "
+              "%5zu dead in %6.3f s, cold-load %7.1f us/artifact%s\n",
+              generations, 100.0 * point.live_fraction, point.releases,
+              point.put_seconds, point.files_removed, point.compact_seconds,
+              point.cold_load_per_artifact_seconds * 1e6,
+              point.no_loss ? "" : "  ** LIVE ARTIFACTS LOST **");
+  return point;
+}
+
+void WriteJson(const std::string& path, const std::vector<SweepPoint>& sweep) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("could not open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"store_compaction\",\n");
+  std::fprintf(f, "  \"sweep\": [\n");
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    std::fprintf(
+        f,
+        "    {\"generations\": %zu, \"releases\": %zu, "
+        "\"live_fraction\": %.3f, \"put_seconds\": %.6f, "
+        "\"compact_seconds\": %.6f, \"files_removed\": %zu, "
+        "\"live_kept\": %zu, \"cold_load_per_artifact_seconds\": %.9f, "
+        "\"no_loss\": %s}%s\n",
+        p.generations, p.releases, p.live_fraction, p.put_seconds,
+        p.compact_seconds, p.files_removed, p.live_kept,
+        p.cold_load_per_artifact_seconds, p.no_loss ? "true" : "false",
+        i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Banner("Sharded store compaction vs live fraction",
+                "beyond-paper: generation-based storage engine (ROADMAP "
+                "serving tier)");
+  const bool small = bench::SmallScale(argc, argv);
+  std::string out = "BENCH_store_compaction.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) out = arg.substr(6);
+  }
+
+  // 4 signatures x D dataset slots; G generations per slot -> live fraction
+  // 1/G at a fixed live-set size (the acceptance scenario is the G=10
+  // point: 1000 releases, 90% superseded).
+  const std::size_t signatures = 4;
+  const std::size_t datasets = small ? 5 : 25;
+  std::printf("\nsweep: %zu signatures x %zu dataset slots, 4 shards\n",
+              signatures, datasets);
+  std::vector<SweepPoint> sweep;
+  bool all_ok = true;
+  for (const std::size_t generations : {1, 2, 5, 10}) {
+    sweep.push_back(RunPoint(signatures, datasets, generations));
+    all_ok = all_ok && sweep.back().no_loss;
+  }
+  WriteJson(out, sweep);
+  return all_ok ? 0 : 1;
+}

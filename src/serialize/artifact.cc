@@ -147,8 +147,8 @@ std::string Container(std::uint32_t version, std::uint32_t kind,
 
 /// Validates the container and returns a Reader over the payload; the
 /// format version (needed to pick the payload layout) comes back through
-/// `version`. Both known versions are accepted — v1 is the kron-only
-/// layout, v2 added the engine tag.
+/// `version`. Every known version is accepted — v1 is the kron-only
+/// layout, v2 added the engine tag, v3 the release supersession field.
 Result<Reader> OpenContainer(const std::string& bytes,
                              std::uint32_t expected_kind,
                              std::uint32_t* version) {
@@ -163,7 +163,7 @@ Result<Reader> OpenContainer(const std::string& bytes,
   header.U32(&kind);
   header.U64(&payload_size);
   header.U64(&checksum);
-  if (*version != 1 && *version != kArtifactVersion) {
+  if (*version < 1 || *version > kArtifactVersion) {
     return Status::IoError("unsupported artifact version " +
                            std::to_string(*version) + " (expected <= " +
                            std::to_string(kArtifactVersion) + ")");
@@ -479,6 +479,19 @@ std::string EncodeStrategyArtifactV1(const StrategyArtifact& artifact) {
   return Container(1, kKindStrategy, w.out);
 }
 
+std::string EncodeReleaseArtifactV2(const ReleaseArtifact& artifact) {
+  Writer w;
+  w.Str(artifact.signature);
+  w.Sizes(artifact.domain_sizes);
+  w.F64(artifact.budget.epsilon);
+  w.F64(artifact.budget.delta);
+  w.Str(artifact.dataset);
+  w.U64(artifact.seed);
+  w.U64(artifact.batch_index);
+  w.Vec(artifact.x_hat);
+  return Container(2, kKindRelease, w.out);
+}
+
 }  // namespace internal
 
 std::string EncodeReleaseArtifact(const ReleaseArtifact& artifact) {
@@ -490,13 +503,14 @@ std::string EncodeReleaseArtifact(const ReleaseArtifact& artifact) {
   w.Str(artifact.dataset);
   w.U64(artifact.seed);
   w.U64(artifact.batch_index);
+  w.U64(artifact.supersedes_plus1);
   w.Vec(artifact.x_hat);
   return Container(kArtifactVersion, kKindRelease, w.out);
 }
 
 Result<ReleaseArtifact> DecodeReleaseArtifact(const std::string& bytes) {
-  // The release payload is identical in v1 and v2; OpenContainer accepts
-  // both versions.
+  // The release payload is identical in v1 and v2; v3 inserted the
+  // supersession field after the provenance block.
   std::uint32_t version = 0;
   auto opened = OpenContainer(bytes, kKindRelease, &version);
   if (!opened.ok()) return opened.status();
@@ -518,6 +532,10 @@ Result<ReleaseArtifact> DecodeReleaseArtifact(const std::string& bytes) {
   if (!r.Str(&out.dataset)) return Truncated("dataset label");
   if (!r.U64(&out.seed) || !r.U64(&out.batch_index)) {
     return Truncated("provenance");
+  }
+  // v1/v2 predate supersession: those releases supersede nothing.
+  if (version >= 3 && !r.U64(&out.supersedes_plus1)) {
+    return Truncated("supersession");
   }
   if (!r.Vec(&out.x_hat)) return Truncated("estimate");
   if (out.x_hat.size() != cells) {

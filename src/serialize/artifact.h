@@ -21,8 +21,12 @@
 // representation — the implicit Kronecker form (basis factors, kept
 // columns, weights, completion rows) or the explicit dense matrix — so
 // every strategy the design layer can produce is storable and servable.
-// Encoders always write v2; v1 artifacts (kron-only, no engine tag) still
-// decode. Release payloads are identical in v1 and v2.
+// Format v3 extended the release payload with a supersession field (the id
+// of the prior same-provenance release this one replaces, written by the
+// sharded store so its compactor can drop superseded artifacts); strategy
+// payloads are identical in v2 and v3, release payloads identical in v1
+// and v2. Encoders always write the current version; v1 and v2 artifacts
+// still decode (the v3 field reads as "supersedes nothing").
 //
 // Decoding is strict: wrong magic, unsupported version, a checksum
 // mismatch, truncation, trailing bytes, or payload fields that violate the
@@ -48,10 +52,10 @@ namespace dpmm {
 namespace serialize {
 
 /// Artifact format version; bump on any layout change. Decoders accept the
-/// versions they explicitly know how to read (currently 1 and 2 for
+/// versions they explicitly know how to read (currently 1, 2 and 3 for
 /// strategies/releases) and reject everything else outright (no silent
 /// best-effort reads of future layouts).
-constexpr std::uint32_t kArtifactVersion = 2;
+constexpr std::uint32_t kArtifactVersion = 3;
 
 /// FNV-1a 64-bit hash — the artifact checksum and the store's key hash.
 std::uint64_t Fnv1a64(const void* data, std::size_t size);
@@ -99,7 +103,17 @@ struct ReleaseArtifact {
   std::string dataset;
   std::uint64_t seed = 0;
   std::uint64_t batch_index = 0;
+  /// Supersession (v3): the store id of the prior release with the same
+  /// (signature, dataset) provenance that this release replaces, offset by
+  /// one so 0 means "supersedes nothing" (ids start at 0). Filled in by
+  /// ReleaseStore::Put on sharded stores; the shard manifest carries the
+  /// same fact for the compactor, this field makes the artifact
+  /// self-describing without its manifest.
+  std::uint64_t supersedes_plus1 = 0;
   linalg::Vector x_hat;
+
+  bool has_supersedes() const { return supersedes_plus1 != 0; }
+  std::uint64_t supersedes() const { return supersedes_plus1 - 1; }
 };
 
 /// Encode to the container format (deterministic: equal artifacts yield
@@ -126,6 +140,11 @@ namespace internal {
 /// without checking binary golden files into the tree. Production encoders
 /// always write kArtifactVersion. Requires a kron-engine artifact.
 std::string EncodeStrategyArtifactV1(const StrategyArtifact& artifact);
+
+/// Encodes the legacy v2 (no supersession field) release layout — the
+/// compatibility fixture proving v2 releases keep decoding. Production
+/// encoders always write kArtifactVersion.
+std::string EncodeReleaseArtifactV2(const ReleaseArtifact& artifact);
 
 }  // namespace internal
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "mechanism/privacy.h"
 
@@ -21,7 +22,8 @@ constexpr std::size_t kRootChunk = 32;
 
 Result<AnswerEngine> AnswerEngine::Create(
     std::shared_ptr<const serialize::StrategyArtifact> strategy,
-    std::shared_ptr<const serialize::ReleaseArtifact> release, Domain domain) {
+    std::shared_ptr<const serialize::ReleaseArtifact> release, Domain domain,
+    std::size_t root_cache_capacity) {
   if (strategy == nullptr || release == nullptr ||
       strategy->strategy == nullptr) {
     return Status::InvalidArgument("answer engine needs both artifacts");
@@ -41,21 +43,24 @@ Result<AnswerEngine> AnswerEngine::Create(
       release->x_hat.size() != domain.NumCells()) {
     return Status::InvalidArgument("artifact sizes disagree with the domain");
   }
+  if (root_cache_capacity == 0) {
+    return Status::InvalidArgument("root cache capacity must be positive");
+  }
   const double sigma = GaussianNoiseScale(
       release->budget, strategy->strategy->L2Sensitivity());
   return AnswerEngine(std::move(strategy), std::move(release),
-                      std::move(domain), sigma);
+                      std::move(domain), sigma, root_cache_capacity);
 }
 
 AnswerEngine::AnswerEngine(
     std::shared_ptr<const serialize::StrategyArtifact> strategy,
     std::shared_ptr<const serialize::ReleaseArtifact> release, Domain domain,
-    double sigma)
+    double sigma, std::size_t root_cache_capacity)
     : strategy_(std::move(strategy)),
       release_(std::move(release)),
       domain_(std::move(domain)),
       sigma_(sigma),
-      cache_(new RootCache) {}
+      cache_(new RootCache(root_cache_capacity)) {}
 
 std::string AnswerEngine::CacheKey(const query::Predicate& predicate) const {
   std::string key;
@@ -80,10 +85,9 @@ double AnswerEngine::RootFor(const std::string& key,
                              const linalg::Vector& row) const {
   {
     std::lock_guard<std::mutex> lock(cache_->mu);
-    auto it = cache_->roots.find(key);
-    if (it != cache_->roots.end()) {
+    if (const double* hit = cache_->roots.Get(key)) {
       ++cache_->hits;
-      return it->second;
+      return *hit;
     }
   }
   // Solve outside the lock so concurrent readers make progress; racing
@@ -92,7 +96,7 @@ double AnswerEngine::RootFor(const std::string& key,
   const linalg::Vector z = strategy_->strategy->SolveNormal(row);
   const double root = std::sqrt(std::max(0.0, linalg::Dot(row, z)));
   std::lock_guard<std::mutex> lock(cache_->mu);
-  cache_->roots.emplace(key, root);
+  cache_->roots.Put(key, root);
   return root;
 }
 
@@ -140,9 +144,8 @@ std::vector<AnswerEngine::Answer> AnswerEngine::AnswerBatch(
     {
       std::lock_guard<std::mutex> lock(cache_->mu);
       for (std::size_t i = 0; i < m; ++i) {
-        auto it = cache_->roots.find(keys[i]);
-        if (it != cache_->roots.end()) {
-          roots[i] = it->second;
+        if (const double* hit = cache_->roots.Get(keys[i])) {
+          roots[i] = *hit;
           ++cache_->hits;
         } else if (miss_slot.emplace(keys[i], miss_rep.size()).second) {
           miss_rep.push_back(i);
@@ -164,7 +167,7 @@ std::vector<AnswerEngine::Answer> AnswerEngine::AnswerBatch(
       }
       std::lock_guard<std::mutex> lock(cache_->mu);
       for (const auto& [key, slot] : miss_slot) {
-        cache_->roots.emplace(key, miss_roots[slot]);
+        cache_->roots.Put(key, miss_roots[slot]);
       }
     }
     for (std::size_t i = 0; i < m; ++i) {
@@ -184,6 +187,11 @@ std::size_t AnswerEngine::root_cache_size() const {
 std::uint64_t AnswerEngine::root_cache_hits() const {
   std::lock_guard<std::mutex> lock(cache_->mu);
   return cache_->hits;
+}
+
+std::uint64_t AnswerEngine::root_cache_evictions() const {
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  return cache_->roots.evictions();
 }
 
 }  // namespace serve

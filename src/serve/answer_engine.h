@@ -31,11 +31,11 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "query/predicate.h"
 #include "serialize/artifact.h"
+#include "util/lru_cache.h"
 #include "util/status.h"
 
 namespace dpmm {
@@ -48,12 +48,22 @@ class AnswerEngine {
     double stddev = 0;  // sigma * sqrt(w_q (A^T A)^+ w_q^T)
   };
 
+  /// Default bound on cached roots. A root is one double behind a short
+  /// string key (~100 bytes an entry all-in), so the default costs well
+  /// under a megabyte while covering every distinct predicate most serve
+  /// sessions ever ask; size it to the expected distinct-query working set
+  /// when overriding. Eviction can never change an answer — an evicted
+  /// root recomputes bit-identically from the same normal solve.
+  static constexpr std::size_t kDefaultRootCacheCapacity = 4096;
+
   /// Validates that the release belongs to the strategy (same signature,
-  /// same domain) before serving from the pair.
+  /// same domain) before serving from the pair. `root_cache_capacity`
+  /// bounds the root cache (entries, not bytes); zero is InvalidArgument.
   [[nodiscard]] static Result<AnswerEngine> Create(
       std::shared_ptr<const serialize::StrategyArtifact> strategy,
       std::shared_ptr<const serialize::ReleaseArtifact> release,
-      Domain domain);
+      Domain domain,
+      std::size_t root_cache_capacity = kDefaultRootCacheCapacity);
 
   const Domain& domain() const { return domain_; }
   const serialize::StrategyArtifact& strategy_artifact() const {
@@ -83,11 +93,12 @@ class AnswerEngine {
   /// Cache observability (tests and the serve loop's stats line).
   std::size_t root_cache_size() const;
   std::uint64_t root_cache_hits() const;
+  std::uint64_t root_cache_evictions() const;
 
  private:
   AnswerEngine(std::shared_ptr<const serialize::StrategyArtifact> strategy,
                std::shared_ptr<const serialize::ReleaseArtifact> release,
-               Domain domain, double sigma);
+               Domain domain, double sigma, std::size_t root_cache_capacity);
 
   /// Canonical cache key: the per-attribute bucket masks of the predicate.
   /// Predicates with equal masks have equal indicator rows, so the key is
@@ -103,10 +114,12 @@ class AnswerEngine {
   double sigma_;
 
   // Behind a pointer so the engine stays movable (Result<AnswerEngine>);
-  // the mutex guards the map and the hit counter.
+  // the mutex guards the LRU and the hit counter (the LRU itself is not
+  // thread-safe by design — see util/lru_cache.h).
   struct RootCache {
+    explicit RootCache(std::size_t capacity) : roots(capacity) {}
     std::mutex mu;
-    std::unordered_map<std::string, double> roots;
+    util::LruCache<std::string, double> roots;
     std::uint64_t hits = 0;
   };
   std::unique_ptr<RootCache> cache_;

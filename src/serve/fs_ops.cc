@@ -5,6 +5,9 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <dirent.h>
+
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -118,6 +121,56 @@ class SystemFsOpsImpl : public FsOps {
                              std::strerror(saved));
     }
     return Status::OK();
+  }
+
+  Result<bool> FileExists(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT || errno == ENOTDIR) return false;
+      return Errno("cannot stat", path);
+    }
+    return S_ISREG(st.st_mode);
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) {
+      if (errno == ENOENT || errno == ENOTDIR) {
+        return Status::NotFound("no directory at " + path);
+      }
+      return Errno("cannot open directory", path);
+    }
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") names.push_back(name);
+    }
+    ::closedir(dir);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Result<std::string> ReadFile(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound("no file at " + path);
+      return Errno("cannot open", path);
+    }
+    std::string bytes;
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t r = ::read(fd, buf, sizeof(buf));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        const std::string err = std::strerror(errno);
+        ::close(fd);
+        return Status::IoError("read of " + path + " failed: " + err);
+      }
+      if (r == 0) break;
+      bytes.append(buf, static_cast<std::size_t>(r));
+    }
+    ::close(fd);
+    return bytes;
   }
 };
 
@@ -319,6 +372,22 @@ Status FaultInjectionFsOps::FsyncDir(const std::string& dir) {
     }
   }
   return Status::OK();
+}
+
+Result<bool> FaultInjectionFsOps::FileExists(const std::string& path) {
+  if (!Begin()) return InjectedCrash();
+  return base_->FileExists(path);
+}
+
+Result<std::vector<std::string>> FaultInjectionFsOps::ListDir(
+    const std::string& path) {
+  if (!Begin()) return InjectedCrash();
+  return base_->ListDir(path);
+}
+
+Result<std::string> FaultInjectionFsOps::ReadFile(const std::string& path) {
+  if (!Begin()) return InjectedCrash();
+  return base_->ReadFile(path);
 }
 
 Status FaultInjectionFsOps::SimulateCrashEffects(bool torn_tail) {

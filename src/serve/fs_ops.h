@@ -21,6 +21,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -53,6 +54,20 @@ class FsOps {
   /// durable. POSIX requires this for the *name* to survive a crash even
   /// when the file's own data was fsynced.
   [[nodiscard]] virtual Status FsyncDir(const std::string& dir) = 0;
+
+  // Read-side probes. The stores route these through the seam too, so a
+  // crash schedule covers an entire operation (a compaction's listing and
+  // copying, not just its writes) — an op that dies mid-read must fail like
+  // one that dies mid-write.
+
+  /// True when `path` names an existing regular file.
+  [[nodiscard]] virtual Result<bool> FileExists(const std::string& path) = 0;
+  /// Entry names (not paths, "."/".." excluded) of a directory, sorted.
+  /// NotFound when the directory does not exist.
+  [[nodiscard]] virtual Result<std::vector<std::string>> ListDir(
+      const std::string& path) = 0;
+  /// The file's full contents. NotFound when it does not exist.
+  [[nodiscard]] virtual Result<std::string> ReadFile(const std::string& path) = 0;
 
   /// True when Link failed because the target already exists (the id-claim
   /// protocol's "lost the race" signal).
@@ -108,6 +123,10 @@ class FaultInjectionFsOps : public FsOps {
   [[nodiscard]] Status Remove(const std::string& path) override;
   [[nodiscard]] Status Truncate(const std::string& path, std::uint64_t size) override;
   [[nodiscard]] Status FsyncDir(const std::string& dir) override;
+  [[nodiscard]] Result<bool> FileExists(const std::string& path) override;
+  [[nodiscard]] Result<std::vector<std::string>> ListDir(
+      const std::string& path) override;
+  [[nodiscard]] Result<std::string> ReadFile(const std::string& path) override;
 
  private:
   struct FileState {

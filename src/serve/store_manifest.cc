@@ -1,0 +1,225 @@
+#include "serve/store_manifest.h"
+
+#include "serve/wal.h"
+#include "util/text.h"
+
+namespace dpmm {
+namespace serve {
+
+namespace {
+
+/// Splits off the first space-separated token; `rest` gets everything after
+/// the separating space (empty when none). Alias-safe: callers pass the
+/// same string as both `s` and `*rest`, so the token must be copied out
+/// before `*rest` is overwritten.
+std::string TakeToken(const std::string& s, std::string* rest) {
+  const std::size_t space = s.find(' ');
+  std::string token = s.substr(0, space);
+  *rest = space == std::string::npos ? "" : s.substr(space + 1);
+  return token;
+}
+
+bool ParseU64(const std::string& token, std::uint64_t* out) {
+  std::size_t v = 0;
+  if (!util::ParseSizeT(token, &v)) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<ShardManifest> ShardManifest::Load(const std::string& path,
+                                          FsOps* fs) {
+  ShardManifest manifest;
+  auto replay = ReadWal(path, fs);
+  if (!replay.ok()) {
+    if (replay.status().code() == StatusCode::kNotFound) return manifest;
+    return replay.status();
+  }
+  for (const std::string& record : replay.ValueOrDie().records) {
+    Status st = manifest.Apply(record);
+    // A CRC-valid record that does not parse is real damage, not a torn
+    // tail — fail loudly rather than compact on a partial picture.
+    if (!st.ok()) {
+      return Status::DataLoss("manifest " + path + ": " + st.message());
+    }
+  }
+  manifest.wal_valid_size_ = replay.ValueOrDie().valid_size;
+  manifest.torn_tail_ = replay.ValueOrDie().torn_tail;
+  return manifest;
+}
+
+std::string ShardManifest::StrategyRecord(const std::string& key) {
+  return "strategy " + key;
+}
+
+std::string ShardManifest::ReleaseRecord(const std::string& key,
+                                         std::uint64_t id,
+                                         std::uint64_t supersedes_plus1,
+                                         const std::string& provenance) {
+  return "release " + key + " " + std::to_string(id) + " " +
+         std::to_string(supersedes_plus1) + " " + provenance;
+}
+
+std::string ShardManifest::TombstoneRecord(const std::string& key,
+                                           std::uint64_t id) {
+  return "tombstone " + key + " " + std::to_string(id);
+}
+
+std::string ShardManifest::ProvenanceToken(const std::string& dataset,
+                                           std::uint64_t batch_index) {
+  return dataset + "#" + std::to_string(batch_index);
+}
+
+Status ShardManifest::Apply(const std::string& record) {
+  std::string rest;
+  const std::string verb = TakeToken(record, &rest);
+  if (verb == "strategy") {
+    if (rest.empty() || rest.find(' ') != std::string::npos) {
+      return Status::DataLoss("malformed strategy record: '" + record + "'");
+    }
+    strategies_.insert(rest);
+    return Status::OK();
+  }
+  if (verb == "release") {
+    const std::string key = TakeToken(rest, &rest);
+    const std::string id_tok = TakeToken(rest, &rest);
+    const std::string sup_tok = TakeToken(rest, &rest);
+    std::uint64_t id = 0, sup = 0;
+    if (key.empty() || !ParseU64(id_tok, &id) || !ParseU64(sup_tok, &sup)) {
+      return Status::DataLoss("malformed release record: '" + record + "'");
+    }
+    const std::string& provenance = rest;  // may be empty, may hold spaces
+    // Supersession target first: the explicit one the record names, then —
+    // defensively, for logs written before the field or by a writer that
+    // raced — any older live release with the same provenance.
+    if (sup > 0) {
+      auto it = releases_.find({key, sup - 1});
+      if (it != releases_.end()) it->second.live = false;
+    }
+    if (!provenance.empty()) {
+      for (auto& [k, state] : releases_) {
+        if (k.first == key && k.second != id && state.live &&
+            state.provenance == provenance) {
+          state.live = false;
+        }
+      }
+    }
+    ManifestRelease& state = releases_[{key, id}];
+    state.provenance = provenance;
+    state.live = !state.tombstoned;  // a tombstone is never resurrected
+    return Status::OK();
+  }
+  if (verb == "tombstone") {
+    const std::string key = TakeToken(rest, &rest);
+    std::uint64_t id = 0;
+    if (key.empty() || !ParseU64(rest, &id) ||
+        rest.find(' ') != std::string::npos) {
+      return Status::DataLoss("malformed tombstone record: '" + record + "'");
+    }
+    ManifestRelease& state = releases_[{key, id}];
+    state.live = false;
+    state.tombstoned = true;
+    return Status::OK();
+  }
+  return Status::DataLoss("unknown manifest record verb in '" + record + "'");
+}
+
+void ShardManifest::Adopt(const std::string& key, std::uint64_t id,
+                          const std::string& provenance,
+                          std::uint64_t supersedes_plus1) {
+  if (releases_.count({key, id}) > 0) return;
+  if (supersedes_plus1 > 0) {
+    auto it = releases_.find({key, supersedes_plus1 - 1});
+    if (it != releases_.end()) it->second.live = false;
+  }
+  bool live = true;
+  if (!provenance.empty()) {
+    if (auto current = LiveIdFor(key, provenance)) {
+      if (*current > id) {
+        live = false;  // a newer generation already holds this slot
+      } else {
+        releases_[{key, *current}].live = false;
+      }
+    }
+  }
+  ManifestRelease& state = releases_[{key, id}];
+  state.provenance = provenance;
+  state.live = live;
+  state.tombstoned = false;
+}
+
+bool ShardManifest::HasStrategy(const std::string& key) const {
+  return strategies_.count(key) > 0;
+}
+
+const ManifestRelease* ShardManifest::FindRelease(const std::string& key,
+                                                  std::uint64_t id) const {
+  auto it = releases_.find({key, id});
+  return it == releases_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::uint64_t> ShardManifest::LiveIdFor(
+    const std::string& key, const std::string& provenance) const {
+  std::optional<std::uint64_t> found;
+  for (const auto& [k, state] : releases_) {
+    if (k.first == key && state.live && state.provenance == provenance) {
+      // Later (higher) ids win; the map iterates ids ascending.
+      found = k.second;
+    }
+  }
+  return found;
+}
+
+std::optional<std::uint64_t> ShardManifest::MaxIdFor(
+    const std::string& key) const {
+  std::optional<std::uint64_t> found;
+  for (const auto& [k, state] : releases_) {
+    (void)state;
+    if (k.first == key) found = k.second;
+  }
+  return found;
+}
+
+std::size_t ShardManifest::num_live() const {
+  std::size_t n = 0;
+  for (const auto& [k, state] : releases_) {
+    (void)k;
+    if (state.live) ++n;
+  }
+  return n;
+}
+
+std::size_t ShardManifest::num_superseded() const {
+  std::size_t n = 0;
+  for (const auto& [k, state] : releases_) {
+    (void)k;
+    if (!state.live && !state.tombstoned) ++n;
+  }
+  return n;
+}
+
+std::size_t ShardManifest::num_tombstoned() const {
+  std::size_t n = 0;
+  for (const auto& [k, state] : releases_) {
+    (void)k;
+    if (state.tombstoned) ++n;
+  }
+  return n;
+}
+
+std::string ShardManifest::EncodeSnapshot() const {
+  std::string out;
+  for (const std::string& key : strategies_) {
+    out += EncodeWalFrame(StrategyRecord(key));
+  }
+  for (const auto& [k, state] : releases_) {
+    if (!state.live) continue;
+    out += EncodeWalFrame(ReleaseRecord(k.first, k.second, 0,
+                                        state.provenance));
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace dpmm

@@ -1,0 +1,144 @@
+// Per-shard artifact manifest for the sharded store: a WAL (serve/wal
+// framing — length | crc | payload) of small text records tracking which
+// artifacts in the shard are live, superseded or tombstoned. The manifest
+// is what makes compaction possible: artifact files alone cannot say "this
+// release was replaced by a newer one", so without the manifest every
+// generation would live forever.
+//
+// Record payloads (one per WAL frame, space-separated text so the log is
+// inspectable with `strings`):
+//
+//   strategy <key>
+//   release <key> <id> <supersedes_plus1> <provenance>
+//   tombstone <key> <id>
+//
+// <key> is the 16-hex store key, <id> the numeric release id,
+// <supersedes_plus1> the id+1 of the prior same-provenance release this one
+// replaces (0 = none), and <provenance> — the rest of the line, it may
+// contain spaces — is the opaque "<dataset>#<batch_index>" token under
+// which supersession is decided: re-releasing the same (signature, dataset,
+// batch slot) supersedes the previous generation; different batch slots
+// coexist.
+//
+// Replay semantics: a release record marks its own id live and its
+// supersession target (plus, defensively, any older live release with the
+// same provenance) superseded. A tombstone marks an id dead outright.
+// Superseded and tombstoned artifacts stay readable until the next
+// compaction pass deletes their files and rewrites this log as a live-only
+// snapshot (published whole via WriteViaRename, so the log is never
+// half-rewritten) — the LSM discipline: deletion is compaction's job, the
+// log only records intent.
+//
+// This class is a plain in-memory replay; it takes no locks and does no
+// appends itself. Callers (serve/store.cc) hold the shard's file lock
+// across Load -> decide -> WalWriter::Append -> Apply.
+#ifndef DPMM_SERVE_STORE_MANIFEST_H_
+#define DPMM_SERVE_STORE_MANIFEST_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "serve/fs_ops.h"
+#include "util/status.h"
+
+namespace dpmm {
+namespace serve {
+
+/// The replayed state of one release id within a shard manifest.
+struct ManifestRelease {
+  std::string provenance;
+  bool live = true;
+  bool tombstoned = false;
+};
+
+class ShardManifest {
+ public:
+  ShardManifest() = default;
+
+  /// Replays the manifest WAL at `path`. A missing file is an empty
+  /// manifest (a fresh shard); damage just ends the valid prefix, reported
+  /// via torn_tail()/wal_valid_size() so the caller can TruncateWal before
+  /// appending.
+  [[nodiscard]] static Result<ShardManifest> Load(const std::string& path,
+                                                  FsOps* fs = nullptr);
+
+  /// Byte length of the valid WAL prefix at Load time (what
+  /// WalWriter::Open expects).
+  std::uint64_t wal_valid_size() const { return wal_valid_size_; }
+  /// True when the file extended past the valid prefix at Load time.
+  bool torn_tail() const { return torn_tail_; }
+
+  // Record payload encoders — what callers append through WalWriter and
+  // what Apply() parses.
+  static std::string StrategyRecord(const std::string& key);
+  static std::string ReleaseRecord(const std::string& key, std::uint64_t id,
+                                   std::uint64_t supersedes_plus1,
+                                   const std::string& provenance);
+  static std::string TombstoneRecord(const std::string& key,
+                                     std::uint64_t id);
+  /// The provenance token releases are superseded under.
+  static std::string ProvenanceToken(const std::string& dataset,
+                                     std::uint64_t batch_index);
+
+  /// Parses and applies one record payload. Replay and the post-append
+  /// in-memory update share this path, so the two can never diverge.
+  [[nodiscard]] Status Apply(const std::string& record);
+
+  /// Adoption path for artifact files discovered on disk without a manifest
+  /// record (a put that crashed between artifact write and manifest append,
+  /// or pre-manifest flat history). Unlike Apply, which trusts append order
+  /// as time order, Adopt reconstructs order from ids (ids are never
+  /// reused and grow over time): the adopted release is live only when no
+  /// live same-provenance release with a *higher* id exists, and it
+  /// supersedes any live same-provenance release with a lower one. No-op
+  /// when (key, id) is already known.
+  void Adopt(const std::string& key, std::uint64_t id,
+             const std::string& provenance, std::uint64_t supersedes_plus1);
+
+  bool HasStrategy(const std::string& key) const;
+  /// The replayed state of (key, id), or nullptr when the manifest has
+  /// never heard of it. Valid until the next Apply.
+  const ManifestRelease* FindRelease(const std::string& key,
+                                     std::uint64_t id) const;
+  /// The live release id for (key, provenance), if one exists — what
+  /// ReleaseStore::Put supersedes.
+  std::optional<std::uint64_t> LiveIdFor(const std::string& key,
+                                         const std::string& provenance) const;
+  /// The highest release id ever recorded for `key` (live or dead — dead
+  /// ids are never reused, so Put allocates past this).
+  std::optional<std::uint64_t> MaxIdFor(const std::string& key) const;
+
+  std::size_t num_strategies() const { return strategies_.size(); }
+  std::size_t num_live() const;
+  std::size_t num_superseded() const;
+  std::size_t num_tombstoned() const;
+
+  /// Everything replayed, keyed by (store key, id) — the compactor's
+  /// work list.
+  const std::map<std::pair<std::string, std::uint64_t>, ManifestRelease>&
+  releases() const {
+    return releases_;
+  }
+  const std::set<std::string>& strategies() const { return strategies_; }
+
+  /// Encodes the compacted replacement log: one strategy record per known
+  /// strategy plus one release record per *live* release (supersession
+  /// cleared — the superseded generation no longer exists after
+  /// compaction), as concatenated WAL frames ready for WriteViaRename.
+  std::string EncodeSnapshot() const;
+
+ private:
+  std::set<std::string> strategies_;
+  std::map<std::pair<std::string, std::uint64_t>, ManifestRelease> releases_;
+  std::uint64_t wal_valid_size_ = 0;
+  bool torn_tail_ = false;
+};
+
+}  // namespace serve
+}  // namespace dpmm
+
+#endif  // DPMM_SERVE_STORE_MANIFEST_H_

@@ -63,6 +63,15 @@ std::uint32_t Crc32(const void* data, std::size_t n) {
   return crc ^ 0xFFFFFFFFu;
 }
 
+std::string EncodeWalFrame(const std::string& payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&frame, static_cast<std::uint32_t>(payload.size()));
+  PutU32(&frame, Crc32(payload.data(), payload.size()));
+  frame += payload;
+  return frame;
+}
+
 Result<WalReplay> ReadWal(const std::string& path, FsOps* fs) {
   (void)fs;  // reads bypass the fault seam: injected state lives on the real FS
   std::ifstream in(path, std::ios::binary);
@@ -154,11 +163,7 @@ Status WalWriter::Append(const std::string& payload) {
   if (payload.size() > kMaxRecordBytes) {
     return Status::InvalidArgument("WAL record too large");
   }
-  std::string frame;
-  frame.reserve(kFrameHeaderBytes + payload.size());
-  PutU32(&frame, static_cast<std::uint32_t>(payload.size()));
-  PutU32(&frame, Crc32(payload.data(), payload.size()));
-  frame += payload;
+  const std::string frame = EncodeWalFrame(payload);
   Status st = fs_->WriteAll(fd_, frame.data(), frame.size());
   if (st.ok()) st = fs_->Fsync(fd_);
   if (st.ok() && !dir_synced_) {

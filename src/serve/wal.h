@@ -39,6 +39,13 @@ namespace serve {
 /// use), over `data`. Exposed for tests that build corrupt frames.
 std::uint32_t Crc32(const void* data, std::size_t n);
 
+/// Frames one payload exactly as WalWriter::Append would write it
+/// (length | crc | payload). Callers that rewrite a whole log at once —
+/// the store's manifest compaction builds its replacement snapshot as
+/// concatenated frames and publishes it via WriteViaRename — share the
+/// framing with the appending writer instead of duplicating it.
+std::string EncodeWalFrame(const std::string& payload);
+
 /// The result of scanning a WAL file.
 struct WalReplay {
   /// Valid record payloads, in append order.

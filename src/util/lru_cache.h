@@ -1,0 +1,80 @@
+// Bounded least-recently-used cache, the shared replacement for the
+// unbounded std::map caches that used to back StrategyStore, ReleaseStore
+// and the answer engine's root cache. A serving process that sees millions
+// of distinct artifacts or predicates now holds a fixed number of entries;
+// everything else is recomputed or re-read on demand (both sources are
+// deterministic, so eviction can change latency but never answers).
+//
+// The structure is the classic list + index: entries sit in a doubly linked
+// list ordered most-recently-used first, and a hash map points each key at
+// its list node, so Get, Put and eviction are all O(1). Not thread-safe by
+// design — every current user already holds its own mutex around cache
+// access (store caches, the engine's RootCache), and folding a lock in here
+// would double-lock those paths.
+#ifndef DPMM_UTIL_LRU_CACHE_H_
+#define DPMM_UTIL_LRU_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dpmm {
+namespace util {
+
+template <typename K, typename V>
+class LruCache {
+ public:
+  /// A zero capacity would make every Put a no-op that still reports
+  /// success; nothing wants that, so it is a programming error.
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {
+    DPMM_CHECK_MSG(capacity > 0, "LruCache capacity must be positive");
+  }
+
+  /// Pointer to the cached value (touched most-recently-used), or nullptr
+  /// on a miss. The pointer is valid until the next Put on this cache.
+  V* Get(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts or refreshes `key`, evicting least-recently-used entries past
+  /// the capacity. The new entry is most-recently-used either way.
+  void Put(const K& key, V value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    entries_.emplace_front(key, std::move(value));
+    index_.emplace(key, entries_.begin());
+    while (entries_.size() > capacity_) {
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Total entries dropped over the cache's lifetime (observability: the
+  /// serve loop's stats line and the eviction-order tests read this).
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t evictions_ = 0;
+  std::list<std::pair<K, V>> entries_;  // most-recently-used first
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator> index_;
+};
+
+}  // namespace util
+}  // namespace dpmm
+
+#endif  // DPMM_UTIL_LRU_CACHE_H_

@@ -446,15 +446,17 @@ TEST(ArtifactCompat, V1ReleaseArtifactStillLoads) {
   rel.seed = 42;
   rel.batch_index = 3;
   rel.x_hat = RandomData(16, 7);
-  std::string bytes = serialize::EncodeReleaseArtifact(rel);
-  // The release payload is identical in v1 and v2, and the version field
-  // (header, not checksummed) is the only difference.
+  // The release payload was identical in v1 and v2 (the version field,
+  // header, not checksummed, was the only difference); v3 appended the
+  // supersession link, so the legacy encoder plus a version-byte patch
+  // reproduces genuine v1 bytes.
+  std::string bytes = serialize::internal::EncodeReleaseArtifactV2(rel);
   bytes[8] = 1;
   auto decoded = serialize::DecodeReleaseArtifact(bytes);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   EXPECT_EQ(decoded.ValueOrDie().x_hat, rel.x_hat);
   // Unknown future versions stay rejected.
-  bytes[8] = 3;
+  bytes[8] = 4;
   EXPECT_FALSE(serialize::DecodeReleaseArtifact(bytes).ok());
 }
 

@@ -14,17 +14,21 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "serialize/artifact.h"
 #include "serve/budget_ledger.h"
 #include "serve/file_lock.h"
 #include "serve/fs_ops.h"
 #include "serve/store.h"
+#include "serve/store_layout.h"
 #include "serve/wal.h"
+#include "strategy/strategy.h"
 
 namespace dpmm {
 namespace {
@@ -466,6 +470,250 @@ TEST(MultiProcess, RacingChargersSplitACapAndRefuseTheRest) {
   // overdraft, never a refusal while budget remained.
   RaceTwoChargers(/*total_eps=*/0.3, /*step=*/0.01, /*attempts=*/25,
                   /*expect_accepted=*/30);
+}
+
+// ---- Crash matrix: the sharded artifact store
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// The release filename the store uses (store.cc IdName).
+std::string ReleaseName(std::size_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06zu.release", id);
+  return buf;
+}
+
+serialize::StrategyArtifact StoreStrategy(const std::string& spec,
+                                          const Domain& domain) {
+  serialize::StrategyArtifact artifact;
+  artifact.signature = serve::CanonicalSignature(spec, domain);
+  artifact.domain_sizes = domain.sizes();
+  artifact.strategy =
+      std::make_shared<Strategy>(IdentityStrategy(domain.NumCells()));
+  artifact.rank = domain.NumCells();
+  return artifact;
+}
+
+serialize::ReleaseArtifact StoreRelease(const std::string& signature,
+                                        const Domain& domain,
+                                        std::uint64_t batch_index,
+                                        double fill) {
+  serialize::ReleaseArtifact rel;
+  rel.signature = signature;
+  rel.domain_sizes = domain.sizes();
+  rel.budget = {0.1, 1e-5};
+  rel.dataset = "d";
+  rel.seed = 1;
+  rel.batch_index = batch_index;
+  rel.x_hat.assign(domain.NumCells(), fill);
+  return rel;
+}
+
+/// A migrating store mid-upgrade, built with the real filesystem: a flat v1
+/// history (one strategy; releases d#0, d#1, d#2 as ids 0-2) under a
+/// sharded overlay (d#3 as id 3, plus a second generation of slot d#2 as
+/// id 4 — which makes flat id 2 provably dead at compaction's adoption
+/// step). Captures the bytes compaction must preserve.
+struct MigratingStore {
+  std::string root;
+  std::string sig;
+  std::string key;
+  std::string strategy_bytes;
+  std::map<std::size_t, std::string> live;  // id -> encoded release bytes
+};
+
+MigratingStore SeedMigratingStore() {
+  MigratingStore s;
+  s.root = FreshRoot();
+  const Domain domain({2, 2});
+  const serialize::StrategyArtifact strategy = StoreStrategy("mig", domain);
+  s.sig = strategy.signature;
+  s.key = serve::StoreKey(s.sig);
+  {
+    serve::StrategyStore sstore(s.root);
+    EXPECT_TRUE(sstore.Put(strategy).ok());
+    serve::ReleaseStore flat(s.root);
+    for (std::uint64_t b = 0; b < 3; ++b) {
+      auto id = flat.Put(StoreRelease(s.sig, domain, b, 10.0 * b));
+      EXPECT_TRUE(id.ok()) << id.status().ToString();
+    }
+  }
+  serve::StoreOptions sharded;
+  sharded.shards = 2;
+  serve::ReleaseStore overlay(s.root, sharded);
+  auto id3 = overlay.Put(StoreRelease(s.sig, domain, 3, 30.0));
+  EXPECT_TRUE(id3.ok() && id3.ValueOrDie() == 3u);
+  auto id4 = overlay.Put(StoreRelease(s.sig, domain, 2, 42.0));
+  EXPECT_TRUE(id4.ok() && id4.ValueOrDie() == 4u);
+
+  s.strategy_bytes =
+      ReadFileBytes(s.root + "/strategies/" + s.key + ".strategy");
+  const std::string flat_dir = s.root + "/releases/" + s.key;
+  s.live[0] = ReadFileBytes(flat_dir + "/" + ReleaseName(0));
+  s.live[1] = ReadFileBytes(flat_dir + "/" + ReleaseName(1));
+  auto layout = serve::StoreLayout::Resolve(s.root, 0);
+  EXPECT_TRUE(layout.ok());
+  const std::string shard_dir = layout.ValueOrDie().ReleaseDir(s.key);
+  s.live[3] = ReadFileBytes(shard_dir + "/" + ReleaseName(3));
+  s.live[4] = ReadFileBytes(shard_dir + "/" + ReleaseName(4));
+  for (const auto& [id, bytes] : s.live) {
+    EXPECT_FALSE(bytes.empty()) << "seed failed to store id " << id;
+  }
+  return s;
+}
+
+/// Runs one compaction with a crash injected after `crash_after` fs
+/// operations and a simulated power cut, then recovers with the real
+/// filesystem. Returns false when `crash_after` exceeded the compaction's
+/// op count (matrix exhausted). Whatever the boundary: recovery must
+/// converge to the fully compacted store with every live artifact byte-
+/// identical — a crash may repeat work, never lose a paid-for release.
+bool CompactionCrashTrial(long crash_after, bool torn_tail) {
+  const MigratingStore s = SeedMigratingStore();
+
+  FaultInjectionFsOps fault(SystemFsOps());
+  fault.set_crash_after(crash_after);
+  serve::StoreOptions options;
+  options.fs = &fault;
+  auto crashed_run = serve::CompactStore(s.root, options);
+  if (!fault.crashed()) {
+    EXPECT_TRUE(crashed_run.ok()) << crashed_run.status().ToString();
+    return false;
+  }
+  EXPECT_TRUE(fault.SimulateCrashEffects(torn_tail).ok());
+
+  SCOPED_TRACE("crash_after=" + std::to_string(crash_after) + " torn=" +
+               std::to_string(torn_tail));
+  auto recovered = serve::CompactStore(s.root);
+  EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+  if (!recovered.ok()) return true;
+  EXPECT_EQ(recovered.ValueOrDie().live_kept, s.live.size());
+
+  auto layout = serve::StoreLayout::Resolve(s.root, 0);
+  EXPECT_TRUE(layout.ok());
+  if (layout.ok()) {
+    const serve::StoreLayout& l = layout.ValueOrDie();
+    EXPECT_EQ(ReadFileBytes(l.StrategyPath(s.key)), s.strategy_bytes);
+    for (const auto& [id, bytes] : s.live) {
+      EXPECT_EQ(ReadFileBytes(l.ReleaseDir(s.key) + "/" + ReleaseName(id)),
+                bytes)
+          << "live release " << id << " lost or altered";
+    }
+    // The superseded generation and the flat originals are gone.
+    EXPECT_FALSE(FileExists(l.ReleaseDir(s.key) + "/" + ReleaseName(2)));
+    EXPECT_FALSE(FileExists(s.root + "/strategies/" + s.key + ".strategy"));
+    EXPECT_FALSE(
+        FileExists(s.root + "/releases/" + s.key + "/" + ReleaseName(0)));
+  }
+
+  // The recovered store serves, and only the live set.
+  serve::ReleaseStore after(s.root);
+  for (const auto& [id, bytes] : s.live) {
+    (void)bytes;
+    EXPECT_TRUE(after.Get(s.sig, id).ok()) << "id " << id;
+  }
+  EXPECT_EQ(after.Get(s.sig, 2).status().code(), StatusCode::kNotFound);
+  return true;
+}
+
+TEST(CrashMatrix, EveryBoundaryOfAMigratingCompaction) {
+  for (const bool torn : {false, true}) {
+    for (long k = 0; k < 512; ++k) {
+      if (!CompactionCrashTrial(k, torn)) {
+        ASSERT_GT(k, 0) << "the compaction performed no fs operations?";
+        break;
+      }
+      ASSERT_LT(k, 511) << "compaction op count exceeded the matrix bound";
+    }
+  }
+}
+
+/// One sharded ReleaseStore::Put with a crash at every fs boundary. The
+/// prior release must always survive; the interrupted put is either fully
+/// absent or — when its artifact file reached the disk before the cut —
+/// adopted by the next compaction and served. Either way the store stays
+/// writable.
+bool ShardedPutCrashTrial(long crash_after, bool torn_tail) {
+  const std::string root = FreshRoot();
+  const Domain domain({2, 2});
+  const serialize::StrategyArtifact strategy = StoreStrategy("put", domain);
+  serve::StoreOptions sharded;
+  sharded.shards = 2;
+  {
+    serve::StrategyStore sstore(root, sharded);
+    EXPECT_TRUE(sstore.Put(strategy).ok());
+    serve::ReleaseStore seed(root, sharded);
+    auto id = seed.Put(StoreRelease(strategy.signature, domain, 0, 1.0));
+    EXPECT_TRUE(id.ok() && id.ValueOrDie() == 0u);
+  }
+  auto layout = serve::StoreLayout::Resolve(root, 0);
+  EXPECT_TRUE(layout.ok());
+  const std::string key = serve::StoreKey(strategy.signature);
+  const std::string prior_path =
+      layout.ValueOrDie().ReleaseDir(key) + "/" + ReleaseName(0);
+  const std::string prior_bytes = ReadFileBytes(prior_path);
+  EXPECT_FALSE(prior_bytes.empty());
+
+  FaultInjectionFsOps fault(SystemFsOps());
+  fault.set_crash_after(crash_after);
+  serve::StoreOptions options = sharded;
+  options.fs = &fault;
+  bool acknowledged = false;
+  {
+    serve::ReleaseStore victim(root, options);
+    acknowledged =
+        victim.Put(StoreRelease(strategy.signature, domain, 1, 7.0)).ok();
+  }
+  if (!fault.crashed()) {
+    EXPECT_TRUE(acknowledged);
+    return false;
+  }
+  EXPECT_FALSE(acknowledged) << "a put that crashed mid-flight acked";
+  EXPECT_TRUE(fault.SimulateCrashEffects(torn_tail).ok());
+
+  SCOPED_TRACE("crash_after=" + std::to_string(crash_after) + " torn=" +
+               std::to_string(torn_tail));
+  // Compaction is the recovery pass: it must succeed over whatever the cut
+  // left (a torn manifest tail, an unmanifested artifact file, nothing).
+  auto recovered = serve::CompactStore(root);
+  EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+  serve::ReleaseStore after(root);
+  auto prior = after.Get(strategy.signature, 0);
+  EXPECT_TRUE(prior.ok()) << prior.status().ToString();
+  if (prior.ok()) {
+    EXPECT_EQ(serialize::EncodeReleaseArtifact(*prior.ValueOrDie()),
+              prior_bytes);
+  }
+  auto interrupted = after.Get(strategy.signature, 1);
+  if (interrupted.ok()) {
+    EXPECT_EQ(interrupted.ValueOrDie()->x_hat[0], 7.0);
+  } else {
+    EXPECT_EQ(interrupted.status().code(), StatusCode::kNotFound);
+  }
+
+  // Still writable: the next put lands on a fresh id past everything seen.
+  auto next = after.Put(StoreRelease(strategy.signature, domain, 2, 9.0));
+  EXPECT_TRUE(next.ok()) << next.status().ToString();
+  if (next.ok()) {
+    EXPECT_TRUE(after.Get(strategy.signature, next.ValueOrDie()).ok());
+  }
+  return true;
+}
+
+TEST(CrashMatrix, EveryBoundaryOfAShardedPut) {
+  for (const bool torn : {false, true}) {
+    for (long k = 0; k < 128; ++k) {
+      if (!ShardedPutCrashTrial(k, torn)) {
+        ASSERT_GT(k, 0) << "the put performed no fs operations?";
+        break;
+      }
+      ASSERT_LT(k, 127) << "put op count exceeded the matrix bound";
+    }
+  }
 }
 
 }  // namespace

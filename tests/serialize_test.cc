@@ -213,6 +213,53 @@ TEST(ReleaseArtifact, InvalidBudgetRejected) {
   EXPECT_FALSE(DecodeReleaseArtifact(EncodeReleaseArtifact(rel)).ok());
 }
 
+TEST(ReleaseArtifact, SupersessionRoundTripsInV3) {
+  ReleaseArtifact rel = SampleRelease("allrange@4,4", {4, 4}, 16);
+  rel.supersedes_plus1 = 8;  // this release replaced stored id 7
+  const std::string bytes = EncodeReleaseArtifact(rel);
+  auto decoded = DecodeReleaseArtifact(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const ReleaseArtifact& loaded = decoded.ValueOrDie();
+  ASSERT_TRUE(loaded.has_supersedes());
+  EXPECT_EQ(loaded.supersedes(), 7u);
+  EXPECT_EQ(EncodeReleaseArtifact(loaded), bytes);
+
+  // "Supersedes nothing" is the zero sentinel, not a valid id.
+  rel.supersedes_plus1 = 0;
+  auto fresh = DecodeReleaseArtifact(EncodeReleaseArtifact(rel));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh.ValueOrDie().has_supersedes());
+}
+
+TEST(ReleaseArtifact, LegacyV2StillDecodes) {
+  // A v2 release (written before the supersession field existed) must keep
+  // decoding, reading as "supersedes nothing" — the store's migration path
+  // depends on old artifacts staying servable without rewrites.
+  const ReleaseArtifact rel = SampleRelease("allrange@4,4", {4, 4}, 16);
+  const std::string v2 = serialize::internal::EncodeReleaseArtifactV2(rel);
+  ASSERT_NE(v2, EncodeReleaseArtifact(rel));  // the layouts really differ
+  auto decoded = DecodeReleaseArtifact(v2);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const ReleaseArtifact& loaded = decoded.ValueOrDie();
+  EXPECT_FALSE(loaded.has_supersedes());
+  EXPECT_EQ(loaded.x_hat, rel.x_hat);
+  EXPECT_EQ(loaded.dataset, rel.dataset);
+  EXPECT_EQ(loaded.seed, rel.seed);
+  EXPECT_EQ(loaded.batch_index, rel.batch_index);
+  // Re-encoding upgrades to the current version, bit-identically otherwise.
+  EXPECT_EQ(EncodeReleaseArtifact(loaded), EncodeReleaseArtifact(rel));
+}
+
+TEST(StrategyArtifact, LegacyV1StillDecodes) {
+  AllRangeWorkload w(Domain({4, 4}));
+  const StrategyArtifact artifact = DesignArtifact(w, "allrange@4,4");
+  const std::string v1 = serialize::internal::EncodeStrategyArtifactV1(artifact);
+  auto decoded = DecodeStrategyArtifact(v1);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(EncodeStrategyArtifact(decoded.ValueOrDie()),
+            EncodeStrategyArtifact(artifact));
+}
+
 TEST(Fnv1a64, KnownVectorsAndStability) {
   // Standard FNV-1a test vectors.
   EXPECT_EQ(serialize::Fnv1a64("", 0), 0xcbf29ce484222325ull);

@@ -31,6 +31,13 @@ compiler have no way to express:
                   SIMD/PCG loops, and an always-on branch costs Release
                   throughput. (DCHECKs still fire in Debug and the sanitizer
                   lanes, which build without NDEBUG.)
+  no-committed-build-dir
+                  no root-level build tree (build/, build-*/ ...) may be
+                  committed: in a git checkout every tracked path under one
+                  is flagged; without git metadata (the fixture tree) a
+                  root-level build* directory holding a CMakeCache.txt is.
+                  Build output in history bloats every clone and leaks
+                  absolute paths; .gitignore covers these directories.
 
 Suppression syntax — on the offending line, or in the comment line(s)
 immediately above it:
@@ -56,12 +63,14 @@ import argparse
 import json
 import os
 import re
+import subprocess
 import sys
 
 SOURCE_EXTS = (".h", ".cc")
 # The fixture tree deliberately violates every rule; the real scan must not
 # trip over it.
-EXCLUDED_DIRS = {"lint_fixtures", "build", "build-tsan", "build-asan"}
+EXCLUDED_DIRS = {"lint_fixtures", "build", "build-tsan", "build-asan",
+                 "build-review"}
 
 SUPPRESS_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
 
@@ -276,6 +285,44 @@ def rule_dcheck_hot_path(root, active, suppressed):
         "API-boundary check with lint:allow", active, suppressed)
 
 
+# ---- no-committed-build-dir -----------------------------------------------
+
+BUILD_DIR_RE = re.compile(r"^build(-|$)")
+
+
+def rule_no_committed_build_dir(root, active, suppressed):
+    del suppressed  # a directory cannot carry a lint:allow comment
+    offenders = {}
+    if os.path.exists(os.path.join(root, ".git")):
+        try:
+            out = subprocess.run(["git", "-C", root, "ls-files"],
+                                 capture_output=True, text=True,
+                                 check=True).stdout
+        except (OSError, subprocess.CalledProcessError):
+            return  # git metadata present but unreadable: nothing to prove
+        for path in out.splitlines():
+            first = path.split("/", 1)[0]
+            if BUILD_DIR_RE.match(first):
+                offenders.setdefault(first, path)
+    else:
+        # Fixture mode (no git metadata): a root-level build* directory
+        # holding a CMakeCache.txt is what a committed build tree looks
+        # like on disk.
+        try:
+            entries = sorted(os.listdir(root))
+        except OSError:
+            return
+        for name in entries:
+            cache = os.path.join(root, name, "CMakeCache.txt")
+            if BUILD_DIR_RE.match(name) and os.path.isfile(cache):
+                offenders.setdefault(name, name + "/CMakeCache.txt")
+    for name in sorted(offenders):
+        active.append(find(
+            "no-committed-build-dir", offenders[name], 1,
+            "build tree '%s/' is under version control: git rm -r --cached "
+            "it and keep it in .gitignore" % name))
+
+
 RULES = [
     rule_raw_fs_call,
     rule_unseeded_rng,
@@ -283,6 +330,7 @@ RULES = [
     rule_cli_exit_doc,
     rule_void_status,
     rule_dcheck_hot_path,
+    rule_no_committed_build_dir,
 ]
 
 

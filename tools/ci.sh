@@ -83,6 +83,12 @@ echo "==== durability: crash matrix + multi-process races (ctest -L durability) 
 # arbitration, and the fork-based two-writer races.
 ctest --test-dir build --output-on-failure -L durability
 
+echo "==== store: sharded storage engine (ctest -L store) ===="
+# Consistent-hash placement, flat-v1 migration (byte-identical after
+# compaction), manifest supersession/tombstones at the 1000-release scale,
+# the bounded LRU caches, and the compaction/put crash matrices.
+ctest --test-dir build --output-on-failure -L store
+
 echo "==== api: unified strategy/mechanism API (ctest -L api) ===="
 # LinearStrategy interface, Design() engine selection, Mechanism bit-identity
 # vs the legacy per-engine paths, the v2 dense artifact kind, and the CLI's
@@ -104,7 +110,10 @@ echo "==== tsan: thread pool + kron batching + serve engine under ThreadSanitize
 # durability_test rides along too: its fork-based multi-process races and
 # flock arbitration must stay clean under TSan (the binary is
 # single-threaded by design, so TSan's fork restriction never triggers).
-TSAN_TESTS=(threading_test util_test linalg_kron_test kron_design_test serve_test durability_test)
+# store_test covers the store mutexes guarding the bounded LRU caches:
+# concurrent readers under eviction churn (3 keys cycling through 2 slots
+# from 4 threads) must never surface a torn or wrong artifact.
+TSAN_TESTS=(threading_test util_test linalg_kron_test kron_design_test serve_test durability_test store_test)
 if [[ "${HAVE_PRESETS}" == "1" ]]; then
   cmake --preset tsan
 else
@@ -118,6 +127,6 @@ cmake --build build-tsan -j --target "${TSAN_TESTS[@]}"
 # serial-path suite.
 (cd build-tsan && \
  DPMM_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
- ctest --output-on-failure -R '^(threading|util|linalg_kron|kron_design|serve|durability)')
+ ctest --output-on-failure -R '^(threading|util|linalg_kron|kron_design|serve|durability|store)')
 
 echo "==== ci.sh: all green ===="

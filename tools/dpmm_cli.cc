@@ -24,6 +24,14 @@
 //            query; ';'-separated predicates answer as one batch), answer
 //            "value ± stddev" out. No design, no data access, no budget
 //            spent — everything is post-processing of the stored estimate.
+//   store    <stat|compact> --store DIR [--shards N]
+//            Storage-engine maintenance. stat prints the layout (flat vs
+//            sharded, migrating) and per-shard occupancy; compact rewrites
+//            every shard down to its live artifacts (adopting unmanifested
+//            files, re-homing v1 flat artifacts, deleting superseded and
+//            tombstoned files) under the shard locks. Compacting a v1 flat
+//            store with --shards N is the upgrade path to the sharded
+//            layout.
 //
 // The store-and-serve pipeline ("design once, serve many"):
 //   design  --save DIR   persists the designed implicit strategy under the
@@ -71,7 +79,8 @@ namespace {
 
 struct Args {
   std::string command;
-  /// Sub-verb of the `ledger` command (show|recover|hold).
+  /// Sub-verb of the `ledger` (show|recover|hold) and `store`
+  /// (stat|compact) commands.
   std::string verb;
   std::map<std::string, std::string> options;
 };
@@ -89,8 +98,9 @@ constexpr int kExitBudget = 3;
 constexpr int kExitUnavailable = 4;
 constexpr int kExitDataLoss = 5;
 
-/// Maps a ledger operation's failure to the exit-code contract above.
-int LedgerExitCode(const Status& status) {
+/// Maps a failed ledger or store operation's Status to the exit-code
+/// contract above.
+int FailureExitCode(const Status& status) {
   switch (status.code()) {
     case StatusCode::kResourceExhausted: return kExitBudget;
     case StatusCode::kUnavailable: return kExitUnavailable;
@@ -99,11 +109,14 @@ int LedgerExitCode(const Status& status) {
   }
 }
 
-/// The ledger's filesystem seam. DPMM_FS_CRASH_AFTER=N injects a crash at
-/// the (N+1)-th filesystem operation the ledger performs — every later op
-/// fails as if the process had died mid-charge. This exists so shell-level
-/// tests (tools/cli_api_test.sh) can drive the crash-recovery path through
-/// the real binary; it is not a user feature.
+/// The ledger's (and `store` maintenance verbs') filesystem seam.
+/// DPMM_FS_CRASH_AFTER=N injects a crash at the (N+1)-th filesystem
+/// operation performed through the seam — every later op fails as if the
+/// process had died mid-charge (or mid-compaction). This exists so
+/// shell-level tests (tools/cli_api_test.sh) can drive the crash-recovery
+/// paths through the real binary; it is not a user feature. The
+/// design/release/serve artifact stores deliberately stay on the real
+/// filesystem so ledger crash points keep their historical tick numbers.
 serve::FsOps* CliLedgerFsOps() {
   static serve::FsOps* ops = [ticks = std::getenv("DPMM_FS_CRASH_AFTER")]() -> serve::FsOps* {
     if (ticks == nullptr) return serve::SystemFsOps();
@@ -120,16 +133,19 @@ const std::map<std::string, std::set<std::string>>& KnownOptions() {
   static const auto* kKnown = new std::map<std::string, std::set<std::string>>{
       {"error", {"domain", "workload", "epsilon", "delta", "solver", "gap-tol"}},
       {"design",
-       {"domain", "workload", "out", "save", "solver", "gap-tol", "engine"}},
+       {"domain", "workload", "out", "save", "solver", "gap-tol", "engine",
+        "shards"}},
       {"release",
        {"data", "workload", "epsilon", "delta", "seed", "strategy", "out",
         "engine", "dense", "batch", "solver", "gap-tol", "store", "dataset",
-        "total-epsilon", "total-delta", "lock-timeout-ms", "charge-id"}},
+        "total-epsilon", "total-delta", "lock-timeout-ms", "charge-id",
+        "shards"}},
       {"ledger", {"store", "dataset", "lock-timeout-ms", "hold-ms"}},
       {"synth",
        {"data", "workload", "epsilon", "delta", "seed", "strategy", "out",
         "engine", "dense", "solver", "gap-tol"}},
-      {"serve", {"store", "domain", "workload", "release"}},
+      {"serve", {"store", "domain", "workload", "release", "shards"}},
+      {"store", {"store", "shards", "lock-timeout-ms"}},
   };
   return *kKnown;
 }
@@ -409,6 +425,20 @@ bool ParsePrivacy(const Args& args, PrivacyParams* privacy) {
   return true;
 }
 
+/// --shards/--lock-timeout-ms for every artifact-store-touching command.
+/// 0 shards means "respect whatever the root already is" — a flat store
+/// stays flat, a pinned shard count is honored; a conflicting nonzero count
+/// is refused by StoreLayout::Resolve at open time.
+bool ParseStoreOptions(const Args& args, serve::StoreOptions* options) {
+  unsigned long long shards = 0;
+  if (!U64Opt(args, "shards", 0, &shards)) return false;
+  options->shards = static_cast<std::size_t>(shards);
+  unsigned long long lock_timeout_ms = 10000;
+  if (!U64Opt(args, "lock-timeout-ms", 10000, &lock_timeout_ms)) return false;
+  options->lock.timeout_ms = static_cast<int>(lock_timeout_ms);
+  return true;
+}
+
 int CmdError(const Args& args) {
   auto domain = ParseDomain(Opt(args, "domain"));
   if (!domain.ok()) {
@@ -496,11 +526,13 @@ int CmdDesign(const Args& args) {
     artifact.solver_report = d.solver_report;
     artifact.duality_gap = d.duality_gap;
     artifact.rank = d.rank;
-    serve::StrategyStore store(save_root);
+    serve::StoreOptions store_options;
+    if (!ParseStoreOptions(args, &store_options)) return kExitUsage;
+    serve::StrategyStore store(save_root, store_options);
     Status st = store.Put(artifact);
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
-      return kExitUsage;
+      return FailureExitCode(st);
     }
     std::printf("designed strategy for %s in %.1fs (engine %s, rank %zu, "
                 "solver %s, gap %.1e in %d iterations); stored as %s "
@@ -602,7 +634,9 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
     const std::string spec = Opt(args, "workload", "allrange");
     const std::string signature =
         serve::CanonicalSignature(spec, data_vec.domain);
-    serve::StrategyStore sstore(store_root);
+    serve::StoreOptions store_options;
+    if (!ParseStoreOptions(args, &store_options)) return kExitUsage;
+    serve::StrategyStore sstore(store_root, store_options);
     std::shared_ptr<const serialize::StrategyArtifact> artifact;
     auto stored = sstore.Get(signature);
     if (stored.ok()) {
@@ -645,7 +679,7 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
       Status st = sstore.Put(*fresh);
       if (!st.ok()) {
         std::fprintf(stderr, "%s\n", st.ToString().c_str());
-        return kExitUsage;
+        return FailureExitCode(st);
       }
       char note[128];
       std::snprintf(note, sizeof(note),
@@ -705,7 +739,7 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
         ledger.Charge(dataset, total, privacy, Opt(args, "charge-id"));
     if (!charged.ok()) {
       std::fprintf(stderr, "%s\n", charged.status().ToString().c_str());
-      return LedgerExitCode(charged.status());
+      return FailureExitCode(charged.status());
     }
     const auto& entry = charged.ValueOrDie();
     std::fprintf(stderr,
@@ -718,7 +752,7 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
                                    budgets, &rng)
                  .x_hats;
 
-    serve::ReleaseStore rstore(store_root);
+    serve::ReleaseStore rstore(store_root, store_options);
     for (std::size_t b = 0; b < x_hats.size(); ++b) {
       serialize::ReleaseArtifact rel;
       rel.signature = signature;
@@ -731,7 +765,7 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
       auto id = rstore.Put(rel);
       if (!id.ok()) {
         std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
-        return kExitUsage;
+        return FailureExitCode(id.status());
       }
       std::fprintf(stderr, "stored release %zu of %s\n", id.ValueOrDie(),
                    signature.c_str());
@@ -864,7 +898,9 @@ int CmdServe(const Args& args) {
   const std::string signature =
       serve::CanonicalSignature(spec, domain.ValueOrDie());
 
-  serve::StrategyStore sstore(store_root);
+  serve::StoreOptions store_options;
+  if (!ParseStoreOptions(args, &store_options)) return kExitUsage;
+  serve::StrategyStore sstore(store_root, store_options);
   auto strategy = sstore.Get(signature);
   if (!strategy.ok()) {
     std::fprintf(stderr, "%s\nrun `dpmm_cli design --save %s` first\n",
@@ -872,7 +908,7 @@ int CmdServe(const Args& args) {
     return kExitUsage;
   }
 
-  serve::ReleaseStore rstore(store_root);
+  serve::ReleaseStore rstore(store_root, store_options);
   unsigned long long release_id = 0;
   const bool explicit_release = args.options.count("release") != 0;
   if (!U64Opt(args, "release", 0, &release_id)) return kExitUsage;
@@ -915,7 +951,7 @@ int CmdServe(const Args& args) {
     // DataLoss (quarantined ledger) and lock contention get their distinct
     // exit codes: a damaged accounting record means serving fails closed.
     std::fprintf(stderr, "%s\n", entry.status().ToString().c_str());
-    return LedgerExitCode(entry.status());
+    return FailureExitCode(entry.status());
   } else {
     std::fprintf(stderr,
                  "warning: no ledger entry for dataset '%s' (release stored "
@@ -1039,7 +1075,7 @@ int CmdLedger(const Args& args) {
     auto entry = ledger.Read(dataset);
     if (!entry.ok()) {
       std::fprintf(stderr, "%s\n", entry.status().ToString().c_str());
-      return LedgerExitCode(entry.status());
+      return FailureExitCode(entry.status());
     }
     PrintEntry(entry.ValueOrDie());
     return 0;
@@ -1048,7 +1084,7 @@ int CmdLedger(const Args& args) {
     auto entry = ledger.Recover(dataset);
     if (!entry.ok()) {
       std::fprintf(stderr, "%s\n", entry.status().ToString().c_str());
-      return LedgerExitCode(entry.status());
+      return FailureExitCode(entry.status());
     }
     std::fprintf(stderr,
                  "ledger for dataset '%s' recovered and checkpointed\n",
@@ -1073,7 +1109,7 @@ int CmdLedger(const Args& args) {
         lock_options);
     if (!lock.ok()) {
       std::fprintf(stderr, "%s\n", lock.status().ToString().c_str());
-      return LedgerExitCode(lock.status());
+      return FailureExitCode(lock.status());
     }
     std::fprintf(stderr, "holding ledger lock for dataset '%s' for %llums\n",
                  dataset.c_str(), hold_ms);
@@ -1086,10 +1122,72 @@ int CmdLedger(const Args& args) {
   return kExitUsage;
 }
 
+int CmdStore(const Args& args) {
+  const std::string store_root = Opt(args, "store");
+  if (store_root.empty()) {
+    std::fprintf(stderr, "store %s requires --store <store dir>\n",
+                 args.verb.c_str());
+    return kExitUsage;
+  }
+  serve::StoreOptions options;
+  if (!ParseStoreOptions(args, &options)) return kExitUsage;
+  options.fs = CliLedgerFsOps();
+
+  if (args.verb == "stat") {
+    auto stat = serve::StatStore(store_root, options);
+    if (!stat.ok()) {
+      std::fprintf(stderr, "%s\n", stat.status().ToString().c_str());
+      return FailureExitCode(stat.status());
+    }
+    const serve::StoreStat& s = stat.ValueOrDie();
+    if (!s.sharded) {
+      std::printf("layout   flat (v1)\n");
+      std::printf("strategies %zu\nreleases   %zu\n", s.flat_strategies,
+                  s.flat_releases);
+      return 0;
+    }
+    std::printf("layout   sharded, %zu shards%s\n", s.num_shards,
+                s.migrating ? " (migrating: v1 flat artifacts present)" : "");
+    if (s.migrating) {
+      std::printf("flat     %zu strategies, %zu releases awaiting "
+                  "re-homing\n",
+                  s.flat_strategies, s.flat_releases);
+    }
+    TablePrinter table({"shard", "strategies", "live", "superseded",
+                        "tombstoned", "unmanifested"});
+    for (const serve::ShardStat& shard : s.shards) {
+      table.AddRow({std::to_string(shard.shard),
+                    std::to_string(shard.strategies),
+                    std::to_string(shard.live),
+                    std::to_string(shard.superseded),
+                    std::to_string(shard.tombstoned),
+                    std::to_string(shard.unmanifested)});
+    }
+    table.Print();
+    return 0;
+  }
+  if (args.verb == "compact") {
+    auto report = serve::CompactStore(store_root, options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return FailureExitCode(report.status());
+    }
+    const serve::CompactionReport& r = report.ValueOrDie();
+    std::printf("compacted %zu shards: %zu live artifacts kept, %zu dead "
+                "files removed, %zu flat artifacts re-homed\n",
+                r.shards_compacted, r.live_kept, r.files_removed,
+                r.flat_migrated);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown store verb '%s' (stat|compact)\n",
+               args.verb.c_str());
+  return kExitUsage;
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: dpmm_cli <error|design|release|synth|serve|ledger> "
-               "[--domain 8,16,16]\n"
+               "usage: dpmm_cli <error|design|release|synth|serve|ledger|"
+               "store> [--domain 8,16,16]\n"
                "                [--workload allrange|cdf|marginals:K|"
                "rangemarginals:K|fig1]\n"
                "                [--data hist.csv] [--epsilon E] [--delta D]\n"
@@ -1127,6 +1225,11 @@ void Usage() {
                "                release (default: this run's budget)\n"
                "                [--release N]  serve: release id (default:\n"
                "                latest)\n"
+               "                [--shards N]   design/release/serve/store:\n"
+               "                open the artifact store sharded across N\n"
+               "                consistent-hash shard directories (pinned\n"
+               "                at first write; a conflicting N is an\n"
+               "                error; 0/absent respects the store as-is)\n"
                "                [--charge-id ID]  release: idempotency key\n"
                "                for the ledger charge — retrying a crashed\n"
                "                run with the same id charges exactly once\n"
@@ -1140,11 +1243,20 @@ void Usage() {
                "                when the WAL holds full history, checkpoint;\n"
                "                hold [--hold-ms T]: hold the dataset's\n"
                "                exclusive lock (for contention tests)\n"
+               "store <stat|compact> --store DIR [--shards N]:\n"
+               "                stat: print the layout (flat/sharded/\n"
+               "                migrating) and per-shard live/superseded/\n"
+               "                tombstoned/unmanifested counts; compact:\n"
+               "                rewrite every shard down to its live\n"
+               "                artifacts under the shard locks, re-homing\n"
+               "                v1 flat artifacts (--shards N on a flat\n"
+               "                store is the v1 -> sharded upgrade)\n"
                "Unknown options, missing values, malformed numbers and\n"
                "out-of-range --solver/--gap-tol values are hard errors\n"
                "(exit 2). A release the budget ledger refuses exits 3; a\n"
-               "ledger lock that stays contended past --lock-timeout-ms\n"
-               "exits 4; damaged (quarantined) ledger state exits 5.\n");
+               "ledger or shard lock that stays contended past\n"
+               "--lock-timeout-ms exits 4; damaged (quarantined) ledger or\n"
+               "manifest state exits 5.\n");
 }
 
 }  // namespace
@@ -1164,6 +1276,15 @@ int main(int argc, char** argv) {
     args.verb = argv[2];
     if (!ParseOptions(argc, argv, &args, 3)) return kExitUsage;
     return CmdLedger(args);
+  }
+  if (args.command == "store") {
+    if (argc < 3 || argv[2][0] == '-') {
+      std::fprintf(stderr, "store requires a verb: stat|compact\n");
+      return kExitUsage;
+    }
+    args.verb = argv[2];
+    if (!ParseOptions(argc, argv, &args, 3)) return kExitUsage;
+    return CmdStore(args);
   }
   if (!ParseOptions(argc, argv, &args)) return kExitUsage;
   if (args.command == "error") return CmdError(args);

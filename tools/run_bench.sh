@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Builds and runs the micro/scaling/throughput/convergence/serving benches,
-# leaving BENCH_kron_scaling.json, BENCH_release_throughput.json,
-# BENCH_solver_convergence.json and BENCH_serve_throughput.json in the repo
-# root as the perf-trajectory record for future PRs.
+# Builds and runs the micro/scaling/throughput/convergence/serving/storage
+# benches, leaving BENCH_kron_scaling.json, BENCH_release_throughput.json,
+# BENCH_solver_convergence.json, BENCH_serve_throughput.json and
+# BENCH_store_compaction.json in the repo root as the perf-trajectory record
+# for future PRs.
 #
 # Usage: tools/run_bench.sh [--small] [--skip-scale]
 #   --small       reduced domain sizes (smoke run)
@@ -16,10 +17,11 @@ build_dir="${repo_root}/build"
 cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
 cmake --build "${build_dir}" -j --target \
   bench_kron_scaling bench_release_throughput bench_solver_convergence \
-  bench_serve_throughput bench_micro_linalg bench_micro_solver 2>/dev/null \
+  bench_serve_throughput bench_store_compaction \
+  bench_micro_linalg bench_micro_solver 2>/dev/null \
   || cmake --build "${build_dir}" -j --target bench_kron_scaling \
        bench_release_throughput bench_solver_convergence \
-       bench_serve_throughput
+       bench_serve_throughput bench_store_compaction
 
 echo "== bench_kron_scaling =="
 # Default --out first so a user-supplied --out= (last one parsed wins) can
@@ -38,6 +40,10 @@ echo "== bench_serve_throughput =="
 "${build_dir}/bench_serve_throughput" \
   --out="${repo_root}/BENCH_serve_throughput.json" "$@"
 
+echo "== bench_store_compaction =="
+"${build_dir}/bench_store_compaction" \
+  --out="${repo_root}/BENCH_store_compaction.json" "$@"
+
 # The Google-Benchmark micro benches are optional (skipped when the library
 # is not installed); run them when present for a fuller picture.
 for b in bench_micro_linalg bench_micro_solver; do
@@ -51,3 +57,4 @@ echo "perf record: ${repo_root}/BENCH_kron_scaling.json"
 echo "perf record: ${repo_root}/BENCH_release_throughput.json"
 echo "perf record: ${repo_root}/BENCH_solver_convergence.json"
 echo "perf record: ${repo_root}/BENCH_serve_throughput.json"
+echo "perf record: ${repo_root}/BENCH_store_compaction.json"

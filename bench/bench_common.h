@@ -50,6 +50,20 @@ inline void Banner(const char* title, const char* paper_ref) {
   std::printf("==============================================================\n");
 }
 
+/// Writes the process metrics snapshot as a `"metrics": {...}` member —
+/// every BENCH_*.json embeds it as its last member, so a perf regression
+/// hunt can see what the run actually did (cache hits, fsyncs, solver
+/// iterations) next to the seconds it took. The caller has already written
+/// the preceding member's trailing comma; the closing brace of the bench
+/// object follows on the caller's side.
+inline void WriteMetricsJsonMember(std::FILE* f) {
+  const std::string json = MetricsRegistry::Global().Snapshot().ToJson();
+  // ToJson ends with "}\n"; drop the newline so the caller's "}\n" lands
+  // directly after the nested object.
+  std::fprintf(f, "  \"metrics\": %.*s\n",
+               static_cast<int>(json.size() - 1), json.c_str());
+}
+
 }  // namespace bench
 }  // namespace dpmm
 

@@ -179,7 +179,7 @@ void WriteJson(const std::string& path, const ComparisonResult& c,
   std::fprintf(f, "    \"error_rel_diff\": %.6g,\n", c.err_rel_diff);
   std::fprintf(f, "    \"duality_gap_dense\": %.6g,\n", c.gap_dense);
   std::fprintf(f, "    \"duality_gap_kron\": %.6g\n", c.gap_kron);
-  std::fprintf(f, "  }%s\n", s != nullptr ? "," : "");
+  std::fprintf(f, "  },\n");  // "metrics" (and maybe "scale") follow
   if (s != nullptr) {
     std::fprintf(f, "  \"scale\": {\n");
     std::fprintf(f, "    \"n\": %zu,\n", s->n);
@@ -189,8 +189,9 @@ void WriteJson(const std::string& path, const ComparisonResult& c,
     std::fprintf(f, "    \"rank\": %zu,\n", s->rank);
     std::fprintf(f, "    \"predicted_per_query_error\": %.12g\n",
                  s->predicted_error);
-    std::fprintf(f, "  }\n");
+    std::fprintf(f, "  },\n");
   }
+  bench::WriteMetricsJsonMember(f);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path.c_str());

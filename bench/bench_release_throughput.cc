@@ -119,8 +119,9 @@ void WriteJson(const std::string& path, const ThroughputResult& r) {
                r.sequential_seconds / r.batch_seconds);
   std::fprintf(f, "  \"byte_identical\": %s,\n",
                r.byte_identical ? "true" : "false");
-  std::fprintf(f, "  \"rng_state_matches\": %s\n",
+  std::fprintf(f, "  \"rng_state_matches\": %s,\n",
                r.rng_state_matches ? "true" : "false");
+  bench::WriteMetricsJsonMember(f);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path.c_str());

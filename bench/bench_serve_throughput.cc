@@ -383,7 +383,8 @@ void WriteJson(const std::string& path, const ServeBenchResult& r,
   std::fprintf(f, "    \"hit_qps\": %.1f,\n", dense.hit_qps);
   std::fprintf(f, "    \"exact_match\": %s\n",
                dense.exact_match ? "true" : "false");
-  std::fprintf(f, "  }\n");
+  std::fprintf(f, "  },\n");
+  bench::WriteMetricsJsonMember(f);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path.c_str());

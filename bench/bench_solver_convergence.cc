@@ -154,7 +154,9 @@ void WriteJson(const std::string& path,
     }
     std::fprintf(f, "      ]\n    }%s\n", i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  bench::WriteMetricsJsonMember(f);
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path.c_str());
 }

@@ -146,7 +146,9 @@ void WriteJson(const std::string& path, const std::vector<SweepPoint>& sweep) {
         p.cold_load_per_artifact_seconds, p.no_loss ? "true" : "false",
         i + 1 < sweep.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  bench::WriteMetricsJsonMember(f);
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path.c_str());
 }

@@ -74,6 +74,7 @@
 #include "strategy/linear_strategy.h"
 #include "strategy/strategy.h"
 #include "strategy/wavelet.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
@@ -81,6 +82,7 @@
 #include "util/text.h"
 #include "util/thread_pool.h"
 #include "util/threading.h"
+#include "util/trace.h"
 #include "workload/builders.h"
 #include "workload/gram.h"
 #include "workload/marginal_workloads.h"

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "linalg/blas.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace dpmm {
 
@@ -183,6 +185,10 @@ double Mechanism::noise_scale() const {
 }
 
 Vector Mechanism::Release(const Vector& x, Rng* rng) const {
+  static Counter* releases = MetricsRegistry::Global().GetCounter(
+      "dpmm.mechanism.matrix_mechanism.releases");
+  releases->Add(1);
+  TraceSpan span("Mechanism::Release", "mechanism");
   return kron_.has_value() ? kron_->InferX(x, rng) : dense_->InferX(x, rng);
 }
 
@@ -193,6 +199,10 @@ Vector Mechanism::Run(const Workload& workload, const Vector& x,
 
 std::vector<Vector> Mechanism::ReleaseBatch(const Vector& x, std::size_t batch,
                                             Rng* rng) const {
+  static Counter* releases = MetricsRegistry::Global().GetCounter(
+      "dpmm.mechanism.matrix_mechanism.releases");
+  releases->Add(batch);
+  TraceSpan span("Mechanism::ReleaseBatch", "mechanism");
   DPMM_CHECK_GT(batch, 0u);
   if (kron_.has_value()) return kron_->InferXBatch(x, batch, rng);
   // The dense engine draws release by release off the shared factorization

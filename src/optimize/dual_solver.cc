@@ -6,7 +6,9 @@
 
 #include "linalg/blas.h"
 #include "optimize/lbfgs.h"
+#include "util/metrics.h"
 #include "util/stopwatch.h"
+#include "util/trace.h"
 
 namespace dpmm {
 namespace optimize {
@@ -707,6 +709,7 @@ Result<WeightingSolution> SolveWeighting(const linalg::Vector& c,
                                          const ConstraintOperator& constraints,
                                          int exponent, const SolverOptions& options,
                                          const linalg::Vector* warm_start) {
+  TraceSpan span("SolveWeighting", "optimize");
   const std::size_t nv = c.size();
   const std::size_t nc = constraints.num_constraints();
   DPMM_CHECK_GT(nv, 0u);
@@ -779,14 +782,29 @@ Result<WeightingSolution> SolveWeighting(const linalg::Vector& c,
     return (track.best.objective - track.best_dual) /
            std::max(1.0, std::fabs(track.best.objective));
   };
+  // Per-phase wall clock, accumulated into the report. Timing is pure
+  // observation — it never feeds back into the iteration, so the solve is
+  // bit-identical with or without anyone reading these fields.
+  const auto timed = [](double* slot, const auto& phase) {
+    Stopwatch phase_watch;
+    auto result = phase();
+    *slot += phase_watch.Seconds();
+    return result;
+  };
   switch (options.method) {
     case SolverMethod::kAscent:
-      RunAscent(cn, constraints, q, options, options.max_iterations, &track,
-                &io);
+      timed(&track.report.ascent_seconds, [&] {
+        RunAscent(cn, constraints, q, options, options.max_iterations, &track,
+                  &io);
+        return 0;
+      });
       break;
     case SolverMethod::kFista:
-      RunFistaPhase(cn, constraints, q, options, options.max_iterations,
-                    /*allow_switch=*/false, &track, &io);
+      timed(&track.report.fista_seconds, [&] {
+        return RunFistaPhase(cn, constraints, q, options,
+                             options.max_iterations,
+                             /*allow_switch=*/false, &track, &io);
+      });
       break;
     case SolverMethod::kLbfgs: {
       // Warm phase: momentum until its progress-per-window can no longer
@@ -797,8 +815,10 @@ Result<WeightingSolution> SolveWeighting(const linalg::Vector& c,
       //      exactly, collapsing the primal candidate onto the bound).
       // Any phase alone floors orders of magnitude short of the pipeline.
       const int max_it = options.max_iterations;
-      PhaseExit exit = RunFistaPhase(cn, constraints, q, options, max_it / 2,
-                                     /*allow_switch=*/true, &track, &io);
+      PhaseExit exit = timed(&track.report.fista_seconds, [&] {
+        return RunFistaPhase(cn, constraints, q, options, max_it / 2,
+                             /*allow_switch=*/true, &track, &io);
+      });
       int dry_rounds = 0;
       while (exit != PhaseExit::kTolerance && io.it < max_it &&
              dry_rounds < 2) {
@@ -809,14 +829,21 @@ Result<WeightingSolution> SolveWeighting(const linalg::Vector& c,
         // Each phase gets a bounded slice: a phase that merely creeps must
         // hand the point to the others (whose scaling may fit better)
         // instead of consuming the whole remaining budget.
-        exit = RunLbfgsPhase(cn, constraints, q, options,
-                             std::min(max_it, io.it + 500), &track, &io);
+        exit = timed(&track.report.lbfgs_seconds, [&] {
+          return RunLbfgsPhase(cn, constraints, q, options,
+                               std::min(max_it, io.it + 500), &track, &io);
+        });
         if (exit == PhaseExit::kTolerance || io.it >= max_it) break;
-        RunPolishPhase(cn, constraints, q, options,
-                       std::min(max_it, io.it + 300), &track, &io);
+        timed(&track.report.polish_seconds, [&] {
+          RunPolishPhase(cn, constraints, q, options,
+                         std::min(max_it, io.it + 300), &track, &io);
+          return 0;
+        });
         if (current_gap() < options.relative_gap_tol || io.it >= max_it) break;
-        exit = RunLogPhase(cn, constraints, q, options,
-                           std::min(max_it, io.it + 500), &track, &io);
+        exit = timed(&track.report.log_seconds, [&] {
+          return RunLogPhase(cn, constraints, q, options,
+                             std::min(max_it, io.it + 500), &track, &io);
+        });
         if (exit == PhaseExit::kTolerance || io.it >= max_it) break;
         const double gap_after = current_gap();
         if (gap_after < options.relative_gap_tol) break;
@@ -843,6 +870,19 @@ Result<WeightingSolution> SolveWeighting(const linalg::Vector& c,
   best.report.seconds = track.watch.Seconds();
   for (SolverGapSample& sample : best.report.trajectory) {
     sample.dual *= c_max;
+  }
+  {
+    static Counter* solves = MetricsRegistry::Global().GetCounter(
+        "dpmm.optimize.dual_solver.solves");
+    static Histogram* solve_ns = MetricsRegistry::Global().GetHistogram(
+        "dpmm.optimize.dual_solver.solve_ns");
+    static Histogram* iterations = MetricsRegistry::Global().GetHistogram(
+        "dpmm.optimize.dual_solver.iterations");
+    solves->Add(1);
+    solve_ns->Record(static_cast<std::uint64_t>(best.report.seconds * 1e9));
+    iterations->Record(static_cast<std::uint64_t>(std::max(io.it, 0)));
+    GetPerfContext()->solver_iterations +=
+        static_cast<std::uint64_t>(std::max(io.it, 0));
   }
   return best;
 }

@@ -91,6 +91,15 @@ struct SolverReport {
   int phase_switch_iteration = -1;
   double final_gap = 0;
   double seconds = 0;
+  /// Wall-clock seconds spent in each phase, on the shared monotonic clock
+  /// (util/stopwatch.h). Pure observability: not persisted in artifacts
+  /// (the serialized SolverReport format is unchanged) and never fed back
+  /// into the iteration.
+  double ascent_seconds = 0;
+  double fista_seconds = 0;
+  double lbfgs_seconds = 0;
+  double polish_seconds = 0;
+  double log_seconds = 0;
   /// Per-iteration gap curve (empty unless options.record_trajectory).
   std::vector<SolverGapSample> trajectory;
 };

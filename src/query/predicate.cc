@@ -4,6 +4,8 @@
 #include <cctype>
 #include <sstream>
 
+#include "util/metrics.h"
+
 namespace dpmm {
 namespace query {
 
@@ -129,6 +131,19 @@ Status ParseError(const std::string& what) {
 
 Result<Predicate> ParsePredicate(const std::string& text,
                                  const Domain& domain) {
+  static Counter* parses =
+      MetricsRegistry::Global().GetCounter("dpmm.query.predicate.parses");
+  static Histogram* parse_ns =
+      MetricsRegistry::Global().GetHistogram("dpmm.query.predicate.parse_ns");
+  parses->Add(1);
+  PerfTimer parse_timer(&GetPerfContext()->predicate_parse_ns);
+  const std::uint64_t t0 = MonotonicNanos();
+  // Record on every exit, success or parse error.
+  struct OnExit {
+    Histogram* h;
+    std::uint64_t t0;
+    ~OnExit() { h->Record(MonotonicNanos() - t0); }
+  } on_exit{parse_ns, t0};
   Tokenizer tok(text);
   std::vector<Condition> conjuncts;
   std::string t = tok.Next();

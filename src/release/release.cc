@@ -7,6 +7,8 @@
 
 #include "linalg/blas.h"
 #include "mechanism/matrix_mechanism.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace dpmm {
 namespace release {
@@ -126,6 +128,13 @@ BatchReleaseResult ReleaseBatch(const LinearStrategy& strategy,
   const std::size_t batch = budgets.size();
   DPMM_CHECK_GT(batch, 0u);
   DPMM_CHECK_EQ(data.size(), strategy.num_cells());
+  // The release-assembly entry point the CLI drives shares the mechanism
+  // layer's release counter — every private estimate counts exactly once
+  // (Mechanism::Release* never routes through here).
+  static Counter* releases = MetricsRegistry::Global().GetCounter(
+      "dpmm.mechanism.matrix_mechanism.releases");
+  releases->Add(batch);
+  TraceSpan span("ReleaseBatch", "release");
   const double sensitivity = strategy.L2Sensitivity();
 
   // Per-release noise scales from the budget split; the implicit assembly

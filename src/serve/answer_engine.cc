@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "mechanism/privacy.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace dpmm {
 namespace serve {
@@ -17,6 +19,28 @@ namespace {
 /// cannot balloon the solver's working set. Chunking never changes results
 /// — every column's solve is bit-identical to its solo SolveNormal.
 constexpr std::size_t kRootChunk = 32;
+
+/// Registry instruments, resolved once. Recording is pure observation —
+/// answers and released bytes are computed exactly as before.
+struct EngineMetrics {
+  Counter* queries = MetricsRegistry::Global().GetCounter(
+      "dpmm.serve.answer_engine.queries");
+  Counter* cache_hit = MetricsRegistry::Global().GetCounter(
+      "dpmm.serve.answer_engine.root_cache_hit");
+  Counter* cache_miss = MetricsRegistry::Global().GetCounter(
+      "dpmm.serve.answer_engine.root_cache_miss");
+  Counter* cache_evict = MetricsRegistry::Global().GetCounter(
+      "dpmm.serve.answer_engine.root_cache_evict");
+  Histogram* query_ns = MetricsRegistry::Global().GetHistogram(
+      "dpmm.serve.answer_engine.query_ns");
+  Histogram* batch_size = MetricsRegistry::Global().GetHistogram(
+      "dpmm.serve.answer_engine.batch_size");
+};
+
+EngineMetrics& Instruments() {
+  static EngineMetrics m;
+  return m;
+}
 
 }  // namespace
 
@@ -83,29 +107,47 @@ std::string AnswerEngine::CacheKey(const query::Predicate& predicate) const {
 
 double AnswerEngine::RootFor(const std::string& key,
                              const linalg::Vector& row) const {
+  EngineMetrics& m = Instruments();
+  PerfContext* perf = GetPerfContext();
+  ++perf->root_cache_probes;
   {
     std::lock_guard<std::mutex> lock(cache_->mu);
     if (const double* hit = cache_->roots.Get(key)) {
       ++cache_->hits;
+      m.cache_hit->Add(1);
+      ++perf->root_cache_hits;
       return *hit;
     }
   }
+  m.cache_miss->Add(1);
+  ++perf->root_solves;
   // Solve outside the lock so concurrent readers make progress; racing
   // solvers of the same key compute the identical value, so last-writer-
   // wins insertion is harmless.
-  const linalg::Vector z = strategy_->strategy->SolveNormal(row);
-  const double root = std::sqrt(std::max(0.0, linalg::Dot(row, z)));
+  double root;
+  {
+    PerfTimer solve_timer(&perf->normal_solve_ns);
+    const linalg::Vector z = strategy_->strategy->SolveNormal(row);
+    root = std::sqrt(std::max(0.0, linalg::Dot(row, z)));
+  }
   std::lock_guard<std::mutex> lock(cache_->mu);
+  const std::uint64_t evictions_before = cache_->roots.evictions();
   cache_->roots.Put(key, root);
+  m.cache_evict->Add(cache_->roots.evictions() - evictions_before);
   return root;
 }
 
 AnswerEngine::Answer AnswerEngine::AnswerPredicate(
     const query::Predicate& predicate) const {
+  EngineMetrics& m = Instruments();
+  TraceSpan span("AnswerPredicate", "serve");
+  const std::uint64_t t0 = MonotonicNanos();
   const linalg::Vector row = predicate.ToRow(domain_);
   Answer out;
   out.value = linalg::Dot(row, release_->x_hat);
   out.stddev = sigma_ * RootFor(CacheKey(predicate), row);
+  m.queries->Add(1);
+  m.query_ns->Record(MonotonicNanos() - t0);
   return out;
 }
 
@@ -119,6 +161,10 @@ Result<AnswerEngine::Answer> AnswerEngine::AnswerText(
 std::vector<AnswerEngine::Answer> AnswerEngine::AnswerBatch(
     const std::vector<query::Predicate>& predicates) const {
   const std::size_t q = predicates.size();
+  EngineMetrics& m = Instruments();
+  TraceSpan span("AnswerBatch", "serve");
+  const std::uint64_t t0 = MonotonicNanos();
+  m.batch_size->Record(q);
   std::vector<Answer> answers(q);
   // Everything per-query — row materialization, value dot products, cache
   // probes, the block solve — runs inside one bounded chunk at a time, so
@@ -126,12 +172,13 @@ std::vector<AnswerEngine::Answer> AnswerEngine::AnswerBatch(
   // client batches. Chunking cannot change results: each column's solve is
   // bit-identical to its solo SolveNormal, and a duplicate landing in a
   // later chunk reads the root its predecessor just cached.
+  PerfContext* perf = GetPerfContext();
   for (std::size_t c0 = 0; c0 < q; c0 += kRootChunk) {
-    const std::size_t m = std::min(q, c0 + kRootChunk) - c0;
-    std::vector<linalg::Vector> rows(m);
-    std::vector<std::string> keys(m);
-    std::vector<double> roots(m, 0.0);
-    for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t chunk_len = std::min(q, c0 + kRootChunk) - c0;
+    std::vector<linalg::Vector> rows(chunk_len);
+    std::vector<std::string> keys(chunk_len);
+    std::vector<double> roots(chunk_len, 0.0);
+    for (std::size_t i = 0; i < chunk_len; ++i) {
       rows[i] = predicates[c0 + i].ToRow(domain_);
       keys[i] = CacheKey(predicates[c0 + i]);
       answers[c0 + i].value = linalg::Dot(rows[i], release_->x_hat);
@@ -141,17 +188,22 @@ std::vector<AnswerEngine::Answer> AnswerEngine::AnswerBatch(
     // within the chunk solve once).
     std::vector<std::size_t> miss_rep;  // representative index per new key
     std::unordered_map<std::string, std::size_t> miss_slot;
+    perf->root_cache_probes += chunk_len;
     {
       std::lock_guard<std::mutex> lock(cache_->mu);
-      for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t i = 0; i < chunk_len; ++i) {
         if (const double* hit = cache_->roots.Get(keys[i])) {
           roots[i] = *hit;
           ++cache_->hits;
+          m.cache_hit->Add(1);
+          ++perf->root_cache_hits;
         } else if (miss_slot.emplace(keys[i], miss_rep.size()).second) {
           miss_rep.push_back(i);
         }
       }
     }
+    m.cache_miss->Add(miss_rep.size());
+    perf->root_solves += miss_rep.size();
 
     std::vector<double> miss_roots(miss_rep.size());
     if (!miss_rep.empty()) {
@@ -159,6 +211,7 @@ std::vector<AnswerEngine::Answer> AnswerEngine::AnswerBatch(
       for (std::size_t s = 0; s < miss_rep.size(); ++s) {
         block[s] = rows[miss_rep[s]];
       }
+      PerfTimer solve_timer(&perf->normal_solve_ns);
       const std::vector<linalg::Vector> solves =
           strategy_->strategy->SolveNormalBatch(block);
       for (std::size_t s = 0; s < miss_rep.size(); ++s) {
@@ -166,16 +219,20 @@ std::vector<AnswerEngine::Answer> AnswerEngine::AnswerBatch(
             std::sqrt(std::max(0.0, linalg::Dot(block[s], solves[s])));
       }
       std::lock_guard<std::mutex> lock(cache_->mu);
+      const std::uint64_t evictions_before = cache_->roots.evictions();
       for (const auto& [key, slot] : miss_slot) {
         cache_->roots.Put(key, miss_roots[slot]);
       }
+      m.cache_evict->Add(cache_->roots.evictions() - evictions_before);
     }
-    for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t i = 0; i < chunk_len; ++i) {
       auto it = miss_slot.find(keys[i]);
       if (it != miss_slot.end()) roots[i] = miss_roots[it->second];
       answers[c0 + i].stddev = sigma_ * roots[i];
     }
   }
+  m.queries->Add(q);
+  if (q > 0) m.query_ns->Record((MonotonicNanos() - t0) / q);
   return answers;
 }
 

@@ -15,8 +15,10 @@
 
 #include "serve/store.h"
 #include "serve/wal.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/text.h"
+#include "util/trace.h"
 
 namespace dpmm {
 namespace serve {
@@ -336,6 +338,8 @@ Status BudgetLedger::LoadState(const std::string& dataset,
 }
 
 Status BudgetLedger::CheckpointLocked(const LoadedState& state) const {
+  static Counter* checkpoints = MetricsRegistry::Global().GetCounter(
+      "dpmm.serve.budget_ledger.checkpoints");
   // Order is the crash-safety invariant: the snapshot must be durable
   // (WriteViaRename fsyncs the file and its directory) *before* the WAL
   // records it subsumes are dropped. A crash between the two steps merely
@@ -348,6 +352,7 @@ Status BudgetLedger::CheckpointLocked(const LoadedState& state) const {
   if (FileExists(wal_path)) {
     st = TruncateWal(wal_path, 0, fs());
   }
+  if (st.ok()) checkpoints->Add(1);
   return st;
 }
 
@@ -379,6 +384,14 @@ Result<LedgerEntry> BudgetLedger::Charge(const std::string& dataset,
                                          const PrivacyParams& total,
                                          const PrivacyParams& request,
                                          const std::string& charge_id) {
+  static Counter* charges = MetricsRegistry::Global().GetCounter(
+      "dpmm.serve.budget_ledger.charges");
+  static Counter* refusals = MetricsRegistry::Global().GetCounter(
+      "dpmm.serve.budget_ledger.refusals");
+  static Histogram* charge_ns = MetricsRegistry::Global().GetHistogram(
+      "dpmm.serve.budget_ledger.charge_ns");
+  TraceSpan span("BudgetLedger::Charge", "serve");
+  const std::uint64_t t0 = MonotonicNanos();
   if (dataset.empty() || dataset.find('\n') != std::string::npos) {
     return Status::InvalidArgument(
         "ledger dataset label must be nonempty and single-line");
@@ -440,6 +453,7 @@ Result<LedgerEntry> BudgetLedger::Charge(const std::string& dataset,
                   request.epsilon, request.delta, dataset.c_str(), rem.epsilon,
                   rem.delta, state.entry.total.epsilon,
                   state.entry.total.delta);
+    refusals->Add(1);
     return Status::ResourceExhausted(msg);
   }
 
@@ -481,6 +495,8 @@ Result<LedgerEntry> BudgetLedger::Charge(const std::string& dataset,
     // explicit Recover() retries it.
     (void)CheckpointLocked(state);
   }
+  charges->Add(1);
+  charge_ns->Record(MonotonicNanos() - t0);
   return state.entry;
 }
 

@@ -10,6 +10,8 @@
 #include <cstring>
 #include <thread>
 
+#include "util/metrics.h"
+
 namespace dpmm {
 namespace serve {
 
@@ -46,6 +48,15 @@ void FileLock::Release() {
 
 Result<FileLock> FileLock::Acquire(const std::string& path,
                                    const FileLockOptions& options) {
+  static Counter* acquires =
+      MetricsRegistry::Global().GetCounter("dpmm.serve.file_lock.acquires");
+  static Counter* timeouts =
+      MetricsRegistry::Global().GetCounter("dpmm.serve.file_lock.timeouts");
+  static Histogram* wait_ns =
+      MetricsRegistry::Global().GetHistogram("dpmm.serve.file_lock.wait_ns");
+  PerfContext* perf = GetPerfContext();
+  PerfTimer wait_timer(&perf->lock_wait_ns);
+  const std::uint64_t t0 = MonotonicNanos();
   // lint:allow(raw-fs-call): flock(2) needs the real fd and kernel-released
   // semantics; the lock file carries no durable data, so the fs_ops fault
   // seam (which models data durability, not lock ownership) does not apply.
@@ -55,17 +66,24 @@ Result<FileLock> FileLock::Acquire(const std::string& path,
                            std::strerror(errno));
   }
   const int op = (options.shared ? LOCK_SH : LOCK_EX) | LOCK_NB;
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(options.timeout_ms);
+  // Deadline on the shared monotonic clock (util/stopwatch.h), the same
+  // time source every other duration in the system is measured on.
+  const std::uint64_t deadline_ns =
+      MonotonicNanos() +
+      static_cast<std::uint64_t>(options.timeout_ms) * 1000000ull;
   int backoff_ms = options.base_backoff_ms > 0 ? options.base_backoff_ms : 1;
   for (;;) {
-    if (::flock(fd, op) == 0) return FileLock(fd);
+    if (::flock(fd, op) == 0) {
+      acquires->Add(1);
+      wait_ns->Record(MonotonicNanos() - t0);
+      return FileLock(fd);
+    }
     if (errno != EWOULDBLOCK && errno != EINTR) {
       const std::string err = std::strerror(errno);
       ::close(fd);
       return Status::IoError("cannot lock " + path + ": " + err);
     }
-    if (std::chrono::steady_clock::now() >= deadline) break;
+    if (MonotonicNanos() >= deadline_ns) break;
     // Exponential backoff with up to +50% jitter, clamped so the last
     // sleep does not overshoot the deadline by a full period.
     const int jitter =
@@ -76,6 +94,8 @@ Result<FileLock> FileLock::Acquire(const std::string& path,
     }
   }
   ::close(fd);
+  timeouts->Add(1);
+  wait_ns->Record(MonotonicNanos() - t0);
   return Status::Unavailable(
       "could not acquire " + std::string(options.shared ? "shared" : "exclusive") +
       " lock on " + path + " within " + std::to_string(options.timeout_ms) +

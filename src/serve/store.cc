@@ -12,6 +12,8 @@
 
 #include "serve/store_manifest.h"
 #include "serve/wal.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace dpmm {
 namespace serve {
@@ -152,6 +154,24 @@ Status AppendManifestRecord(const std::string& manifest_path,
 
 }  // namespace
 
+namespace {
+
+/// Store-wide instruments: one artifact file landed durably / one artifact
+/// file read off disk (cache hits do not count as reads).
+Counter* ArtifactWrites() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dpmm.serve.store.artifact_writes");
+  return c;
+}
+
+Counter* ArtifactReads() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dpmm.serve.store.artifact_reads");
+  return c;
+}
+
+}  // namespace
+
 std::string CanonicalSignature(const std::string& workload_spec,
                                const Domain& domain) {
   std::string sig = workload_spec + "@";
@@ -234,6 +254,7 @@ Status StrategyStore::Put(const serialize::StrategyArtifact& artifact) {
       if (!st.ok()) return st;
     }
   }
+  ArtifactWrites()->Add(1);
   lock.lock();
   cache_.Put(artifact.signature,
              std::make_shared<serialize::StrategyArtifact>(artifact));
@@ -278,6 +299,7 @@ Result<std::shared_ptr<const serialize::StrategyArtifact>> StrategyStore::Get(
                            artifact->signature + "', not '" + signature +
                            "' (renamed file or key collision)");
   }
+  ArtifactReads()->Add(1);
   lock.lock();
   cache_.Put(signature, artifact);
   return artifact;
@@ -397,6 +419,7 @@ Result<std::size_t> ReleaseStore::Put(
     DPMM_IGNORE_STATUS(fs_->Remove(tmp),
                        "the release is already durably linked under its id; "
                        "a leftover claim file is cosmetic");
+    ArtifactWrites()->Add(1);
     lock.lock();
     cache_.Put(path, std::make_shared<serialize::ReleaseArtifact>(artifact));
     return id;
@@ -448,6 +471,7 @@ Result<std::size_t> ReleaseStore::Put(
                                    provenance),
       fs_);
   if (!st.ok()) return st;
+  ArtifactWrites()->Add(1);
   lock.lock();
   cache_.Put(path, std::make_shared<serialize::ReleaseArtifact>(stamped));
   return id;
@@ -491,6 +515,7 @@ Result<std::shared_ptr<const serialize::ReleaseArtifact>> ReleaseStore::Get(
     return Status::IoError("release at " + path + " is for '" +
                            artifact->signature + "', not '" + signature + "'");
   }
+  ArtifactReads()->Add(1);
   lock.lock();
   // Cache under the primary path even when served from the flat fallback —
   // the key a future lookup probes first.
@@ -601,6 +626,9 @@ void DecodeForAdoption(FsOps* fs, const std::string& path,
 Status CompactShard(const StoreLayout& layout, std::size_t shard,
                     const StoreOptions& options, FsOps* fs,
                     CompactionReport* report) {
+  static Counter* adopted = MetricsRegistry::Global().GetCounter(
+      "dpmm.serve.store.compaction_adopted");
+  TraceSpan span("CompactShard", "store");
   Status st = EnsureDir(layout.ShardDir(shard));
   if (!st.ok()) return st;
   auto shard_lock = FileLock::Acquire(layout.LockPath(shard), options.lock);
@@ -643,6 +671,7 @@ Status CompactShard(const StoreLayout& layout, std::size_t shard,
     DecodeForAdoption(fs, shard_releases + "/" + key + "/" + IdName(id),
                       &provenance, &supersedes_plus1);
     manifest.Adopt(key, id, provenance, supersedes_plus1);
+    adopted->Add(1);
   }
 
   // Re-home the v1 flat artifacts this shard owns. Copies are byte-verbatim
@@ -685,6 +714,7 @@ Status CompactShard(const StoreLayout& layout, std::size_t shard,
         std::uint64_t supersedes_plus1 = 0;
         DecodeForAdoption(fs, flat_path, &provenance, &supersedes_plus1);
         manifest.Adopt(key, id, provenance, supersedes_plus1);
+        adopted->Add(1);
       }
       const ManifestRelease* state = manifest.FindRelease(key, id);
       const std::string shard_path =
@@ -812,6 +842,12 @@ Result<CompactionReport> CompactStore(const std::string& root,
     st = CompactShard(layout, shard, options, fs, &report);
     if (!st.ok()) return st;
   }
+  static Counter* deleted = MetricsRegistry::Global().GetCounter(
+      "dpmm.serve.store.compaction_deleted");
+  static Counter* rehomed = MetricsRegistry::Global().GetCounter(
+      "dpmm.serve.store.compaction_rehomed");
+  deleted->Add(report.files_removed);
+  rehomed->Add(report.flat_migrated);
   return report;
 }
 

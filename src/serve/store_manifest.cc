@@ -1,6 +1,7 @@
 #include "serve/store_manifest.h"
 
 #include "serve/wal.h"
+#include "util/metrics.h"
 #include "util/text.h"
 
 namespace dpmm {
@@ -30,6 +31,9 @@ bool ParseU64(const std::string& token, std::uint64_t* out) {
 
 Result<ShardManifest> ShardManifest::Load(const std::string& path,
                                           FsOps* fs) {
+  static Counter* replays = MetricsRegistry::Global().GetCounter(
+      "dpmm.serve.store_manifest.replays");
+  replays->Add(1);
   ShardManifest manifest;
   auto replay = ReadWal(path, fs);
   if (!replay.ok()) {

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "util/metrics.h"
+
 namespace dpmm {
 namespace serve {
 
@@ -159,17 +161,34 @@ Status WalWriter::Close() {
 }
 
 Status WalWriter::Append(const std::string& payload) {
+  static Counter* appends =
+      MetricsRegistry::Global().GetCounter("dpmm.serve.wal.appends");
+  static Histogram* append_ns =
+      MetricsRegistry::Global().GetHistogram("dpmm.serve.wal.append_ns");
+  static Histogram* fsync_ns =
+      MetricsRegistry::Global().GetHistogram("dpmm.serve.wal.fsync_ns");
   if (fd_ < 0) return Status::IoError("WAL writer is closed");
   if (payload.size() > kMaxRecordBytes) {
     return Status::InvalidArgument("WAL record too large");
   }
+  PerfContext* perf = GetPerfContext();
+  PerfTimer append_timer(&perf->wal_append_ns);
+  const std::uint64_t t0 = MonotonicNanos();
   const std::string frame = EncodeWalFrame(payload);
   Status st = fs_->WriteAll(fd_, frame.data(), frame.size());
-  if (st.ok()) st = fs_->Fsync(fd_);
+  if (st.ok()) {
+    const std::uint64_t fsync_t0 = MonotonicNanos();
+    st = fs_->Fsync(fd_);
+    const std::uint64_t fsync_took = MonotonicNanos() - fsync_t0;
+    fsync_ns->Record(fsync_took);
+    perf->wal_fsync_ns += fsync_took;
+  }
   if (st.ok() && !dir_synced_) {
     st = fs_->FsyncDir(Dirname(path_));
     if (st.ok()) dir_synced_ = true;
   }
+  appends->Add(1);
+  append_ns->Record(MonotonicNanos() - t0);
   if (!st.ok()) {
     // The file may now hold a torn frame; refuse further appends from this
     // writer (recovery truncates the damage before the next one opens).

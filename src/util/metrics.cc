@@ -1,0 +1,274 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace dpmm {
+
+namespace {
+
+/// Small dense per-thread index for counter sharding. The first kShards
+/// threads get distinct shards; later threads wrap (they share a shard's
+/// cache line, which only costs throughput, never correctness).
+std::size_t NextThreadSlot() {
+  static std::atomic<std::size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::size_t Counter::ShardIndex() {
+  thread_local const std::size_t slot = NextThreadSlot() % kShards;
+  return slot;
+}
+
+// ---- Histogram
+
+// Bucket layout: values 0..31 get one exact bucket each; every octave
+// [2^k, 2^(k+1)) for k >= 5 is split into 16 linear sub-buckets keyed by
+// the 4 bits after the leading one, bounding relative error by 1/16.
+std::size_t Histogram::BucketOf(std::uint64_t value) {
+  if (value < 32) return static_cast<std::size_t>(value);
+  int k = 63;
+  while ((value >> k) == 0) --k;  // 2^k <= value < 2^(k+1), k >= 5
+  const std::size_t sub =
+      static_cast<std::size_t>((value >> (k - 4)) & 0xF);
+  return 32 + static_cast<std::size_t>(k - 5) * 16 + sub;
+}
+
+std::uint64_t Histogram::BucketLowerBound(std::size_t bucket) {
+  if (bucket < 32) return bucket;
+  const std::size_t rel = bucket - 32;
+  const int k = static_cast<int>(rel / 16) + 5;
+  const std::uint64_t sub = rel % 16;
+  return (std::uint64_t{1} << k) | (sub << (k - 4));
+}
+
+void Histogram::Record(std::uint64_t value) {
+  buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < value &&
+         !max_.compare_exchange_weak(prev, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::Count() const {
+  std::uint64_t n = 0;
+  for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t Histogram::Quantile(double q) const {
+  q = std::min(1.0, std::max(0.0, q));
+  const std::uint64_t n = Count();
+  if (n == 0) return 0;
+  // Rank of the requested sample, 1-based: ceil(q * n), at least 1.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(n) + 0.9999999);
+  rank = std::max<std::uint64_t>(1, std::min(rank, n));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketLowerBound(b);
+  }
+  return Max();  // unreachable unless counts raced; max is a safe answer
+}
+
+// ---- MetricsSnapshot
+
+namespace {
+
+void AppendJsonKey(std::string* out, const std::string& name) {
+  // Metric names are [a-z0-9_.]+ by contract — no JSON escaping needed.
+  out->push_back('"');
+  out->append(name);
+  out->append("\": ");
+}
+
+std::string U64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonKey(&out, name);
+    out += U64(v);
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonKey(&out, name);
+    out += std::to_string(v);
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& h : histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonKey(&out, h.name);
+    out += "{\"count\": " + U64(h.count) + ", \"sum\": " + U64(h.sum) +
+           ", \"p50\": " + U64(h.p50) + ", \"p95\": " + U64(h.p95) +
+           ", \"p99\": " + U64(h.p99) + ", \"max\": " + U64(h.max) + "}";
+  }
+  out += first ? "}" : "\n  }";
+  out += "\n}\n";
+  return out;
+}
+
+// ---- MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked by design: instrument pointers handed to function-local statics
+  // must outlive every recording thread, including detached ones running
+  // through static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+bool MetricsRegistry::ValidName(const std::string& name) {
+  std::size_t segments = 0;
+  std::size_t seg_len = 0;
+  for (std::size_t i = 0; i <= name.size(); ++i) {
+    if (i == name.size() || name[i] == '.') {
+      if (seg_len == 0) return false;
+      ++segments;
+      seg_len = 0;
+      continue;
+    }
+    const char c = name[i];
+    const bool ok =
+        (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+    ++seg_len;
+  }
+  return segments >= 3 && name.compare(0, 5, "dpmm.") == 0;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  DPMM_DCHECK_MSG(ValidName(name), "bad metric name");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  DPMM_DCHECK_MSG(ValidName(name), "bad metric name");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  DPMM_DCHECK_MSG(ValidName(name), "bad metric name");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.count = h->Count();
+    hs.sum = h->Sum();
+    hs.p50 = h->Quantile(0.50);
+    hs.p95 = h->Quantile(0.95);
+    hs.p99 = h->Quantile(0.99);
+    hs.max = h->Max();
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+void MetricsRegistry::RegisterStandardInventory() {
+  // Keep in sync with the README "Observability" inventory table. Names are
+  // spelled out verbatim (not built from parts) so the metric-name lint
+  // rule and plain grep both see every registered name.
+  GetCounter("dpmm.serve.answer_engine.queries");
+  GetCounter("dpmm.serve.answer_engine.root_cache_hit");
+  GetCounter("dpmm.serve.answer_engine.root_cache_miss");
+  GetCounter("dpmm.serve.answer_engine.root_cache_evict");
+  GetHistogram("dpmm.serve.answer_engine.query_ns");
+  GetHistogram("dpmm.serve.answer_engine.batch_size");
+  GetCounter("dpmm.serve.store.artifact_reads");
+  GetCounter("dpmm.serve.store.artifact_writes");
+  GetCounter("dpmm.serve.store.compaction_adopted");
+  GetCounter("dpmm.serve.store.compaction_deleted");
+  GetCounter("dpmm.serve.store.compaction_rehomed");
+  GetCounter("dpmm.serve.store_manifest.replays");
+  GetCounter("dpmm.serve.budget_ledger.charges");
+  GetCounter("dpmm.serve.budget_ledger.refusals");
+  GetCounter("dpmm.serve.budget_ledger.checkpoints");
+  GetHistogram("dpmm.serve.budget_ledger.charge_ns");
+  GetCounter("dpmm.serve.wal.appends");
+  GetHistogram("dpmm.serve.wal.append_ns");
+  GetHistogram("dpmm.serve.wal.fsync_ns");
+  GetCounter("dpmm.serve.file_lock.acquires");
+  GetCounter("dpmm.serve.file_lock.timeouts");
+  GetHistogram("dpmm.serve.file_lock.wait_ns");
+  GetCounter("dpmm.optimize.dual_solver.solves");
+  GetHistogram("dpmm.optimize.dual_solver.solve_ns");
+  GetHistogram("dpmm.optimize.dual_solver.iterations");
+  GetCounter("dpmm.query.predicate.parses");
+  GetHistogram("dpmm.query.predicate.parse_ns");
+  GetCounter("dpmm.mechanism.matrix_mechanism.releases");
+  GetCounter("dpmm.util.thread_pool.regions");
+  GetHistogram("dpmm.util.thread_pool.region_ns");
+  GetGauge("dpmm.util.thread_pool.queue_depth");
+}
+
+// ---- PerfContext
+
+PerfContext* GetPerfContext() {
+  thread_local PerfContext ctx;
+  return &ctx;
+}
+
+std::string PerfContext::ToString() const {
+  std::string out;
+  const auto add = [&out](const char* label, std::uint64_t v) {
+    if (v == 0) return;
+    if (!out.empty()) out.push_back(' ');
+    out += label;
+    out.push_back('=');
+    out += std::to_string(v);
+  };
+  add("predicate_parse_ns", predicate_parse_ns);
+  add("root_cache_probes", root_cache_probes);
+  add("root_cache_hits", root_cache_hits);
+  add("root_solves", root_solves);
+  add("normal_solve_ns", normal_solve_ns);
+  add("wal_append_ns", wal_append_ns);
+  add("wal_fsync_ns", wal_fsync_ns);
+  add("lock_wait_ns", lock_wait_ns);
+  add("solver_iterations", solver_iterations);
+  return out.empty() ? "idle" : out;
+}
+
+}  // namespace dpmm

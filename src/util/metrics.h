@@ -1,0 +1,231 @@
+// Process-wide metrics registry plus a thread-local per-operation perf
+// context. Three instrument kinds, all safe to record from any thread
+// without contending on a lock:
+//
+//   Counter    monotonically increasing u64, sharded across cache lines so
+//              concurrent recorders on different threads do not bounce one
+//              atomic between cores.
+//   Gauge      a single signed value (queue depth, cache size) — one atomic,
+//              set/add semantics.
+//   Histogram  log-bucketed latency/size distribution. Values below 2^5 land
+//              in exact unit buckets; larger values keep their top 4
+//              mantissa bits (≤ 1/16 relative error). Max is tracked
+//              exactly. Quantile() returns the lower bound of the bucket
+//              holding the requested rank, so a value recorded on a bucket
+//              boundary is recovered exactly.
+//
+// Naming contract (enforced by tools/check_invariants.py, rule metric-name):
+// every registered metric is "dpmm.<subsystem>.<name>" — lowercase, digits
+// and underscores, at least three dot-separated segments. Call sites cache
+// the instrument pointer in a function-local static so the hot path is one
+// relaxed atomic add, never a map lookup:
+//
+//   static Counter* hits =
+//       MetricsRegistry::Global().GetCounter("dpmm.serve.answer_engine.root_cache_hit");
+//   hits->Add(1);
+//
+// Instruments are never unregistered; pointers stay valid for the process
+// lifetime.
+//
+// PerfContext is the per-operation companion (RocksDB-style): a thread-local
+// struct of named ns/count fields an operation can Reset() before work and
+// read after, giving a breakdown of *this* query rather than a process-wide
+// aggregate. PerfTimer accumulates a scope's wall time into one field.
+//
+// Recording is observation only: nothing here may touch an Rng or feed back
+// into released values — releases must stay byte-identical for fixed seeds
+// with instrumentation compiled in.
+#ifndef DPMM_UTIL_METRICS_H_
+#define DPMM_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace dpmm {
+
+/// Monotone counter, sharded across cache lines. Add() is one relaxed
+/// fetch_add on this thread's shard; Value() sums the shards (a racy but
+/// monotone read — fine for reporting).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(std::uint64_t n = 1) {
+    shards_[ShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  static std::size_t ShardIndex();
+  Shard shards_[kShards];
+};
+
+/// Single signed value with set/add semantics (queue depth, cache size).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log-bucketed histogram of non-negative integer samples (latencies in ns,
+/// batch sizes). Record() is two relaxed atomic adds plus a CAS-max.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(std::uint64_t value);
+
+  std::uint64_t Count() const;
+  std::uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Exact largest recorded value (0 when empty).
+  std::uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  /// Lower bound of the bucket holding the sample of rank ceil(q * count);
+  /// exact when the underlying values sit on bucket boundaries. 0 when
+  /// empty. q is clamped to [0, 1].
+  std::uint64_t Quantile(double q) const;
+  double Mean() const {
+    const std::uint64_t n = Count();
+    return n == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(n);
+  }
+
+  /// Bucket index for a value; inverse pair with BucketLowerBound. Exposed
+  /// for the unit tests that pin the ≤ 1/16 relative-error contract.
+  static std::size_t BucketOf(std::uint64_t value);
+  static std::uint64_t BucketLowerBound(std::size_t bucket);
+  static constexpr std::size_t kNumBuckets =
+      32 + (63 - 4) * 16;  // exact 0..31, then 16 sub-buckets per octave
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// One histogram's rendered summary, for tables and JSON.
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t max = 0;
+};
+
+/// Point-in-time view of every registered instrument.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Machine-readable form: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, p50, p95, p99, max}, ...}}.
+  std::string ToJson() const;
+};
+
+/// Process-wide instrument registry. Get* registers on first use and
+/// returns the same pointer ever after; the map lock is only taken at
+/// registration/snapshot time, never on the record path (call sites cache
+/// the pointer).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// "dpmm.<subsystem>.<name>": ≥ 3 dot-separated [a-z0-9_]+ segments,
+  /// first one "dpmm". Get* enforces this fatally in debug builds and
+  /// registers the name verbatim otherwise (the linter catches offenders
+  /// at review time).
+  static bool ValidName(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Registers every standard instrument the instrumented subsystems use,
+  /// so a fresh process (e.g. `dpmm_cli stats`) reports the full inventory
+  /// at zero instead of an empty table.
+  void RegisterStandardInventory();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Per-operation breakdown, accumulated on the recording thread. An
+/// operation boundary (one serve query, one ledger charge) calls Reset()
+/// first, the layers below accumulate into the fields, and the boundary
+/// reads/reports the totals. All plain u64 — thread-local, no atomics.
+struct PerfContext {
+  std::uint64_t predicate_parse_ns = 0;
+  std::uint64_t root_cache_probes = 0;
+  std::uint64_t root_cache_hits = 0;
+  std::uint64_t root_solves = 0;
+  std::uint64_t normal_solve_ns = 0;
+  std::uint64_t wal_append_ns = 0;
+  std::uint64_t wal_fsync_ns = 0;
+  std::uint64_t lock_wait_ns = 0;
+  std::uint64_t solver_iterations = 0;
+
+  void Reset() { *this = PerfContext{}; }
+  /// "field=value field=value ..." for the nonzero fields; "idle" when all
+  /// zero.
+  std::string ToString() const;
+};
+
+/// The calling thread's context. Pointer is stable for the thread lifetime.
+PerfContext* GetPerfContext();
+
+/// Accumulates the enclosing scope's wall time (monotonic ns) into *field
+/// on destruction. Nestable: inner timers on other fields accumulate
+/// independently; an inner timer on the *same* field double-counts by
+/// design (the field is "time spent under this label", not exclusive time).
+class PerfTimer {
+ public:
+  explicit PerfTimer(std::uint64_t* field)
+      : field_(field), start_(MonotonicNanos()) {}
+  ~PerfTimer() { *field_ += MonotonicNanos() - start_; }
+  PerfTimer(const PerfTimer&) = delete;
+  PerfTimer& operator=(const PerfTimer&) = delete;
+
+ private:
+  std::uint64_t* field_;
+  std::uint64_t start_;
+};
+
+}  // namespace dpmm
+
+#endif  // DPMM_UTIL_METRICS_H_

@@ -1,28 +1,43 @@
-// Wall-clock stopwatch for the experiment harness (Fig. 4 reports solver
-// execution times).
+// The project's one monotonic time source. Every wall-clock measurement —
+// bench harness timings, SolverReport trajectories (Fig. 4 reports solver
+// execution times), metrics histograms, trace spans, lock deadlines — reads
+// the same steady clock through this header, so durations from different
+// layers are directly comparable and never jump with the system clock.
+// Direct std::chrono::system_clock use outside util/ is a lint error
+// (tools/check_invariants.py, rule wall-clock).
 #ifndef DPMM_UTIL_STOPWATCH_H_
 #define DPMM_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace dpmm {
 
+/// Nanoseconds on the shared monotonic clock. Only differences are
+/// meaningful; the epoch is unspecified (typically boot time).
+inline std::uint64_t MonotonicNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(MonotonicNanos()) {}
 
-  void Restart() { start_ = Clock::now(); }
+  void Restart() { start_ = MonotonicNanos(); }
+
+  /// Elapsed monotonic ns since construction or last Restart().
+  std::uint64_t Nanos() const { return MonotonicNanos() - start_; }
 
   /// Elapsed seconds since construction or last Restart().
-  double Seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
+  double Seconds() const { return static_cast<double>(Nanos()) * 1e-9; }
 
   double Millis() const { return Seconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  std::uint64_t start_;
 };
 
 }  // namespace dpmm

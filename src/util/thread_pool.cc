@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
 #include "util/threading.h"
 
 namespace dpmm {
@@ -136,6 +137,19 @@ void ThreadPool::ParallelFor(
     --parallel_depth;
     return;
   }
+  // Per-region instrumentation only (one counter bump and one histogram
+  // record per ParallelFor, never per chunk — the chunk path stays a bare
+  // atomic claim). queue_depth reads as the published region's chunk count
+  // while it drains.
+  static Counter* regions = MetricsRegistry::Global().GetCounter(
+      "dpmm.util.thread_pool.regions");
+  static Histogram* region_ns = MetricsRegistry::Global().GetHistogram(
+      "dpmm.util.thread_pool.region_ns");
+  static Gauge* queue_depth = MetricsRegistry::Global().GetGauge(
+      "dpmm.util.thread_pool.queue_depth");
+  regions->Add(1);
+  queue_depth->Set(static_cast<std::int64_t>(num_chunks));
+  const std::uint64_t region_t0 = MonotonicNanos();
   std::uint64_t region_id;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -155,6 +169,9 @@ void ThreadPool::ParallelFor(
   chunks_done_ += executed;
   done_cv_.wait(lock, [&] { return chunks_done_ >= num_chunks_; });
   fn_ = nullptr;
+  lock.unlock();
+  queue_depth->Set(0);
+  region_ns->Record(MonotonicNanos() - region_t0);
 }
 
 }  // namespace dpmm

@@ -1,0 +1,94 @@
+#include "util/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dpmm {
+
+namespace {
+
+std::uint32_t ThreadTraceId() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void FlushAtExit() {
+  const char* path = std::getenv("DPMM_TRACE");
+  if (path == nullptr || path[0] == '\0') return;
+  const Status st = TraceRecorder::Global().Flush(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "dpmm: DPMM_TRACE flush failed: %s\n",
+                 st.message().c_str());
+  }
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = [] {
+    auto* r = new TraceRecorder();
+    const char* path = std::getenv("DPMM_TRACE");
+    if (path != nullptr && path[0] != '\0') {
+      r->Enable();
+      std::atexit(FlushAtExit);
+    }
+    return r;
+  }();
+  return *recorder;
+}
+
+void TraceRecorder::AddEvent(const char* name, const char* category,
+                             std::uint64_t start_ns,
+                             std::uint64_t duration_ns) {
+  Event e{name, category, start_ns, duration_ns, ThreadTraceId()};
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(e);
+}
+
+std::size_t TraceRecorder::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+  }
+  std::string out = "{\"traceEvents\": [";
+  char buf[256];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    // Span names are identifier-like literals from our own call sites; no
+    // JSON escaping is needed. ts/dur are microseconds per the trace_event
+    // spec (fractions carry the ns precision).
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+                  i == 0 ? "" : ",", e.name, e.category,
+                  static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.duration_ns) / 1e3, e.tid);
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status TraceRecorder::Flush(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace output " + path);
+  }
+  const std::size_t wrote = std::fwrite(json.data(), 1, json.size(), f);
+  const int closed = std::fclose(f);
+  if (wrote != json.size() || closed != 0) {
+    return Status::IoError("short write to trace output " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace dpmm

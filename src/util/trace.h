@@ -1,0 +1,94 @@
+// Scoped-span tracing with Chrome trace_event JSON output. Off by default:
+// the per-span cost is one relaxed atomic load. Set DPMM_TRACE=out.json in
+// the environment (checked once, at the first TraceRecorder::Global() call)
+// to record every span and dump them to that path at process exit; the file
+// loads directly into chrome://tracing or Perfetto.
+//
+//   { TraceSpan span("SolveWeighting", "optimize"); ... }
+//
+// Spans carry the shared monotonic clock (util/stopwatch.h), a dense
+// per-thread id, and complete ("ph":"X") events — begin/end pairing is done
+// at record time, so a crash loses at most the open spans.
+#ifndef DPMM_UTIL_TRACE_H_
+#define DPMM_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace dpmm {
+
+class TraceRecorder {
+ public:
+  /// The process recorder. The first call reads DPMM_TRACE: when set and
+  /// non-empty, recording turns on and an atexit hook flushes to the named
+  /// file.
+  static TraceRecorder& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Turns recording on (tests use this directly; production goes through
+  /// DPMM_TRACE). Events accumulate until Flush or ToJson.
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+
+  /// Appends one complete event. `name` and `category` must be string
+  /// literals (stored by pointer, never copied).
+  void AddEvent(const char* name, const char* category,
+                std::uint64_t start_ns, std::uint64_t duration_ns);
+
+  /// The accumulated events as a Chrome trace_event JSON document.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`. Events are kept (a later flush rewrites the
+  /// fuller trace).
+  Status Flush(const std::string& path) const;
+
+  std::size_t num_events() const;
+
+ private:
+  TraceRecorder() = default;
+
+  struct Event {
+    const char* name;
+    const char* category;
+    std::uint64_t start_ns;
+    std::uint64_t duration_ns;
+    std::uint32_t tid;
+  };
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+/// RAII span: records [construction, destruction) into the global recorder
+/// when tracing is enabled. Name/category must be string literals.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category)
+      : name_(name), category_(category), start_ns_(0) {
+    if (TraceRecorder::Global().enabled()) start_ns_ = MonotonicNanos();
+  }
+  ~TraceSpan() {
+    if (start_ns_ != 0) {
+      TraceRecorder::Global().AddEvent(name_, category_, start_ns_,
+                                       MonotonicNanos() - start_ns_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  std::uint64_t start_ns_;  // 0 = tracing was off at entry
+};
+
+}  // namespace dpmm
+
+#endif  // DPMM_UTIL_TRACE_H_

@@ -1,0 +1,27 @@
+// Fixture: registers metrics that break the dpmm.<subsystem>.<name> scheme,
+// once actively and once with a justification.
+#include <string>
+
+namespace dpmm {
+
+struct FakeCounter {
+  void Add(int) {}
+};
+
+struct FakeRegistry {
+  static FakeRegistry& Global();
+  FakeCounter* GetCounter(const std::string&);
+};
+
+void CountServedQueries() {
+  FakeRegistry& reg = FakeRegistry::Global();
+  FakeCounter* bad = reg.GetCounter("served-queries");  // metric-name finding
+  bad->Add(1);
+  // lint:allow(metric-name): fixture exercises the suppression path
+  FakeCounter* justified = reg.GetCounter("legacy.count");
+  justified->Add(1);
+  FakeCounter* good = reg.GetCounter("dpmm.serve.fixture.queries");
+  good->Add(1);
+}
+
+}  // namespace dpmm

@@ -1,0 +1,23 @@
+// Fixture: reads the wall clock outside src/util/, once actively and once
+// with a justification.
+#include <chrono>
+#include <cstdint>
+
+namespace dpmm {
+
+std::int64_t StampNow() {
+  const auto now = std::chrono::system_clock::now();  // wall-clock finding
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+std::int64_t StampForHumans() {
+  // lint:allow(wall-clock): fixture exercises the suppression path
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+}  // namespace dpmm

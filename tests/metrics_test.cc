@@ -1,0 +1,372 @@
+// Observability suite: the metrics registry (counters, gauges, log-bucketed
+// histograms and their quantile contract), the thread-local PerfContext and
+// its RAII timers, and the trace recorder's Chrome trace_event output.
+// The 4-thread concurrency cases run under TSan via tools/ci.sh
+// (TSAN_TESTS), which is what lets util/metrics.h and util/trace.h declare
+// mutex members at all.
+#include "util/metrics.h"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/trace.h"
+
+namespace dpmm {
+namespace {
+
+TEST(Counter, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(Counter, FourThreadsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.Set(7);
+  EXPECT_EQ(g.Value(), 7);
+  g.Add(-10);
+  EXPECT_EQ(g.Value(), -3);
+  g.Set(0);
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) h.Record(v);
+  EXPECT_EQ(h.Count(), 32u);
+  EXPECT_EQ(h.Sum(), 31u * 32u / 2u);
+  EXPECT_EQ(h.Max(), 31u);
+  // Values below 32 each own a bucket, so every quantile is exact.
+  EXPECT_EQ(h.Quantile(0.0), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 15u);
+  EXPECT_EQ(h.Quantile(1.0), 31u);
+}
+
+TEST(Histogram, BucketInverseAndRelativeError) {
+  // BucketLowerBound(BucketOf(v)) is the largest bucket boundary <= v, and
+  // the gap to v is bounded by 1/16 of the bound (the documented contract).
+  const std::uint64_t probes[] = {
+      0,  1,  31,  32,  33,  47,  48,  63,   64,          100,
+      1023, 1024, 1025, 123456789, std::uint64_t{1} << 40,
+      (std::uint64_t{1} << 40) + 12345, ~std::uint64_t{0}};
+  for (std::uint64_t v : probes) {
+    const std::size_t b = Histogram::BucketOf(v);
+    ASSERT_LT(b, Histogram::kNumBuckets) << v;
+    const std::uint64_t lb = Histogram::BucketLowerBound(b);
+    EXPECT_LE(lb, v) << v;
+    if (v >= 32) {
+      EXPECT_LE(v - lb, lb / 16) << v;
+      // Boundaries map back to themselves: the inverse pair is tight.
+      EXPECT_EQ(Histogram::BucketOf(lb), b) << v;
+      EXPECT_EQ(Histogram::BucketLowerBound(Histogram::BucketOf(lb)), lb) << v;
+    } else {
+      EXPECT_EQ(lb, v);
+    }
+  }
+}
+
+TEST(Histogram, QuantilesExactOnBucketBoundaries) {
+  // Samples placed on bucket lower bounds are recovered exactly by
+  // Quantile(), which is how the latency tests can assert precise numbers.
+  Histogram h;
+  const std::uint64_t a = std::uint64_t{1} << 10;            // 1024
+  const std::uint64_t b = (std::uint64_t{1} << 10) | (5 << 6);  // 1344
+  const std::uint64_t c = std::uint64_t{1} << 20;
+  for (int i = 0; i < 50; ++i) h.Record(a);
+  for (int i = 0; i < 45; ++i) h.Record(b);
+  for (int i = 0; i < 5; ++i) h.Record(c);
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_EQ(h.Quantile(0.50), a);
+  EXPECT_EQ(h.Quantile(0.95), b);
+  EXPECT_EQ(h.Quantile(0.99), c);
+  EXPECT_EQ(h.Max(), c);
+}
+
+TEST(Histogram, MaxIsExactOffBoundary) {
+  Histogram h;
+  h.Record(1000003);  // not a bucket boundary
+  EXPECT_EQ(h.Max(), 1000003u);
+  EXPECT_LE(h.Quantile(1.0), 1000003u);
+  EXPECT_GE(h.Quantile(1.0), 1000003u - 1000003u / 16);
+}
+
+TEST(Histogram, FourThreadsCountExactly) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<std::uint64_t>(t) * 1000 + (i & 0xFF));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Count(), kThreads * kPerThread);
+  EXPECT_EQ(h.Max(), 3u * 1000u + 0xFFu);
+}
+
+TEST(MetricsRegistry, ValidNameContract) {
+  EXPECT_TRUE(MetricsRegistry::ValidName("dpmm.serve.wal.appends"));
+  EXPECT_TRUE(MetricsRegistry::ValidName("dpmm.util.thread_pool.queue_depth"));
+  EXPECT_TRUE(MetricsRegistry::ValidName("dpmm.a.b"));
+  EXPECT_FALSE(MetricsRegistry::ValidName(""));
+  EXPECT_FALSE(MetricsRegistry::ValidName("dpmm"));
+  EXPECT_FALSE(MetricsRegistry::ValidName("dpmm.serve"));       // 2 segments
+  EXPECT_FALSE(MetricsRegistry::ValidName("serve.wal.appends"));  // no dpmm.
+  EXPECT_FALSE(MetricsRegistry::ValidName("dpmm.Serve.wal"));   // uppercase
+  EXPECT_FALSE(MetricsRegistry::ValidName("dpmm..wal"));        // empty seg
+  EXPECT_FALSE(MetricsRegistry::ValidName("dpmm.serve.wal."));  // trailing
+  EXPECT_FALSE(MetricsRegistry::ValidName("dpmm.serve.wal-x"));  // hyphen
+}
+
+TEST(MetricsRegistry, GetReturnsStablePointer) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* a = reg.GetCounter("dpmm.test.metrics.stable_pointer");
+  Counter* b = reg.GetCounter("dpmm.test.metrics.stable_pointer");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(b->Value(), 3u);
+}
+
+TEST(MetricsRegistry, FourThreadsRegisterAndRecord) {
+  // Registration races with recording on the shared registry; TSan watches.
+  auto& reg = MetricsRegistry::Global();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> ready{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &ready] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }
+      Counter* c = reg.GetCounter("dpmm.test.metrics.race_counter");
+      Histogram* h = reg.GetHistogram("dpmm.test.metrics.race_hist");
+      for (int i = 0; i < 10000; ++i) {
+        c->Add(1);
+        h->Record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.GetCounter("dpmm.test.metrics.race_counter")->Value(),
+            4u * 10000u);
+  EXPECT_EQ(reg.GetHistogram("dpmm.test.metrics.race_hist")->Count(),
+            4u * 10000u);
+}
+
+TEST(MetricsRegistry, SnapshotAndJson) {
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("dpmm.test.metrics.snap_counter")->Add(5);
+  reg.GetGauge("dpmm.test.metrics.snap_gauge")->Set(-2);
+  reg.GetHistogram("dpmm.test.metrics.snap_hist")->Record(1024);
+  const MetricsSnapshot snap = reg.Snapshot();
+
+  bool counter_seen = false, gauge_seen = false, hist_seen = false;
+  for (const auto& c : snap.counters) {
+    if (c.first == "dpmm.test.metrics.snap_counter") {
+      counter_seen = true;
+      EXPECT_EQ(c.second, 5u);
+    }
+  }
+  for (const auto& g : snap.gauges) {
+    if (g.first == "dpmm.test.metrics.snap_gauge") {
+      gauge_seen = true;
+      EXPECT_EQ(g.second, -2);
+    }
+  }
+  for (const auto& h : snap.histograms) {
+    if (h.name == "dpmm.test.metrics.snap_hist") {
+      hist_seen = true;
+      EXPECT_EQ(h.count, 1u);
+      EXPECT_EQ(h.p50, 1024u);
+      EXPECT_EQ(h.max, 1024u);
+    }
+  }
+  EXPECT_TRUE(counter_seen);
+  EXPECT_TRUE(gauge_seen);
+  EXPECT_TRUE(hist_seen);
+
+  // Structural well-formedness: balanced braces outside strings, the three
+  // top-level sections, and the recorded values. (cli_api_test.sh feeds the
+  // same ToJson output through a real JSON parser.)
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"dpmm.test.metrics.snap_counter\": 5"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"dpmm.test.metrics.snap_gauge\": -2"),
+            std::string::npos);
+  int depth = 0;
+  bool in_string = false;
+  for (char ch : json) {
+    if (ch == '"') in_string = !in_string;
+    if (in_string) continue;
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(MetricsRegistry, StandardInventoryIsIdempotentAndValid) {
+  auto& reg = MetricsRegistry::Global();
+  reg.RegisterStandardInventory();
+  const MetricsSnapshot first = reg.Snapshot();
+  reg.RegisterStandardInventory();  // re-registering must not reset values
+  const MetricsSnapshot second = reg.Snapshot();
+  EXPECT_EQ(first.counters.size(), second.counters.size());
+  EXPECT_EQ(first.gauges.size(), second.gauges.size());
+  EXPECT_EQ(first.histograms.size(), second.histograms.size());
+  for (const auto& c : second.counters) {
+    EXPECT_TRUE(MetricsRegistry::ValidName(c.first)) << c.first;
+  }
+  for (const auto& g : second.gauges) {
+    EXPECT_TRUE(MetricsRegistry::ValidName(g.first)) << g.first;
+  }
+  for (const auto& h : second.histograms) {
+    EXPECT_TRUE(MetricsRegistry::ValidName(h.name)) << h.name;
+  }
+}
+
+TEST(PerfContext, ResetAndToString) {
+  PerfContext* ctx = GetPerfContext();
+  ctx->Reset();
+  EXPECT_EQ(ctx->ToString(), "idle");
+  ctx->root_cache_probes = 3;
+  ctx->root_cache_hits = 2;
+  EXPECT_EQ(ctx->ToString(), "root_cache_probes=3 root_cache_hits=2");
+  ctx->Reset();
+  EXPECT_EQ(ctx->ToString(), "idle");
+}
+
+TEST(PerfContext, ThreadLocalIsolation) {
+  PerfContext* main_ctx = GetPerfContext();
+  main_ctx->Reset();
+  main_ctx->root_solves = 7;
+  PerfContext* other_ctx = nullptr;
+  std::uint64_t other_solves = 123;
+  std::thread t([&] {
+    other_ctx = GetPerfContext();
+    other_solves = other_ctx->root_solves;
+    other_ctx->root_solves = 99;
+  });
+  t.join();
+  EXPECT_NE(other_ctx, main_ctx);
+  EXPECT_EQ(other_solves, 0u);      // fresh context on the other thread
+  EXPECT_EQ(main_ctx->root_solves, 7u);  // untouched by the other thread
+  main_ctx->Reset();
+}
+
+TEST(PerfContext, NestedTimersAccumulateIndependently) {
+  PerfContext* ctx = GetPerfContext();
+  ctx->Reset();
+  {
+    PerfTimer outer(&ctx->normal_solve_ns);
+    {
+      PerfTimer inner(&ctx->wal_append_ns);
+      // Spin until the clock has visibly advanced so both fields are
+      // provably nonzero (a sleep would slow the suite for no extra proof).
+      const std::uint64_t t0 = MonotonicNanos();
+      while (MonotonicNanos() == t0) {
+      }
+    }
+  }
+  EXPECT_GT(ctx->normal_solve_ns, 0u);
+  EXPECT_GT(ctx->wal_append_ns, 0u);
+  // The inner scope is part of the outer scope's wall time.
+  EXPECT_GE(ctx->normal_solve_ns, ctx->wal_append_ns);
+  ctx->Reset();
+}
+
+TEST(Trace, RecorderProducesChromeTraceJson) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Enable();
+  const std::size_t before = rec.num_events();
+  {
+    TraceSpan span("MetricsTestSpan", "test");
+    const std::uint64_t t0 = MonotonicNanos();
+    while (MonotonicNanos() == t0) {
+    }
+  }
+  EXPECT_EQ(rec.num_events(), before + 1);
+  const std::string json = rec.ToJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"MetricsTestSpan\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  int depth = 0;
+  bool in_string = false;
+  for (char ch : json) {
+    if (ch == '"') in_string = !in_string;
+    if (in_string) continue;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(Trace, FourThreadsRecordConcurrently) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Enable();
+  const std::size_t before = rec.num_events();
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) {
+        TraceSpan span("ConcurrentSpan", "test");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(rec.num_events(), before + kThreads * kSpans);
+}
+
+TEST(Trace, FlushWritesTheJsonFile) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Enable();
+  { TraceSpan span("FlushedSpan", "test"); }
+  const std::string path = ::testing::TempDir() + "metrics_test_trace.json";
+  const Status status = rec.Flush(path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(content.find("\"FlushedSpan\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpmm

@@ -38,6 +38,17 @@ compiler have no way to express:
                   root-level build* directory holding a CMakeCache.txt is.
                   Build output in history bloats every clone and leaks
                   absolute paths; .gitignore covers these directories.
+  metric-name     every string literal registered through
+                  MetricsRegistry Get{Counter,Gauge,Histogram} must match
+                  "dpmm.<subsystem>.<name>" (lowercase [a-z0-9_], >= 3
+                  dot-separated segments). Dashboards and the README
+                  inventory key on this scheme; a one-off name silently
+                  falls out of every aggregation.
+  wall-clock      std::chrono::system_clock outside src/util/ is forbidden:
+                  all durations come from the shared monotonic clock
+                  (util/stopwatch.h MonotonicNanos), which NTP steps cannot
+                  send backwards mid-measurement. Wall-clock timestamps, if
+                  ever needed, get one audited helper in util/.
 
 Suppression syntax — on the offending line, or in the comment line(s)
 immediately above it:
@@ -323,6 +334,51 @@ def rule_no_committed_build_dir(root, active, suppressed):
             "it and keep it in .gitignore" % name))
 
 
+# ---- metric-name ----------------------------------------------------------
+
+METRIC_GET_RE = re.compile(
+    r'Get(?:Counter|Gauge|Histogram)\s*\(\s*"([^"]*)"')
+METRIC_NAME_OK_RE = re.compile(r"^dpmm(?:\.[a-z0-9_]+){2,}$")
+
+
+def rule_metric_name(root, active, suppressed):
+    files = list(iter_sources(root, ["src", "tools", "tests", "bench"]))
+    for path in files:
+        rel = relpath(root, path)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+        for i, line in enumerate(lines):
+            bad = [m.group(1) for m in METRIC_GET_RE.finditer(line)
+                   if not METRIC_NAME_OK_RE.match(m.group(1))]
+            if not bad:
+                continue
+            f_ = find(
+                "metric-name", rel, i + 1,
+                "metric name '%s' breaks the dpmm.<subsystem>.<name> "
+                "scheme (lowercase [a-z0-9_], >= 3 dot-separated "
+                "segments)" % bad[0])
+            (suppressed if is_suppressed("metric-name", lines, i)
+             else active).append(f_)
+
+
+# ---- wall-clock -----------------------------------------------------------
+
+WALL_CLOCK_RE = re.compile(r"std::chrono::system_clock|"
+                           r"\bchrono::system_clock\b")
+
+
+def rule_wall_clock(root, active, suppressed):
+    util_prefix = os.path.join("src", "util") + os.sep
+    files = [p for p in iter_sources(root, ["src", "tools", "tests", "bench"])
+             if not relpath(root, p).startswith(util_prefix)]
+    scan_line_rule(
+        root, files, "wall-clock", WALL_CLOCK_RE,
+        "std::chrono::system_clock outside src/util/: time measurements "
+        "use the shared monotonic clock (util/stopwatch.h MonotonicNanos); "
+        "a wall-clock timestamp needs an audited helper in util/",
+        active, suppressed)
+
+
 RULES = [
     rule_raw_fs_call,
     rule_unseeded_rng,
@@ -331,6 +387,8 @@ RULES = [
     rule_void_status,
     rule_dcheck_hot_path,
     rule_no_committed_build_dir,
+    rule_metric_name,
+    rule_wall_clock,
 ]
 
 

@@ -89,6 +89,12 @@ echo "==== store: sharded storage engine (ctest -L store) ===="
 # the bounded LRU caches, and the compaction/put crash matrices.
 ctest --test-dir build --output-on-failure -L store
 
+echo "==== obs: metrics registry + perf contexts + trace spans (ctest -L obs) ===="
+# Counter/gauge/histogram correctness (exact quantiles on bucket
+# boundaries), PerfContext nesting and thread isolation, and trace-JSON
+# well-formedness. The same binary reruns under TSan below.
+ctest --test-dir build --output-on-failure -L obs
+
 echo "==== api: unified strategy/mechanism API (ctest -L api) ===="
 # LinearStrategy interface, Design() engine selection, Mechanism bit-identity
 # vs the legacy per-engine paths, the v2 dense artifact kind, and the CLI's
@@ -113,7 +119,10 @@ echo "==== tsan: thread pool + kron batching + serve engine under ThreadSanitize
 # store_test covers the store mutexes guarding the bounded LRU caches:
 # concurrent readers under eviction churn (3 keys cycling through 2 slots
 # from 4 threads) must never surface a torn or wrong artifact.
-TSAN_TESTS=(threading_test util_test linalg_kron_test kron_design_test serve_test durability_test store_test)
+# metrics_test covers the metrics registry and trace recorder mutexes: four
+# threads registering instruments while recording, and concurrent TraceSpan
+# appends into the shared event buffer.
+TSAN_TESTS=(threading_test util_test linalg_kron_test kron_design_test serve_test durability_test store_test metrics_test)
 if [[ "${HAVE_PRESETS}" == "1" ]]; then
   cmake --preset tsan
 else
@@ -127,6 +136,6 @@ cmake --build build-tsan -j --target "${TSAN_TESTS[@]}"
 # serial-path suite.
 (cd build-tsan && \
  DPMM_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
- ctest --output-on-failure -R '^(threading|util|linalg_kron|kron_design|serve|durability|store)')
+ ctest --output-on-failure -R '^(threading|util|linalg_kron|kron_design|serve|durability|store|metrics)')
 
 echo "==== ci.sh: all green ===="

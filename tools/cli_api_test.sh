@@ -122,4 +122,73 @@ echo "== strategy file round-trip through release --strategy =="
   --out "${WORK}/answers.csv" >/dev/null || fail "release --strategy failed"
 [ -s "${WORK}/answers.csv" ] || fail "no answers written"
 
+echo "== stats --json round-trips a JSON parser =="
+"${CLI}" stats --json 1 > "${WORK}/stats.json" || fail "stats --json failed"
+python3 - "${WORK}/stats.json" <<'PYEOF' || fail "stats --json is not valid JSON with the standard inventory"
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert set(d) == {"counters", "gauges", "histograms"}, sorted(d)
+assert "dpmm.serve.wal.appends" in d["counters"]
+assert "dpmm.util.thread_pool.queue_depth" in d["gauges"]
+h = d["histograms"]["dpmm.serve.answer_engine.query_ns"]
+assert set(h) == {"count", "sum", "p50", "p95", "p99", "max"}, sorted(h)
+PYEOF
+"${CLI}" stats > "${WORK}/stats.out" || fail "stats table failed"
+grep -q "dpmm.serve.budget_ledger.charges" "${WORK}/stats.out" \
+  || fail "stats table missing the standard inventory"
+
+echo "== DPMM_STATS=1 shows nonzero counters across the pipeline =="
+# Each stage must prove its own subsystems counted in-process: design the
+# solver, release the ledger/WAL/lock/store, serve the engine and parser.
+DPMM_STATS=1 "${CLI}" design --domain 2,4 --workload fig1 \
+  --out "${WORK}/stats.strategy" >/dev/null 2> "${WORK}/design_stats.err" \
+  || fail "design under DPMM_STATS failed"
+grep -q "dpmm.optimize.dual_solver.solves " "${WORK}/design_stats.err" \
+  || fail "design did not count dual-solver solves"
+DPMM_STATS=1 "${CLI}" release --data "${DATA}" --workload fig1 \
+  --store "${STORE}" --dataset obs --epsilon 0.05 --delta 1e-5 \
+  --total-epsilon 0.5 --total-delta 1e-4 \
+  >/dev/null 2> "${WORK}/release_stats.err" \
+  || fail "release under DPMM_STATS failed"
+for metric in dpmm.serve.budget_ledger.charges dpmm.serve.wal.appends \
+    dpmm.serve.file_lock.acquires dpmm.serve.store.artifact_writes \
+    dpmm.mechanism.matrix_mechanism.releases; do
+  grep -q "${metric} " "${WORK}/release_stats.err" \
+    || fail "release did not count ${metric}"
+done
+printf '*\n\\stats\nA1 = 0; A1 = 1\nquit\n' | \
+  DPMM_STATS=1 "${CLI}" serve --store "${STORE}" --domain 2,4 \
+  --workload fig1 --stats-every 1 \
+  > "${WORK}/serve_stats.out" 2> "${WORK}/serve_stats.err" \
+  || fail "serve under DPMM_STATS failed"
+for metric in dpmm.serve.answer_engine.queries dpmm.query.predicate.parses \
+    dpmm.serve.store.artifact_reads; do
+  grep -q "${metric} " "${WORK}/serve_stats.err" \
+    || fail "serve did not count ${metric}"
+done
+# The \stats meta-command plus the exit dump -> at least two dumps, and
+# --stats-every 1 -> at least one periodic summary line.
+[ "$(grep -c -- "-- metrics --" "${WORK}/serve_stats.err")" -ge 2 ] \
+  || fail "\\stats meta-command did not dump metrics"
+grep -q "^stats: served=" "${WORK}/serve_stats.err" \
+  || fail "--stats-every did not emit the periodic stats line"
+[ "$(grep -c '±' "${WORK}/serve_stats.out")" -eq 3 ] \
+  || fail "stats surfaces must not disturb the answer stream"
+
+echo "== DPMM_TRACE writes a loadable Chrome trace =="
+printf '*\nquit\n' | DPMM_TRACE="${WORK}/trace.json" "${CLI}" serve \
+  --store "${STORE}" --domain 2,4 --workload fig1 >/dev/null 2>&1 \
+  || fail "serve under DPMM_TRACE failed"
+python3 - "${WORK}/trace.json" <<'PYEOF' || fail "DPMM_TRACE output is not a valid trace_event file"
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+events = d["traceEvents"]
+assert events, "no trace events recorded"
+for e in events:
+    assert e["ph"] == "X" and e["dur"] >= 0, e
+assert any(e["name"] == "AnswerPredicate" for e in events)
+PYEOF
+
 echo "cli_api_test: all green"

@@ -24,6 +24,15 @@
 //            query; ';'-separated predicates answer as one batch), answer
 //            "value ± stddev" out. No design, no data access, no budget
 //            spent — everything is post-processing of the stored estimate.
+//   stats    [--json 1]
+//            Print the process metric inventory (every standard counter,
+//            gauge and histogram, zero in a fresh process) as aligned
+//            tables, or as one machine-readable JSON object with --json 1.
+//            Live numbers come from the process that did the work:
+//            DPMM_STATS=1 makes any command dump its recorded metrics to
+//            stderr at exit, the serve loop answers a \stats meta-command
+//            and takes --stats-every N for a periodic summary line, and
+//            DPMM_TRACE=out.json writes a Chrome trace_event file.
 //   store    <stat|compact> --store DIR [--shards N]
 //            Storage-engine maintenance. stat prints the layout (flat vs
 //            sharded, migrating) and per-shard occupancy; compact rewrites
@@ -144,8 +153,10 @@ const std::map<std::string, std::set<std::string>>& KnownOptions() {
       {"synth",
        {"data", "workload", "epsilon", "delta", "seed", "strategy", "out",
         "engine", "dense", "solver", "gap-tol"}},
-      {"serve", {"store", "domain", "workload", "release", "shards"}},
+      {"serve",
+       {"store", "domain", "workload", "release", "shards", "stats-every"}},
       {"store", {"store", "shards", "lock-timeout-ms"}},
+      {"stats", {"json"}},
   };
   return *kKnown;
 }
@@ -883,12 +894,44 @@ int CmdReleaseOrSynth(const Args& args, bool synth) {
   return 0;
 }
 
+/// Compact metrics dump on stderr — serve's stdout carries only answer
+/// lines, so the `\stats` meta-command and the DPMM_STATS end-of-command
+/// snapshot must not interleave with it. Zero-valued instruments are
+/// suppressed (the full inventory lives in `dpmm_cli stats`).
+void DumpStatsToStderr() {
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  std::fprintf(stderr, "-- metrics --\n");
+  for (const auto& c : snap.counters) {
+    if (c.second == 0) continue;
+    std::fprintf(stderr, "%-48s %llu\n", c.first.c_str(),
+                 static_cast<unsigned long long>(c.second));
+  }
+  for (const auto& g : snap.gauges) {
+    if (g.second == 0) continue;
+    std::fprintf(stderr, "%-48s %lld\n", g.first.c_str(),
+                 static_cast<long long>(g.second));
+  }
+  for (const auto& h : snap.histograms) {
+    if (h.count == 0) continue;
+    std::fprintf(stderr,
+                 "%-48s count=%llu p50=%llu p95=%llu p99=%llu max=%llu\n",
+                 h.name.c_str(), static_cast<unsigned long long>(h.count),
+                 static_cast<unsigned long long>(h.p50),
+                 static_cast<unsigned long long>(h.p95),
+                 static_cast<unsigned long long>(h.p99),
+                 static_cast<unsigned long long>(h.max));
+  }
+  std::fprintf(stderr, "perf: %s\n", GetPerfContext()->ToString().c_str());
+}
+
 int CmdServe(const Args& args) {
   const std::string store_root = Opt(args, "store");
   if (store_root.empty()) {
     std::fprintf(stderr, "serve requires --store <store dir>\n");
     return kExitUsage;
   }
+  unsigned long long stats_every = 0;
+  if (!U64Opt(args, "stats-every", 0, &stats_every)) return kExitUsage;
   auto domain = ParseDomain(Opt(args, "domain"));
   if (!domain.ok()) {
     std::fprintf(stderr, "%s\n", domain.status().ToString().c_str());
@@ -984,10 +1027,17 @@ int CmdServe(const Args& args) {
 
   std::string line;
   std::size_t served = 0;
+  std::size_t next_stats_at = stats_every;
   while (std::getline(std::cin, line)) {
     const std::string text = util::TrimAscii(line);
     if (text.empty() || text[0] == '#') continue;
     if (text == "quit" || text == "exit") break;
+    // Meta-command: dump the process-wide metrics registry and this
+    // thread's perf context to stderr without consuming a query.
+    if (text == "\\stats") {
+      DumpStatsToStderr();
+      continue;
+    }
 
     // ';'-separated predicates answer as one batch through the block
     // normal solve; a single predicate takes the scalar path. Either way
@@ -1030,6 +1080,34 @@ int CmdServe(const Args& args) {
         std::printf("%.6f ± %.6f\n", a.value, a.stddev);
       }
       served += answers.size();
+    }
+    // Optional periodic stats line: every --stats-every served queries,
+    // one summary line to stderr (cache behaviour + latency percentiles).
+    if (stats_every > 0 && served >= next_stats_at) {
+      next_stats_at = served + stats_every;
+      const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+      std::uint64_t hits = 0, misses = 0, p50 = 0, p95 = 0;
+      for (const auto& c : snap.counters) {
+        if (c.first == "dpmm.serve.answer_engine.root_cache_hit") {
+          hits = c.second;
+        } else if (c.first == "dpmm.serve.answer_engine.root_cache_miss") {
+          misses = c.second;
+        }
+      }
+      for (const auto& h : snap.histograms) {
+        if (h.name == "dpmm.serve.answer_engine.query_ns") {
+          p50 = h.p50;
+          p95 = h.p95;
+        }
+      }
+      std::fprintf(stderr,
+                   "stats: served=%zu root_cache_hit=%llu "
+                   "root_cache_miss=%llu query_ns_p50=%llu "
+                   "query_ns_p95=%llu\n",
+                   served, static_cast<unsigned long long>(hits),
+                   static_cast<unsigned long long>(misses),
+                   static_cast<unsigned long long>(p50),
+                   static_cast<unsigned long long>(p95));
     }
     std::fflush(stdout);
   }
@@ -1184,10 +1262,49 @@ int CmdStore(const Args& args) {
   return kExitUsage;
 }
 
+int CmdStats(const Args& args) {
+  bool json = false;
+  const std::string json_opt = Opt(args, "json");
+  if (!json_opt.empty() && !ParseBool(json_opt, &json)) {
+    std::fprintf(stderr, "option --json expects 0/1/true/false, got '%s'\n",
+                 json_opt.c_str());
+    return kExitUsage;
+  }
+  // A fresh process has recorded nothing yet; pre-registering the standard
+  // inventory makes this print the full instrument list at zero rather
+  // than an empty table, which doubles as the reference for what exists.
+  MetricsRegistry::Global().RegisterStandardInventory();
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  if (json) {
+    std::printf("%s\n", snap.ToJson().c_str());
+    return 0;
+  }
+  TablePrinter counters({"counter", "value"});
+  for (const auto& c : snap.counters) {
+    counters.AddRow({c.first, std::to_string(c.second)});
+  }
+  counters.Print();
+  std::printf("\n");
+  TablePrinter gauges({"gauge", "value"});
+  for (const auto& g : snap.gauges) {
+    gauges.AddRow({g.first, std::to_string(g.second)});
+  }
+  gauges.Print();
+  std::printf("\n");
+  TablePrinter hists({"histogram", "count", "p50", "p95", "p99", "max"});
+  for (const auto& h : snap.histograms) {
+    hists.AddRow({h.name, std::to_string(h.count), std::to_string(h.p50),
+                  std::to_string(h.p95), std::to_string(h.p99),
+                  std::to_string(h.max)});
+  }
+  hists.Print();
+  return 0;
+}
+
 void Usage() {
   std::fprintf(stderr,
                "usage: dpmm_cli <error|design|release|synth|serve|ledger|"
-               "store> [--domain 8,16,16]\n"
+               "store|stats> [--domain 8,16,16]\n"
                "                [--workload allrange|cdf|marginals:K|"
                "rangemarginals:K|fig1]\n"
                "                [--data hist.csv] [--epsilon E] [--delta D]\n"
@@ -1243,6 +1360,18 @@ void Usage() {
                "                when the WAL holds full history, checkpoint;\n"
                "                hold [--hold-ms T]: hold the dataset's\n"
                "                exclusive lock (for contention tests)\n"
+               "observability:\n"
+               "                stats [--json 1]: print the metric\n"
+               "                inventory (counters/gauges/histograms) as\n"
+               "                tables, or one JSON object with --json 1\n"
+               "                [--stats-every N]  serve: after every N\n"
+               "                served queries print a one-line cache/\n"
+               "                latency summary to stderr; the serve loop\n"
+               "                also answers a \\stats meta-command with a\n"
+               "                full dump. DPMM_STATS=1 dumps the metrics\n"
+               "                any command recorded to stderr at exit;\n"
+               "                DPMM_TRACE=out.json writes a Chrome\n"
+               "                trace_event file of the recorded spans\n"
                "store <stat|compact> --store DIR [--shards N]:\n"
                "                stat: print the layout (flat/sharded/\n"
                "                migrating) and per-shard live/superseded/\n"
@@ -1259,9 +1388,7 @@ void Usage() {
                "manifest state exits 5.\n");
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int Dispatch(int argc, char** argv) {
   Args args;
   if (argc >= 2) args.command = argv[1];
   if (KnownOptions().count(args.command) == 0) {
@@ -1290,6 +1417,21 @@ int main(int argc, char** argv) {
   if (args.command == "error") return CmdError(args);
   if (args.command == "design") return CmdDesign(args);
   if (args.command == "serve") return CmdServe(args);
+  if (args.command == "stats") return CmdStats(args);
   if (args.command == "release") return CmdReleaseOrSynth(args, false);
   return CmdReleaseOrSynth(args, true);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = Dispatch(argc, argv);
+  // DPMM_STATS=1: dump whatever this command recorded to stderr on the way
+  // out, so scripts can assert instrumented subsystems really counted
+  // (tools/cli_api_test.sh drives this across design/release/serve).
+  const char* stats_env = std::getenv("DPMM_STATS");
+  if (stats_env != nullptr && std::strcmp(stats_env, "1") == 0) {
+    DumpStatsToStderr();
+  }
+  return rc;
 }

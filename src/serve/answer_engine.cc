@@ -111,7 +111,7 @@ double AnswerEngine::RootFor(const std::string& key,
   PerfContext* perf = GetPerfContext();
   ++perf->root_cache_probes;
   {
-    std::lock_guard<std::mutex> lock(cache_->mu);
+    MutexLock lock(&cache_->mu);
     if (const double* hit = cache_->roots.Get(key)) {
       ++cache_->hits;
       m.cache_hit->Add(1);
@@ -130,7 +130,7 @@ double AnswerEngine::RootFor(const std::string& key,
     const linalg::Vector z = strategy_->strategy->SolveNormal(row);
     root = std::sqrt(std::max(0.0, linalg::Dot(row, z)));
   }
-  std::lock_guard<std::mutex> lock(cache_->mu);
+  MutexLock lock(&cache_->mu);
   const std::uint64_t evictions_before = cache_->roots.evictions();
   cache_->roots.Put(key, root);
   m.cache_evict->Add(cache_->roots.evictions() - evictions_before);
@@ -190,7 +190,7 @@ std::vector<AnswerEngine::Answer> AnswerEngine::AnswerBatch(
     std::unordered_map<std::string, std::size_t> miss_slot;
     perf->root_cache_probes += chunk_len;
     {
-      std::lock_guard<std::mutex> lock(cache_->mu);
+      MutexLock lock(&cache_->mu);
       for (std::size_t i = 0; i < chunk_len; ++i) {
         if (const double* hit = cache_->roots.Get(keys[i])) {
           roots[i] = *hit;
@@ -218,7 +218,7 @@ std::vector<AnswerEngine::Answer> AnswerEngine::AnswerBatch(
         miss_roots[s] =
             std::sqrt(std::max(0.0, linalg::Dot(block[s], solves[s])));
       }
-      std::lock_guard<std::mutex> lock(cache_->mu);
+      MutexLock lock(&cache_->mu);
       const std::uint64_t evictions_before = cache_->roots.evictions();
       for (const auto& [key, slot] : miss_slot) {
         cache_->roots.Put(key, miss_roots[slot]);
@@ -237,17 +237,17 @@ std::vector<AnswerEngine::Answer> AnswerEngine::AnswerBatch(
 }
 
 std::size_t AnswerEngine::root_cache_size() const {
-  std::lock_guard<std::mutex> lock(cache_->mu);
+  MutexLock lock(&cache_->mu);
   return cache_->roots.size();
 }
 
 std::uint64_t AnswerEngine::root_cache_hits() const {
-  std::lock_guard<std::mutex> lock(cache_->mu);
+  MutexLock lock(&cache_->mu);
   return cache_->hits;
 }
 
 std::uint64_t AnswerEngine::root_cache_evictions() const {
-  std::lock_guard<std::mutex> lock(cache_->mu);
+  MutexLock lock(&cache_->mu);
   return cache_->roots.evictions();
 }
 

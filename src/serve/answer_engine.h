@@ -29,13 +29,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "query/predicate.h"
 #include "serialize/artifact.h"
 #include "util/lru_cache.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace dpmm {
@@ -118,9 +118,9 @@ class AnswerEngine {
   // thread-safe by design — see util/lru_cache.h).
   struct RootCache {
     explicit RootCache(std::size_t capacity) : roots(capacity) {}
-    std::mutex mu;
-    util::LruCache<std::string, double> roots;
-    std::uint64_t hits = 0;
+    Mutex mu{LockRank::kAnswerEngineRootCache};
+    util::LruCache<std::string, double> roots DPMM_GUARDED_BY(mu);
+    std::uint64_t hits DPMM_GUARDED_BY(mu) = 0;
   };
   std::unique_ptr<RootCache> cache_;
 };

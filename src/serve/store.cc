@@ -216,7 +216,7 @@ Status StrategyStore::Put(const serialize::StrategyArtifact& artifact) {
   if (artifact.strategy == nullptr) {
     return Status::InvalidArgument("strategy artifact has no strategy");
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Status st = EnsureLayoutLocked();
   if (!st.ok()) return st;
   if (layout_->sharded()) {
@@ -226,7 +226,7 @@ Status StrategyStore::Put(const serialize::StrategyArtifact& artifact) {
     if (!st.ok()) return st;
   }
   const StoreLayout layout = *layout_;
-  lock.unlock();
+  lock.Unlock();
 
   const std::string key = StoreKey(artifact.signature);
   const std::string bytes = serialize::EncodeStrategyArtifact(artifact);
@@ -255,7 +255,7 @@ Status StrategyStore::Put(const serialize::StrategyArtifact& artifact) {
     }
   }
   ArtifactWrites()->Add(1);
-  lock.lock();
+  lock.Lock();
   cache_.Put(artifact.signature,
              std::make_shared<serialize::StrategyArtifact>(artifact));
   return Status::OK();
@@ -263,12 +263,12 @@ Status StrategyStore::Put(const serialize::StrategyArtifact& artifact) {
 
 Result<std::shared_ptr<const serialize::StrategyArtifact>> StrategyStore::Get(
     const std::string& signature) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Status st = EnsureLayoutLocked();
   if (!st.ok()) return st;
   const StoreLayout layout = *layout_;
   if (auto* hit = cache_.Get(signature)) return *hit;
-  lock.unlock();
+  lock.Unlock();
 
   const std::string key = StoreKey(signature);
   std::string path = layout.StrategyPath(key);
@@ -300,28 +300,28 @@ Result<std::shared_ptr<const serialize::StrategyArtifact>> StrategyStore::Get(
                            "' (renamed file or key collision)");
   }
   ArtifactReads()->Add(1);
-  lock.lock();
+  lock.Lock();
   cache_.Put(signature, artifact);
   return artifact;
 }
 
 bool StrategyStore::Contains(const std::string& signature) const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!EnsureLayoutLocked().ok()) return false;
   const StoreLayout layout = *layout_;
-  lock.unlock();
+  lock.Unlock();
   const std::string key = StoreKey(signature);
   if (ExistsVia(fs_, layout.StrategyPath(key))) return true;
   return layout.migrating() && ExistsVia(fs_, layout.FlatStrategyPath(key));
 }
 
 std::size_t StrategyStore::cache_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return cache_.size();
 }
 
 std::uint64_t StrategyStore::cache_evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return cache_.evictions();
 }
 
@@ -346,10 +346,10 @@ Status ReleaseStore::EnsureLayoutLocked() const {
 }
 
 std::vector<std::size_t> ReleaseStore::List(const std::string& signature) const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!EnsureLayoutLocked().ok()) return {};
   const StoreLayout layout = *layout_;
-  lock.unlock();
+  lock.Unlock();
   const std::string key = StoreKey(signature);
   std::vector<std::size_t> ids = ReleaseIdsIn(fs_, layout.ReleaseDir(key));
   if (layout.migrating()) {
@@ -375,7 +375,7 @@ Result<std::size_t> ReleaseStore::Put(
   if (artifact.signature.empty()) {
     return Status::InvalidArgument("release artifact has no signature");
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Status st = EnsureLayoutLocked();
   if (!st.ok()) return st;
   if (layout_->sharded()) {
@@ -383,7 +383,7 @@ Result<std::size_t> ReleaseStore::Put(
     if (!st.ok()) return st;
   }
   const StoreLayout layout = *layout_;
-  lock.unlock();
+  lock.Unlock();
 
   const std::string key = StoreKey(artifact.signature);
   if (!layout.sharded()) {
@@ -420,7 +420,7 @@ Result<std::size_t> ReleaseStore::Put(
                        "the release is already durably linked under its id; "
                        "a leftover claim file is cosmetic");
     ArtifactWrites()->Add(1);
-    lock.lock();
+    lock.Lock();
     cache_.Put(path, std::make_shared<serialize::ReleaseArtifact>(artifact));
     return id;
   }
@@ -472,21 +472,21 @@ Result<std::size_t> ReleaseStore::Put(
       fs_);
   if (!st.ok()) return st;
   ArtifactWrites()->Add(1);
-  lock.lock();
+  lock.Lock();
   cache_.Put(path, std::make_shared<serialize::ReleaseArtifact>(stamped));
   return id;
 }
 
 Result<std::shared_ptr<const serialize::ReleaseArtifact>> ReleaseStore::Get(
     const std::string& signature, std::size_t id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Status st = EnsureLayoutLocked();
   if (!st.ok()) return st;
   const StoreLayout layout = *layout_;
   const std::string key = StoreKey(signature);
   const std::string primary = layout.ReleaseDir(key) + "/" + IdName(id);
   if (auto* hit = cache_.Get(primary)) return *hit;
-  lock.unlock();
+  lock.Unlock();
 
   std::string path = primary;
   auto bytes = fs_->ReadFile(path);
@@ -516,7 +516,7 @@ Result<std::shared_ptr<const serialize::ReleaseArtifact>> ReleaseStore::Get(
                            artifact->signature + "', not '" + signature + "'");
   }
   ArtifactReads()->Add(1);
-  lock.lock();
+  lock.Lock();
   // Cache under the primary path even when served from the flat fallback —
   // the key a future lookup probes first.
   cache_.Put(primary, artifact);
@@ -524,11 +524,11 @@ Result<std::shared_ptr<const serialize::ReleaseArtifact>> ReleaseStore::Get(
 }
 
 Status ReleaseStore::Tombstone(const std::string& signature, std::size_t id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Status st = EnsureLayoutLocked();
   if (!st.ok()) return st;
   const StoreLayout layout = *layout_;
-  lock.unlock();
+  lock.Unlock();
   if (!layout.sharded()) {
     return Status::InvalidArgument(
         "tombstones need a sharded store (a flat v1 store has no manifest "
@@ -557,12 +557,12 @@ Status ReleaseStore::Tombstone(const std::string& signature, std::size_t id) {
 }
 
 std::size_t ReleaseStore::cache_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return cache_.size();
 }
 
 std::uint64_t ReleaseStore::cache_evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return cache_.evictions();
 }
 

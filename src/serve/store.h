@@ -40,7 +40,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -49,6 +48,7 @@
 #include "serve/file_lock.h"
 #include "serve/fs_ops.h"
 #include "serve/store_layout.h"
+#include "util/mutex.h"
 #include "util/lru_cache.h"
 #include "util/status.h"
 
@@ -127,18 +127,26 @@ class StrategyStore {
   std::uint64_t cache_evictions() const;
 
  private:
-  Status EnsureLayoutLocked() const;
+  Status EnsureLayoutLocked() const DPMM_REQUIRES(mu_);
 
   std::string root_;
   FsOps* fs_;
   std::size_t requested_shards_;
   FileLockOptions lock_options_;
-  mutable std::mutex mu_;
-  mutable std::optional<StoreLayout> layout_;
-  mutable Status layout_status_;
+  // Lock-discipline audit (lazy-init site 3/3): unlike the call_once
+  // variants (strategy Gram-pinv, Kron eigenbasis), the load-once caches
+  // here are *mutable* after first load (LRU insert/evict on every miss),
+  // so once-semantics cannot express them — they stay on a real Mutex with
+  // full annotations instead of a suppression.
+  // Guards the lazily resolved layout and the load-once artifact cache;
+  // never held across file IO (callers snapshot the layout, drop the lock
+  // for the read/write, and re-take it to publish into the cache).
+  mutable Mutex mu_{LockRank::kStrategyStoreCache};
+  mutable std::optional<StoreLayout> layout_ DPMM_GUARDED_BY(mu_);
+  mutable Status layout_status_ DPMM_GUARDED_BY(mu_);
   mutable util::LruCache<std::string,
                          std::shared_ptr<const serialize::StrategyArtifact>>
-      cache_;
+      cache_ DPMM_GUARDED_BY(mu_);
 };
 
 /// Registry of stored releases, grouped by strategy signature.
@@ -178,19 +186,21 @@ class ReleaseStore {
   std::uint64_t cache_evictions() const;
 
  private:
-  Status EnsureLayoutLocked() const;
+  Status EnsureLayoutLocked() const DPMM_REQUIRES(mu_);
   std::vector<std::size_t> ListDirIds(const std::string& dir) const;
 
   std::string root_;
   FsOps* fs_;
   std::size_t requested_shards_;
   FileLockOptions lock_options_;
-  mutable std::mutex mu_;
-  mutable std::optional<StoreLayout> layout_;
-  mutable Status layout_status_;
+  // Same discipline as StrategyStore::mu_, at its own rank (the two stores
+  // are independent locks; a distinct rank keeps the registry unambiguous).
+  mutable Mutex mu_{LockRank::kReleaseStoreCache};
+  mutable std::optional<StoreLayout> layout_ DPMM_GUARDED_BY(mu_);
+  mutable Status layout_status_ DPMM_GUARDED_BY(mu_);
   mutable util::LruCache<std::string,
                          std::shared_ptr<const serialize::ReleaseArtifact>>
-      cache_;  // keyed by file path
+      cache_ DPMM_GUARDED_BY(mu_);  // keyed by file path
 };
 
 /// Per-shard occupancy as `dpmm_cli store stat` reports it.

@@ -33,6 +33,8 @@ linalg::Vector Strategy::ApplyT(const linalg::Vector& y) const {
 }
 
 const linalg::Matrix& Strategy::GramPinv() const {
+  // Benign without analysis: gram_pinv is written only by the call_once
+  // winner and read only after call_once returns (see strategy.h).
   std::call_once(cache_->once, [this] {
     cache_->gram_pinv = linalg::PseudoInverse(Gram());
   });

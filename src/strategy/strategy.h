@@ -11,6 +11,7 @@
 
 #include "linalg/matrix.h"
 #include "strategy/linear_strategy.h"
+#include "util/mutex.h"
 
 namespace dpmm {
 
@@ -58,7 +59,12 @@ class Strategy : public LinearStrategy {
   struct NormalCache;
   static std::shared_ptr<NormalCache> MakeNormalCache();
 
-  const linalg::Matrix& GramPinv() const;
+  // Lock-discipline audit (call_once site 1/3): the pseudo-inverse is
+  // written exactly once inside std::call_once and only read after the
+  // call_once returns, which synchronizes-with the winning initializer —
+  // a Mutex would serialize nothing the once_flag doesn't already. The
+  // analyzer cannot model once_flag, hence the suppression.
+  const linalg::Matrix& GramPinv() const DPMM_NO_THREAD_SAFETY_ANALYSIS;
 
   linalg::Matrix a_;
   std::string name_;

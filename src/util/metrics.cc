@@ -158,7 +158,7 @@ bool MetricsRegistry::ValidName(const std::string& name) {
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   DPMM_DCHECK_MSG(ValidName(name), "bad metric name");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
@@ -166,7 +166,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   DPMM_DCHECK_MSG(ValidName(name), "bad metric name");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -174,7 +174,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   DPMM_DCHECK_MSG(ValidName(name), "bad metric name");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
@@ -182,7 +182,10 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  // Shared lock: snapshotting only reads the maps (instrument values are
+  // atomics), so concurrent snapshots admit each other; registration takes
+  // the exclusive side.
+  ReaderMutexLock lock(&mu_);
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
     snap.counters.emplace_back(name, c->Value());

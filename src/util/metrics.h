@@ -42,10 +42,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/stopwatch.h"
 
 namespace dpmm {
@@ -179,10 +179,12 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_{LockRank::kMetricsRegistry};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      DPMM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ DPMM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      DPMM_GUARDED_BY(mu_);
 };
 
 /// Per-operation breakdown, accumulated on the recording thread. An

@@ -1,0 +1,77 @@
+#include "util/mutex.h"
+
+#include <sstream>
+
+namespace dpmm {
+namespace internal {
+namespace {
+
+// Ranks currently held by this thread, in acquisition order. Deliberately a
+// trivially destructible POD array rather than a std::vector: exit-time
+// handlers still take locks (e.g. the DPMM_TRACE atexit flush locks the
+// trace recorder), and __call_tls_dtors would have destroyed a vector
+// before atexit handlers run — a use-after-free the ASan lane caught. A
+// POD thread_local is never registered for TLS destruction, so the stack
+// stays valid for the whole thread lifetime.
+constexpr int kMaxHeldLocks = 64;
+thread_local int g_held_ranks[kMaxHeldLocks];
+thread_local int g_held_count = 0;
+
+}  // namespace
+
+void NoteLockAcquired(int rank) {
+  int top = 0;
+  bool any = false;
+  for (int i = 0; i < g_held_count; ++i) {
+    if (!any || g_held_ranks[i] > top) top = g_held_ranks[i];
+    any = true;
+  }
+  if (any && rank <= top) {
+    std::ostringstream msg;
+    msg << "lock rank inversion: thread already holds rank " << top
+        << " but is acquiring rank " << rank
+        << " (ranks must be strictly increasing; see the hierarchy in "
+           "util/mutex.h). Held ranks:";
+    for (int i = 0; i < g_held_count; ++i) msg << ' ' << g_held_ranks[i];
+    DPMM_CHECK_MSG(rank > top, msg.str());
+  }
+  DPMM_CHECK_MSG(g_held_count < kMaxHeldLocks,
+                 "thread holds more than 64 locks at once");
+  g_held_ranks[g_held_count++] = rank;
+}
+
+void NoteLockReleased(int rank) {
+  // Release the most recent holding of `rank`; out-of-order unlocks of
+  // distinct ranks are legal (e.g. a staircase that drops the outer lock
+  // first), so this is a multiset erase, not a stack pop.
+  for (int i = g_held_count - 1; i >= 0; --i) {
+    if (g_held_ranks[i] != rank) continue;
+    for (int j = i + 1; j < g_held_count; ++j) {
+      g_held_ranks[j - 1] = g_held_ranks[j];
+    }
+    --g_held_count;
+    return;
+  }
+  DPMM_CHECK_MSG(false, "releasing lock rank " + std::to_string(rank) +
+                            " that this thread does not hold");
+}
+
+}  // namespace internal
+
+void CondVar::Wait(Mutex& mu) {
+  // std::condition_variable_any drives the lock through a BasicLockable.
+  // The adapter forwards to Mutex::Lock/Unlock so the debug rank checker
+  // stays accurate across the wait (the rank is popped while parked and
+  // re-checked on wakeup). The analyzer cannot see that wait() returns
+  // with the lock re-acquired, hence the suppression: the capability state
+  // on exit (held) matches the DPMM_REQUIRES contract on entry.
+  struct LockAdapter {
+    Mutex* mu;
+    void lock() DPMM_NO_THREAD_SAFETY_ANALYSIS { mu->Lock(); }
+    void unlock() DPMM_NO_THREAD_SAFETY_ANALYSIS { mu->Unlock(); }
+  };
+  LockAdapter adapter{&mu};
+  cv_.wait(adapter);
+}
+
+}  // namespace dpmm

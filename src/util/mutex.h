@@ -1,0 +1,266 @@
+// Capability-annotated mutex layer: the one sanctioned way to lock in this
+// tree. dpmm::Mutex wraps std::shared_mutex behind Clang thread-safety
+// capability annotations (RocksDB/Abseil style), so on clang the compiler
+// rejects unguarded access to a DPMM_GUARDED_BY member at build time
+// (-Wthread-safety -Werror, tools/ci.sh "tsafety" lane); on GCC the macros
+// compile to nothing and the wrapper is a plain reader/writer mutex. The
+// invariant linter (tools/check_invariants.py) enforces the discipline even
+// without clang: rule raw-mutex forbids bare std::mutex/std::lock_guard
+// outside this header, rule guarded-by requires every Mutex-holding class
+// to annotate its guarded members, and rule lock-order checks the rank
+// registry below.
+//
+// Lock-rank hierarchy. Every Mutex is constructed with a LockRank; a thread
+// must acquire strictly increasing ranks (verified per-thread by DPMM_CHECK
+// at acquisition in builds without NDEBUG — Debug and the asan lane — so a
+// lock-inversion deadlock becomes a CI abort with both ranks in the
+// message, never a production hang). The documented order, low = acquired
+// first / outermost:
+//
+//   rank | name                     | protects
+//   -----+--------------------------+------------------------------------
+//     10 | kThreadPoolRegion        | util/thread_pool: one external
+//        |                          | ParallelFor at a time; held across a
+//        |                          | whole region while worker callbacks
+//        |                          | run (which may take any higher rank)
+//     20 | kThreadPool              | util/thread_pool: region state +
+//        |                          | condition-variable wait loops
+//     30 | kStrategyStoreCache      | serve/store StrategyStore: layout +
+//        |                          | load-once LRU cache
+//     35 | kReleaseStoreCache       | serve/store ReleaseStore: layout +
+//        |                          | load-once LRU cache
+//     40 | kAnswerEngineRootCache   | serve/answer_engine: root LRU + hit
+//        |                          | counter
+//     50 | kMetricsRegistry         | util/metrics: instrument maps
+//        |                          | (registration/snapshot only — the
+//        |                          | record path is lock-free)
+//     60 | kTraceRecorder           | util/trace: span event buffer
+//     90 | kLeaf                    | strictly-innermost locks (tests,
+//        |                          | ad-hoc leaves): nothing may be
+//        |                          | acquired while holding one
+//
+// Adding a mutex means adding (or reusing) a rank here, annotating the
+// guarded members, and keeping the header named in a TSan-covered test —
+// see README "Static analysis & sanitizers".
+#ifndef DPMM_UTIL_MUTEX_H_
+#define DPMM_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <shared_mutex>
+
+#include "util/logging.h"
+
+// Clang thread-safety attributes; no-ops on other compilers. Names follow
+// the clang documentation ("Thread Safety Analysis"); DPMM_ wrappers keep
+// call sites greppable and give GCC builds an empty expansion.
+#if defined(__clang__)
+#define DPMM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DPMM_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a class to be a lockable capability.
+#define DPMM_CAPABILITY(x) DPMM_THREAD_ANNOTATION(capability(x))
+/// Declares an RAII class that acquires in its constructor and releases in
+/// its destructor.
+#define DPMM_SCOPED_CAPABILITY DPMM_THREAD_ANNOTATION(scoped_lockable)
+/// Member may only be touched while holding the named mutex.
+#define DPMM_GUARDED_BY(x) DPMM_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee may only be touched while holding the named mutex.
+#define DPMM_PT_GUARDED_BY(x) DPMM_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function may only be called while holding the named mutex(es).
+#define DPMM_REQUIRES(...) \
+  DPMM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define DPMM_REQUIRES_SHARED(...) \
+  DPMM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+/// Function acquires / releases the named mutex(es).
+#define DPMM_ACQUIRE(...) \
+  DPMM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define DPMM_ACQUIRE_SHARED(...) \
+  DPMM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define DPMM_RELEASE(...) \
+  DPMM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define DPMM_RELEASE_SHARED(...) \
+  DPMM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define DPMM_TRY_ACQUIRE(...) \
+  DPMM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function must NOT be called while holding the named mutex(es).
+#define DPMM_EXCLUDES(...) DPMM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Static lock-order edges, checked under -Wthread-safety-beta: acquiring
+/// against a declared edge is a compile error (see the compile-fail
+/// harness, tests/compile_fail/rank_inversion.cc).
+#define DPMM_ACQUIRED_BEFORE(...) \
+  DPMM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define DPMM_ACQUIRED_AFTER(...) \
+  DPMM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/// Escape hatch. Every use carries a written justification of why the
+/// access is race-free without the analyzer seeing it (call_once payloads,
+/// cv-internal relocking) — an unjustified use is a review defect.
+#define DPMM_NO_THREAD_SAFETY_ANALYSIS \
+  DPMM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dpmm {
+
+/// The static lock-order registry (see the table above). Values are spaced
+/// so a future rank can slot between existing levels without renumbering.
+enum class LockRank : int {
+  kThreadPoolRegion = 10,
+  kThreadPool = 20,
+  kStrategyStoreCache = 30,
+  kReleaseStoreCache = 35,
+  kAnswerEngineRootCache = 40,
+  kMetricsRegistry = 50,
+  kTraceRecorder = 60,
+  kLeaf = 90,
+};
+
+namespace internal {
+
+/// Per-thread rank bookkeeping behind the debug acquisition check. Defined
+/// unconditionally in mutex.cc; call sites compile them in only when
+/// NDEBUG is off (Debug and the asan lane), so Release pays nothing.
+/// NoteLockAcquired aborts (DPMM_CHECK) when `rank` is not strictly
+/// greater than every rank the calling thread already holds — i.e. it
+/// fires *instead of* the deadlock the inversion could cause.
+void NoteLockAcquired(int rank);
+void NoteLockReleased(int rank);
+
+}  // namespace internal
+
+/// Reader/writer mutex with a mandatory lock rank. Exclusive ops are
+/// Lock/Unlock/TryLock; shared ops are ReaderLock/ReaderUnlock. Prefer the
+/// RAII forms (MutexLock / ReaderMutexLock) — bare Lock/Unlock is for the
+/// rare staircase pattern the RAII form cannot express.
+class DPMM_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(LockRank rank) : rank_(static_cast<int>(rank)) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DPMM_ACQUIRE() {
+#ifndef NDEBUG
+    // Checked before blocking, so an inversion aborts with a diagnostic
+    // instead of deadlocking.
+    internal::NoteLockAcquired(rank_);
+#endif
+    m_.lock();
+  }
+
+  void Unlock() DPMM_RELEASE() {
+#ifndef NDEBUG
+    // Bookkeeping first: releasing a rank this thread never acquired is
+    // caught here, before the undefined behavior of unlocking an unowned
+    // native mutex could mask it.
+    internal::NoteLockReleased(rank_);
+#endif
+    m_.unlock();
+  }
+
+  bool TryLock() DPMM_TRY_ACQUIRE(true) {
+    const bool acquired = m_.try_lock();
+#ifndef NDEBUG
+    // A failed try blocks nothing, so the rank check only applies (after
+    // the fact — still catching discipline violations) when it succeeds.
+    if (acquired) internal::NoteLockAcquired(rank_);
+#endif
+    return acquired;
+  }
+
+  void ReaderLock() DPMM_ACQUIRE_SHARED() {
+#ifndef NDEBUG
+    // Shared holders participate in deadlock cycles exactly like exclusive
+    // ones, so they obey the same rank order.
+    internal::NoteLockAcquired(rank_);
+#endif
+    m_.lock_shared();
+  }
+
+  void ReaderUnlock() DPMM_RELEASE_SHARED() {
+#ifndef NDEBUG
+    internal::NoteLockReleased(rank_);
+#endif
+    m_.unlock_shared();
+  }
+
+  int rank() const { return rank_; }
+
+ private:
+  friend class CondVar;
+
+  std::shared_mutex m_;
+  const int rank_;
+};
+
+/// Condition variable paired with Mutex. The wait loop is written by the
+/// caller (`while (!pred) cv.Wait(mu);`) rather than taken as a lambda, so
+/// the thread-safety analysis sees the predicate's guarded reads under the
+/// held capability instead of inside an opaque closure.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified (or spuriously woken),
+  /// and re-acquires `mu` before returning.
+  void Wait(Mutex& mu) DPMM_REQUIRES(mu);
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+/// RAII exclusive lock. Relockable: Unlock()/Lock() mid-scope support the
+/// lock → snapshot → unlock → do I/O → relock → publish staircase the
+/// store uses; the destructor releases only when currently held.
+class DPMM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) DPMM_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_->Lock();
+  }
+
+  ~MutexLock() DPMM_RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+
+  void Unlock() DPMM_RELEASE() {
+    mu_->Unlock();
+    held_ = false;
+  }
+
+  void Lock() DPMM_ACQUIRE() {
+    mu_->Lock();
+    held_ = true;
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+  bool held_;
+};
+
+/// RAII shared (reader) lock: concurrent readers admit each other, writers
+/// exclude everyone.
+class DPMM_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(Mutex* mu) DPMM_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->ReaderLock();
+  }
+
+  ~ReaderMutexLock() DPMM_RELEASE() { mu_->ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+}  // namespace dpmm
+
+#endif  // DPMM_UTIL_MUTEX_H_

@@ -41,10 +41,10 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -90,28 +90,30 @@ std::size_t ThreadPool::RunChunks(
 
 void ThreadPool::WorkerLoop() {
   std::uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   while (true) {
-    work_cv_.wait(lock, [&] { return shutdown_ || region_id_ != seen; });
+    // Explicit wait loop (not a lambda predicate) so the thread-safety
+    // analysis sees the guarded reads under the held capability.
+    while (!shutdown_ && region_id_ == seen) work_cv_.Wait(mu_);
     if (shutdown_) return;
     seen = region_id_;
     const auto* fn = fn_;
     const std::size_t begin = begin_, end = end_, chunk = chunk_;
     const std::size_t num_chunks = num_chunks_;
-    lock.unlock();
+    lock.Unlock();
     // fn is null when the region already completed (the caller claimed
     // every chunk and cleared fn_) before this worker woke for it; there
     // is nothing left to claim, so don't touch the cursor.
     const std::size_t executed =
         fn == nullptr ? 0 : RunChunks(seen, *fn, begin, end, chunk,
                                       num_chunks);
-    lock.lock();
+    lock.Lock();
     // A region only completes once every executed chunk is counted, and the
     // next region is only published after that — so a nonzero count is
     // always credited to the region it ran under. (A worker whose region
     // raced to completion before it claimed anything credits 0, harmlessly.)
     chunks_done_ += executed;
-    if (chunks_done_ >= num_chunks_) done_cv_.notify_all();
+    if (chunks_done_ >= num_chunks_) done_cv_.NotifyAll();
   }
 }
 
@@ -130,8 +132,7 @@ void ThreadPool::ParallelFor(
   // Another external caller already owns the pool: run this loop inline
   // rather than idling blocked until their region drains — contended
   // callers lose parallelism, never their own thread's progress.
-  std::unique_lock<std::mutex> region(region_mu_, std::try_to_lock);
-  if (!region.owns_lock()) {
+  if (!region_mu_.TryLock()) {
     ++parallel_depth;
     fn(begin, end);
     --parallel_depth;
@@ -152,7 +153,7 @@ void ThreadPool::ParallelFor(
   const std::uint64_t region_t0 = MonotonicNanos();
   std::uint64_t region_id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     fn_ = &fn;
     begin_ = begin;
     end_ = end;
@@ -162,16 +163,18 @@ void ThreadPool::ParallelFor(
     region_id = ++region_id_;
     cursor_.store(PackCursor(region_id, 0), std::memory_order_relaxed);
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   const std::size_t executed =
       RunChunks(region_id, fn, begin, end, safe_chunk, num_chunks);
-  std::unique_lock<std::mutex> lock(mu_);
-  chunks_done_ += executed;
-  done_cv_.wait(lock, [&] { return chunks_done_ >= num_chunks_; });
-  fn_ = nullptr;
-  lock.unlock();
+  {
+    MutexLock lock(&mu_);
+    chunks_done_ += executed;
+    while (chunks_done_ < num_chunks_) done_cv_.Wait(mu_);
+    fn_ = nullptr;
+  }
   queue_depth->Set(0);
   region_ns->Record(MonotonicNanos() - region_t0);
+  region_mu_.Unlock();
 }
 
 }  // namespace dpmm

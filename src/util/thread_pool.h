@@ -12,13 +12,13 @@
 #define DPMM_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace dpmm {
 
@@ -72,19 +72,29 @@ class ThreadPool {
   const int num_threads_;
 
   // One external ParallelFor at a time; nested calls never reach this lock.
-  std::mutex region_mu_;
+  // Held across the whole region — i.e. while worker callbacks run and may
+  // take metrics/trace/store locks — so it is the lowest rank in the tree
+  // and is always acquired before mu_.
+  Mutex region_mu_{LockRank::kThreadPoolRegion};
 
   // Region state, guarded by mu_ except for the atomic cursor.
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: a new region was published
-  std::condition_variable done_cv_;  // caller: all chunks finished
-  std::uint64_t region_id_ = 0;      // bumped per published region
-  const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
-  std::size_t begin_ = 0, end_ = 0, chunk_ = 0, num_chunks_ = 0;
-  std::size_t chunks_done_ = 0;
+  Mutex mu_{LockRank::kThreadPool};
+  CondVar work_cv_;  // workers: a new region was published
+  CondVar done_cv_;  // caller: all chunks finished
+  std::uint64_t region_id_ DPMM_GUARDED_BY(mu_) = 0;  // bumped per region
+  const std::function<void(std::size_t, std::size_t)>* fn_
+      DPMM_GUARDED_BY(mu_) = nullptr;
+  std::size_t begin_ DPMM_GUARDED_BY(mu_) = 0;
+  std::size_t end_ DPMM_GUARDED_BY(mu_) = 0;
+  std::size_t chunk_ DPMM_GUARDED_BY(mu_) = 0;
+  std::size_t num_chunks_ DPMM_GUARDED_BY(mu_) = 0;
+  std::size_t chunks_done_ DPMM_GUARDED_BY(mu_) = 0;
   // (region_id mod 2^32) << 32 | next chunk index; see PackCursor in the .cc.
+  // Deliberately not guarded: chunk claiming is a bare atomic CAS race
+  // between workers and the caller, sequenced against region publication by
+  // the store under mu_.
   std::atomic<std::uint64_t> cursor_{0};
-  bool shutdown_ = false;
+  bool shutdown_ DPMM_GUARDED_BY(mu_) = false;
 
   std::vector<std::thread> workers_;
 };

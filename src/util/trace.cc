@@ -43,19 +43,21 @@ void TraceRecorder::AddEvent(const char* name, const char* category,
                              std::uint64_t start_ns,
                              std::uint64_t duration_ns) {
   Event e{name, category, start_ns, duration_ns, ThreadTraceId()};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   events_.push_back(e);
 }
 
 std::size_t TraceRecorder::num_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return events_.size();
 }
 
 std::string TraceRecorder::ToJson() const {
   std::vector<Event> events;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Shared lock: serializing only copies the buffer; recording threads
+    // take the exclusive side.
+    ReaderMutexLock lock(&mu_);
     events = events_;
   }
   std::string out = "{\"traceEvents\": [";

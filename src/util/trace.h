@@ -14,10 +14,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 
@@ -62,8 +62,8 @@ class TraceRecorder {
   };
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::vector<Event> events_;
+  mutable Mutex mu_{LockRank::kTraceRecorder};
+  std::vector<Event> events_ DPMM_GUARDED_BY(mu_);
 };
 
 /// RAII span: records [construction, destruction) into the global recorder

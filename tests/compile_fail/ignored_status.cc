@@ -1,0 +1,23 @@
+// Negative-compile case: dropping a returned Status on the floor must not
+// compile (class [[nodiscard]] Status + -Werror). This pins the claim the
+// Status-discipline PR verified by hand. Built twice by run_case.cmake:
+// without DPMM_EXPECT_FAIL it must compile, with it it must not.
+// compile-fail-expect: nodiscard
+#include "util/status.h"
+
+namespace {
+
+dpmm::Status Charge() { return dpmm::Status::OK(); }
+
+dpmm::Status UseCharge() {
+#ifdef DPMM_EXPECT_FAIL
+  Charge();  // dropped [[nodiscard]] value: must be rejected under -Werror
+  return dpmm::Status::OK();
+#else
+  return Charge();
+#endif
+}
+
+}  // namespace
+
+int main() { return UseCharge().ok() ? 0 : 1; }

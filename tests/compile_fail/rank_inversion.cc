@@ -1,0 +1,48 @@
+// Negative-compile case: acquiring against a declared DPMM_ACQUIRED_AFTER
+// lock-order edge must not compile under -Wthread-safety-beta (the static
+// face of the runtime rank checker in util/mutex.h). Built twice by
+// run_case.cmake: without DPMM_EXPECT_FAIL it must compile, with it it
+// must not. Self-skips on compilers without the analysis.
+// compile-fail-needs-clang
+// compile-fail-flags: -Wthread-safety -Wthread-safety-beta
+// compile-fail-expect: must be acquired before
+#include "util/mutex.h"
+
+namespace {
+
+class OrderedPair {
+ public:
+  OrderedPair()
+      : first_(dpmm::LockRank::kThreadPoolRegion),
+        second_(dpmm::LockRank::kThreadPool) {}
+
+  void LockInOrder() {
+    first_.Lock();
+    second_.Lock();
+    second_.Unlock();
+    first_.Unlock();
+  }
+
+#ifdef DPMM_EXPECT_FAIL
+  // Violates the declared edge: second_ before first_ is the inversion the
+  // runtime checker would abort on — the analysis rejects it statically.
+  void LockInverted() {
+    second_.Lock();
+    first_.Lock();
+    first_.Unlock();
+    second_.Unlock();
+  }
+#endif
+
+ private:
+  dpmm::Mutex first_;
+  dpmm::Mutex second_ DPMM_ACQUIRED_AFTER(first_);
+};
+
+}  // namespace
+
+int main() {
+  OrderedPair pair;
+  pair.LockInOrder();
+  return 0;
+}

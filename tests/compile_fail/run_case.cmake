@@ -1,0 +1,76 @@
+# Drives one negative-compile case (ctest label "compile-fail"). Each
+# snippet is compiled twice with -fsyntax-only: once without DPMM_EXPECT_FAIL
+# (the control — must succeed, proving the snippet is otherwise valid) and
+# once with it (must fail, and for the right reason when the snippet pins a
+# // compile-fail-expect: regex). Snippet metadata comments:
+#   // compile-fail-needs-clang        self-skip unless the compiler is clang
+#   // compile-fail-flags: <flags>     extra compile flags (e.g. -Wthread-safety)
+#   // compile-fail-expect: <regex>    diagnostic the failing build must emit
+#
+# Usage:
+#   cmake -DCXX=<compiler> -DCXX_ID=<compiler id> -DSNIPPET=<file>
+#         -DINCLUDE_DIR=<repo src dir> -P run_case.cmake
+#
+# A skip prints "compile-fail self-skip", which the ctest property
+# SKIP_REGULAR_EXPRESSION turns into a skipped (not passed) test.
+
+foreach(var CXX CXX_ID SNIPPET INCLUDE_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_case.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+file(READ "${SNIPPET}" snippet_text)
+
+if(snippet_text MATCHES "// compile-fail-needs-clang")
+  if(NOT CXX_ID MATCHES "Clang")
+    message("compile-fail self-skip: ${SNIPPET} needs clang's thread-safety "
+            "analysis; the configured compiler is ${CXX_ID}")
+    return()
+  endif()
+endif()
+
+set(extra_flags "")
+if(snippet_text MATCHES "// compile-fail-flags: ([^\n]*)")
+  separate_arguments(extra_flags UNIX_COMMAND "${CMAKE_MATCH_1}")
+endif()
+
+set(base_cmd "${CXX}" -std=c++17 -fsyntax-only -Werror
+    -I "${INCLUDE_DIR}" ${extra_flags})
+
+# Control build: the snippet without the violation must be valid code —
+# otherwise the "expected failure" below would prove nothing.
+execute_process(
+  COMMAND ${base_cmd} "${SNIPPET}"
+  RESULT_VARIABLE control_result
+  OUTPUT_VARIABLE control_output
+  ERROR_VARIABLE control_output)
+if(NOT control_result EQUAL 0)
+  message(FATAL_ERROR
+          "control variant of ${SNIPPET} failed to compile (the snippet "
+          "must be valid without DPMM_EXPECT_FAIL):\n${control_output}")
+endif()
+
+# Violation build: must fail.
+execute_process(
+  COMMAND ${base_cmd} -DDPMM_EXPECT_FAIL "${SNIPPET}"
+  RESULT_VARIABLE violation_result
+  OUTPUT_VARIABLE violation_output
+  ERROR_VARIABLE violation_output)
+if(violation_result EQUAL 0)
+  message(FATAL_ERROR
+          "violation variant of ${SNIPPET} compiled, but the build must "
+          "reject it")
+endif()
+
+if(snippet_text MATCHES "// compile-fail-expect: ([^\n]*)")
+  string(STRIP "${CMAKE_MATCH_1}" expect_re)
+  if(NOT violation_output MATCHES "${expect_re}")
+    message(FATAL_ERROR
+            "violation variant of ${SNIPPET} failed for the wrong reason: "
+            "expected the diagnostic to match '${expect_re}', got:\n"
+            "${violation_output}")
+  endif()
+endif()
+
+message("compile-fail ok: ${SNIPPET} rejected as expected")

@@ -1,0 +1,40 @@
+// Negative-compile case: touching a DPMM_GUARDED_BY member without holding
+// its mutex must not compile under clang's thread-safety analysis. Built
+// twice by run_case.cmake: without DPMM_EXPECT_FAIL it must compile, with
+// it it must not. Self-skips on compilers without the analysis.
+// compile-fail-needs-clang
+// compile-fail-flags: -Wthread-safety -Wthread-safety-beta
+// compile-fail-expect: requires holding mutex
+#include "util/mutex.h"
+
+namespace {
+
+class GuardedCounter {
+ public:
+  void Increment() {
+    dpmm::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+#ifdef DPMM_EXPECT_FAIL
+  // No lock held: -Wthread-safety must reject the write to value_.
+  void IncrementUnguarded() { ++value_; }
+#endif
+
+  int Read() {
+    dpmm::MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  dpmm::Mutex mu_{dpmm::LockRank::kLeaf};
+  int value_ DPMM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  GuardedCounter counter;
+  counter.Increment();
+  return counter.Read() == 1 ? 0 : 1;
+}

@@ -1,0 +1,26 @@
+// Fixture: locking through the raw std:: primitives instead of the
+// dpmm::Mutex wrapper — the raw-mutex rule must flag the bare lock and
+// honor a justified lint:allow on its twin.
+#include <mutex>
+
+#include "serve/lock_registry.h"  // fixture-only: declares RegistryMu()
+
+namespace dpmm {
+namespace serve {
+
+int g_raw_touches = 0;
+
+void TouchUnderRawLock() {
+  std::lock_guard<std::mutex> lock(RegistryMu());  // raw-mutex finding
+  ++g_raw_touches;
+}
+
+void JustifiedTouchUnderRawLock() {
+  // lint:allow(raw-mutex): fixture twin — proves a justified raw lock is
+  // reported but does not fail the run
+  std::unique_lock<std::mutex> lock(RegistryMu());
+  ++g_raw_touches;
+}
+
+}  // namespace serve
+}  // namespace dpmm

@@ -1,15 +1,18 @@
-// Fixture: a mutex member whose file IS named by a TSAN_TESTS source
-// (tests/cover_test.cc includes this header) — no finding.
+// Fixture: a dpmm::Mutex member whose file IS named by a TSAN_TESTS source
+// (tests/cover_test.cc includes this header), annotates its guarded state,
+// and declares a unique named rank — clean under mutex-tsan, guarded-by,
+// and lock-order alike.
 #ifndef FIXTURE_COVERED_MUTEX_H_
 #define FIXTURE_COVERED_MUTEX_H_
 
-#include <mutex>
+#include "util/mutex.h"
 
 namespace dpmm {
 
 class CoveredCache {
  private:
-  std::mutex mu_;
+  Mutex mu_{LockRank::kLeaf};
+  int value_ DPMM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dpmm

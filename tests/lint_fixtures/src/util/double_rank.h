@@ -1,0 +1,23 @@
+// Fixture: dpmm::Mutex members sharing one LockRank — the lock-order rule
+// flags the duplicate (and honors a lint:allow on a third). Named by
+// tests/cover_test.cc so mutex-tsan stays quiet; DPMM_GUARDED_BY present
+// so guarded-by stays quiet.
+#ifndef FIXTURE_DOUBLE_RANK_H_
+#define FIXTURE_DOUBLE_RANK_H_
+
+#include "util/mutex.h"
+
+namespace dpmm {
+
+class DoubleRank {
+ private:
+  Mutex first_mu_{LockRank::kThreadPool};
+  Mutex second_mu_{LockRank::kThreadPool};  // lock-order finding
+  // lint:allow(lock-order): fixture twin — justified duplicate rank
+  Mutex third_mu_{LockRank::kThreadPool};
+  int value_ DPMM_GUARDED_BY(first_mu_) = 0;
+};
+
+}  // namespace dpmm
+
+#endif  // FIXTURE_DOUBLE_RANK_H_

@@ -1,14 +1,17 @@
-// Fixture: a mutex member in a file no TSan-covered test names.
+// Fixture: a dpmm::Mutex member in a file no TSan-covered test names —
+// the mutex-tsan finding. Annotated and uniquely ranked on purpose, so
+// guarded-by and lock-order stay quiet (one rule per twin).
 #ifndef FIXTURE_UNCOVERED_MUTEX_H_
 #define FIXTURE_UNCOVERED_MUTEX_H_
 
-#include <mutex>
+#include "util/mutex.h"
 
 namespace dpmm {
 
 class UncoveredCache {
  private:
-  std::mutex mu_;  // mutex-tsan finding
+  Mutex mu_{LockRank::kStrategyStoreCache};  // mutex-tsan finding
+  int value_ DPMM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dpmm

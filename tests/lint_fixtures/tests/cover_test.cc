@@ -1,6 +1,9 @@
-// Fixture TSan-covered test: names util/covered_mutex.h, so that file's
-// mutex member passes the mutex-tsan rule; uncovered_mutex.h is named
-// nowhere and must be flagged.
+// Fixture TSan-covered test: names util/covered_mutex.h (plus the
+// guarded-by and lock-order twins, so each of those files trips exactly
+// one rule); uncovered_mutex.h is named nowhere and must be flagged by
+// mutex-tsan.
 #include "util/covered_mutex.h"
+#include "util/double_rank.h"
+#include "util/unguarded_member.h"
 
 int main() { return 0; }

@@ -14,10 +14,29 @@ compiler have no way to express:
                   Rng (reproducible from the recorded seed), and the one
                   nondeterministic seed source (EntropySeed) lives in
                   util/rng where it is auditable.
-  mutex-tsan      every file declaring a mutex member must be named (by its
-                  header path) in at least one test source that tools/ci.sh
-                  runs under ThreadSanitizer (TSAN_TESTS) — lock-based code
-                  without TSan coverage is how races ship.
+  mutex-tsan      every file declaring a mutex member (raw std:: or the
+                  dpmm::Mutex wrapper) must be named (by its header path) in
+                  at least one test source that tools/ci.sh runs under
+                  ThreadSanitizer (TSAN_TESTS) — lock-based code without
+                  TSan coverage is how races ship.
+  raw-mutex       all locking in src/ and tools/ goes through the
+                  capability-annotated wrapper (util/mutex.h): bare
+                  std::mutex / std::shared_mutex / std::lock_guard /
+                  std::unique_lock / std::condition_variable bypass the
+                  clang thread-safety analysis, the lock-rank registry, and
+                  the debug inversion checker all at once. std::once_flag /
+                  call_once stay sanctioned (once-init has no analyzer
+                  model; each site carries a written justification).
+  guarded-by      a file declaring a dpmm::Mutex member must annotate the
+                  state it guards with DPMM_GUARDED_BY — an unannotated
+                  mutex gives clang nothing to check, which silently turns
+                  the compile-time discipline back into TSan luck.
+  lock-order      every dpmm::Mutex member is constructed with a named
+                  LockRank from the registry in util/mutex.h, spelled at
+                  the declaration site; ranks must exist in the registry
+                  and be pairwise distinct within a file (two locks sharing
+                  a rank cannot order against each other, so the runtime
+                  monotonicity checker would forbid ever nesting them).
   cli-exit-doc    every nonzero exit code the CLI can return must be
                   documented in README.md ("exit N" / "exit code N"):
                   operators script against these (3 = budget refusal,
@@ -81,7 +100,7 @@ SOURCE_EXTS = (".h", ".cc")
 # The fixture tree deliberately violates every rule; the real scan must not
 # trip over it.
 EXCLUDED_DIRS = {"lint_fixtures", "build", "build-tsan", "build-asan",
-                 "build-review"}
+                 "build-review", "build-tsafety"}
 
 SUPPRESS_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
 
@@ -166,9 +185,11 @@ def rule_unseeded_rng(root, active, suppressed):
 
 # ---- mutex-tsan -----------------------------------------------------------
 
+# Both the raw std:: flavors and the dpmm::Mutex wrapper (whose members are
+# brace-initialized with a LockRank) count as "this file holds a lock".
 MUTEX_MEMBER_RE = re.compile(
-    r"(?:mutable\s+)?std::(?:shared_|recursive_|timed_)?mutex\s+"
-    r"[A-Za-z_]\w*\s*;")
+    r"(?:mutable\s+)?(?:std::(?:shared_|recursive_|timed_)?mutex|"
+    r"(?:dpmm::)?Mutex)\s+[A-Za-z_]\w*\s*(?:;|\{)")
 TSAN_TESTS_RE = re.compile(r"TSAN_TESTS=\(([^)]*)\)")
 
 
@@ -217,6 +238,124 @@ def rule_mutex_tsan(root, active, suppressed):
                 "TSAN_TESTS names %s" % token)
             (suppressed if is_suppressed("mutex-tsan", lines, i)
              else active).append(f_)
+
+
+# ---- raw-mutex ------------------------------------------------------------
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:shared_|recursive_|timed_|shared_timed_)?mutex\b|"
+    r"std::(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b|"
+    r"std::condition_variable(?:_any)?\b")
+# The wrapper layer is the one place allowed to touch the std primitives.
+MUTEX_WRAPPER_FILES = (os.path.join("src", "util", "mutex.h"),
+                       os.path.join("src", "util", "mutex.cc"))
+
+
+def rule_raw_mutex(root, active, suppressed):
+    files = [p for p in iter_sources(root, ["src", "tools"])
+             if relpath(root, p) not in MUTEX_WRAPPER_FILES]
+    scan_line_rule(
+        root, files, "raw-mutex", RAW_MUTEX_RE,
+        "raw std:: locking outside util/mutex.h bypasses the thread-safety "
+        "annotations and the lock-rank checker: use dpmm::Mutex / "
+        "MutexLock / ReaderMutexLock / CondVar, or justify with lint:allow",
+        active, suppressed)
+
+
+# ---- guarded-by -----------------------------------------------------------
+
+WRAPPER_MUTEX_MEMBER_RE = re.compile(
+    r"(?:mutable\s+)?(?:dpmm::)?Mutex\s+[A-Za-z_]\w*\s*(?:;|\{)")
+
+
+def rule_guarded_by(root, active, suppressed):
+    for path in iter_sources(root, ["src"]):
+        rel = relpath(root, path)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        lines = text.splitlines()
+        hits = [i for i, ln in enumerate(lines)
+                if WRAPPER_MUTEX_MEMBER_RE.search(ln)]
+        if not hits:
+            continue
+        # File-granular by design: which members a mutex guards is not
+        # decidable by regex, but a Mutex-holding file with *zero*
+        # annotations has certainly opted out of the analysis.
+        if "DPMM_GUARDED_BY(" in text or "DPMM_PT_GUARDED_BY(" in text:
+            continue
+        for i in hits:
+            f_ = find(
+                "guarded-by", rel, i + 1,
+                "dpmm::Mutex member without any DPMM_GUARDED_BY annotation "
+                "in this file: mark the state it guards (clang checks it "
+                "under -Wthread-safety), or justify with lint:allow")
+            (suppressed if is_suppressed("guarded-by", lines, i)
+             else active).append(f_)
+
+
+# ---- lock-order -----------------------------------------------------------
+
+MUTEX_RANK_DECL_RE = re.compile(
+    r"(?:mutable\s+)?(?:dpmm::)?Mutex\s+[A-Za-z_]\w*\s*\{\s*"
+    r"(?:dpmm::)?LockRank::(k\w+)\s*\}")
+
+
+def known_lock_ranks(root):
+    """The rank names defined in util/mutex.h, or None outside the real
+    tree (the fixture tree has no registry to validate against)."""
+    path = os.path.join(root, "src", "util", "mutex.h")
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        return None
+    m = re.search(r"enum class LockRank[^{]*\{([^}]*)\}", text, re.DOTALL)
+    if not m:
+        return None
+    return set(re.findall(r"\b(k\w+)\s*=", m.group(1)))
+
+
+def rule_lock_order(root, active, suppressed):
+    known = known_lock_ranks(root)
+    for path in iter_sources(root, ["src"]):
+        rel = relpath(root, path)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+        seen_ranks = {}
+        for i, line in enumerate(lines):
+            if not WRAPPER_MUTEX_MEMBER_RE.search(line):
+                continue
+            m = MUTEX_RANK_DECL_RE.search(line)
+            if not m:
+                f_ = find(
+                    "lock-order", rel, i + 1,
+                    "dpmm::Mutex member without a named LockRank at the "
+                    "declaration site: every lock states its place in the "
+                    "util/mutex.h hierarchy where readers look for it")
+                (suppressed if is_suppressed("lock-order", lines, i)
+                 else active).append(f_)
+                continue
+            rank = m.group(1)
+            if known is not None and rank not in known:
+                f_ = find(
+                    "lock-order", rel, i + 1,
+                    "LockRank::%s is not defined in the util/mutex.h "
+                    "registry: add it to the enum and the hierarchy table"
+                    % rank)
+                (suppressed if is_suppressed("lock-order", lines, i)
+                 else active).append(f_)
+                continue
+            if rank in seen_ranks:
+                f_ = find(
+                    "lock-order", rel, i + 1,
+                    "LockRank::%s already ranks the mutex on line %d: two "
+                    "locks sharing a rank can never nest (the monotonicity "
+                    "checker requires strictly increasing ranks), so give "
+                    "each its own level" % (rank, seen_ranks[rank]))
+                (suppressed if is_suppressed("lock-order", lines, i)
+                 else active).append(f_)
+                continue
+            seen_ranks[rank] = i + 1
 
 
 # ---- cli-exit-doc ---------------------------------------------------------
@@ -383,6 +522,9 @@ RULES = [
     rule_raw_fs_call,
     rule_unseeded_rng,
     rule_mutex_tsan,
+    rule_raw_mutex,
+    rule_guarded_by,
+    rule_lock_order,
     rule_cli_exit_doc,
     rule_void_status,
     rule_dcheck_hot_path,

@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
 # CI, cheapest checks first: static analysis (invariant linter + clang-tidy
-# baseline), an AddressSanitizer+UBSan pass over the full ctest suite, the
+# baseline), a compile-only clang -Wthread-safety pass over the annotated
+# mutex layer, an AddressSanitizer+UBSan pass over the full ctest suite, the
 # standard tier-1 configure/build/ctest cycle, then a ThreadSanitizer pass
 # over the concurrency-sensitive tests (the persistent thread pool behind
 # ParallelFor, the lazily initialized Kronecker eigenbasis variants, and the
 # batched release engine built on both). Run from anywhere; operates on the
 # repository that contains this script.
 #
-#   tools/ci.sh                # full cycle: lint -> asan -> tier-1 -> tsan
-#   SKIP_LINT=1 tools/ci.sh    # skip static analysis
-#   SKIP_ASAN=1 tools/ci.sh    # skip the ASan/UBSan lane (e.g. no libasan)
-#   SKIP_TSAN=1 tools/ci.sh    # skip the TSan lane (e.g. no libtsan)
+#   tools/ci.sh                 # full cycle: lint -> tsafety -> asan -> tier-1 -> tsan
+#   SKIP_LINT=1 tools/ci.sh     # skip static analysis
+#   SKIP_TSAFETY=1 tools/ci.sh  # skip the clang -Wthread-safety lane
+#   SKIP_ASAN=1 tools/ci.sh     # skip the ASan/UBSan lane (e.g. no libasan)
+#   SKIP_TSAN=1 tools/ci.sh     # skip the TSan lane (e.g. no libtsan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +39,25 @@ TEST_TARGETS=(dpmm_cli)
 for test_src in tests/*_test.cc; do
   TEST_TARGETS+=("$(basename "${test_src%.cc}")")
 done
+
+if [[ "${SKIP_TSAFETY:-0}" == "1" ]]; then
+  echo "==== tsafety: skipped (SKIP_TSAFETY=1) ===="
+elif ! command -v clang++ >/dev/null 2>&1; then
+  # Mirrors the clang-tidy self-skip in tools/lint.sh: the annotations
+  # compile to nothing on GCC, and the always-on invariant rules
+  # (raw-mutex, guarded-by, lock-order) keep gating above.
+  echo "==== tsafety: skipped (clang++ not installed; thread-safety analysis needs clang) ===="
+else
+  echo "==== tsafety: clang -Wthread-safety over the annotated tree (build-tsafety) ===="
+  # Compile-only: -Wthread-safety rejects unguarded access to any
+  # DPMM_GUARDED_BY member, and -Wthread-safety-beta adds the
+  # acquired_before/after lock-order checks. -Werror is already on by
+  # default (DPMM_WERROR), so every diagnostic is a build break.
+  cmake -B build-tsafety -S . \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_CXX_FLAGS="-Wthread-safety -Wthread-safety-beta"
+  cmake --build build-tsafety -j --target dpmm "${TEST_TARGETS[@]}"
+fi
 
 if [[ "${SKIP_ASAN:-0}" == "1" ]]; then
   echo "==== asan: skipped (SKIP_ASAN=1) ===="
@@ -122,7 +143,10 @@ echo "==== tsan: thread pool + kron batching + serve engine under ThreadSanitize
 # metrics_test covers the metrics registry and trace recorder mutexes: four
 # threads registering instruments while recording, and concurrent TraceSpan
 # appends into the shared event buffer.
-TSAN_TESTS=(threading_test util_test linalg_kron_test kron_design_test serve_test durability_test store_test metrics_test)
+# mutex_test covers the dpmm::Mutex wrapper itself (util/mutex.h): the
+# exclusive/shared paths, the relock staircase, and CondVar hand-offs under
+# 4-thread contention.
+TSAN_TESTS=(threading_test util_test linalg_kron_test kron_design_test serve_test durability_test store_test metrics_test mutex_test)
 if [[ "${HAVE_PRESETS}" == "1" ]]; then
   cmake --preset tsan
 else
@@ -136,6 +160,6 @@ cmake --build build-tsan -j --target "${TSAN_TESTS[@]}"
 # serial-path suite.
 (cd build-tsan && \
  DPMM_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
- ctest --output-on-failure -R '^(threading|util|linalg_kron|kron_design|serve|durability|store|metrics)')
+ ctest --output-on-failure -R '^(threading|util|linalg_kron|kron_design|serve|durability|store|metrics|mutex)')
 
 echo "==== ci.sh: all green ===="
